@@ -1,0 +1,272 @@
+//! # veribug-baseline
+//!
+//! Classical **spectrum-based fault localization** (SBFL) baselines over the
+//! same statement-execution records VeriBug consumes. The paper situates
+//! VeriBug against simulation-pattern approaches [Pal & Vasudevan, VLSID
+//! 2016] that rank suspicious code from pass/fail execution spectra; this
+//! crate implements the three standard SBFL formulas — Tarantula, Ochiai,
+//! and Jaccard — used as the comparison series in the Table III harness.
+//!
+//! For each statement, four spectrum counts are collected:
+//!
+//! - `ef` — failing traces that executed the statement,
+//! - `nf` — failing traces that did not,
+//! - `ep` — passing traces that executed it,
+//! - `np` — passing traces that did not.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use veribug_baseline::{SpectrumFormula, StmtSpectrum};
+//!
+//! let spectrum = StmtSpectrum { ef: 4, nf: 0, ep: 1, np: 5 };
+//! let score = SpectrumFormula::Ochiai.score(&spectrum);
+//! assert!(score > 0.8);
+//! ```
+
+#![warn(missing_docs)]
+
+use std::collections::BTreeMap;
+
+use sim::{Trace, TraceLabel};
+use verilog::StmtId;
+
+/// Execution-spectrum counts for one statement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, serde::Serialize, serde::Deserialize)]
+pub struct StmtSpectrum {
+    /// Failing traces that executed the statement.
+    pub ef: u32,
+    /// Failing traces that did not execute it.
+    pub nf: u32,
+    /// Passing traces that executed it.
+    pub ep: u32,
+    /// Passing traces that did not execute it.
+    pub np: u32,
+}
+
+/// The SBFL ranking formulas implemented.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub enum SpectrumFormula {
+    /// Jones & Harrold 2005.
+    Tarantula,
+    /// Abreu et al. 2006.
+    Ochiai,
+    /// Set-similarity formula.
+    Jaccard,
+}
+
+impl SpectrumFormula {
+    /// All formulas.
+    pub const ALL: [SpectrumFormula; 3] = [
+        SpectrumFormula::Tarantula,
+        SpectrumFormula::Ochiai,
+        SpectrumFormula::Jaccard,
+    ];
+
+    /// Scores one statement's spectrum; higher is more suspicious.
+    pub fn score(self, s: &StmtSpectrum) -> f64 {
+        let ef = f64::from(s.ef);
+        let nf = f64::from(s.nf);
+        let ep = f64::from(s.ep);
+        let np = f64::from(s.np);
+        match self {
+            SpectrumFormula::Tarantula => {
+                let fail_ratio = if ef + nf > 0.0 { ef / (ef + nf) } else { 0.0 };
+                let pass_ratio = if ep + np > 0.0 { ep / (ep + np) } else { 0.0 };
+                if fail_ratio + pass_ratio == 0.0 {
+                    0.0
+                } else {
+                    fail_ratio / (fail_ratio + pass_ratio)
+                }
+            }
+            SpectrumFormula::Ochiai => {
+                let denom = ((ef + nf) * (ef + ep)).sqrt();
+                if denom == 0.0 {
+                    0.0
+                } else {
+                    ef / denom
+                }
+            }
+            SpectrumFormula::Jaccard => {
+                let denom = ef + nf + ep;
+                if denom == 0.0 {
+                    0.0
+                } else {
+                    ef / denom
+                }
+            }
+        }
+    }
+}
+
+impl std::fmt::Display for SpectrumFormula {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            SpectrumFormula::Tarantula => "tarantula",
+            SpectrumFormula::Ochiai => "ochiai",
+            SpectrumFormula::Jaccard => "jaccard",
+        })
+    }
+}
+
+/// Collects per-statement spectra from labelled traces, restricted to the
+/// statements in `slice` (the same dynamic-slice restriction VeriBug uses).
+pub fn collect_spectra(
+    runs: &[(TraceLabel, &Trace)],
+    slice: &std::collections::BTreeSet<StmtId>,
+) -> BTreeMap<StmtId, StmtSpectrum> {
+    let mut out: BTreeMap<StmtId, StmtSpectrum> = BTreeMap::new();
+    for id in slice {
+        out.insert(*id, StmtSpectrum::default());
+    }
+    for (label, trace) in runs {
+        let executed = trace.executed_stmts();
+        for (id, spec) in out.iter_mut() {
+            let hit = executed.contains(id);
+            match (label, hit) {
+                (TraceLabel::Failing, true) => spec.ef += 1,
+                (TraceLabel::Failing, false) => spec.nf += 1,
+                (TraceLabel::Correct, true) => spec.ep += 1,
+                (TraceLabel::Correct, false) => spec.np += 1,
+            }
+        }
+    }
+    out
+}
+
+/// Ranks statements by decreasing suspiciousness under a formula. Ties
+/// break toward lower statement ids (deterministic).
+pub fn rank(
+    spectra: &BTreeMap<StmtId, StmtSpectrum>,
+    formula: SpectrumFormula,
+) -> Vec<(StmtId, f64)> {
+    let mut v: Vec<(StmtId, f64)> = spectra
+        .iter()
+        .map(|(id, s)| (*id, formula.score(s)))
+        .collect();
+    v.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+    v
+}
+
+/// Top-1 localization with an SBFL formula: the highest-ranked statement
+/// (first under the deterministic tie-break).
+pub fn top1(
+    spectra: &BTreeMap<StmtId, StmtSpectrum>,
+    formula: SpectrumFormula,
+) -> Option<StmtId> {
+    rank(spectra, formula).first().map(|(id, _)| *id)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeSet;
+
+    #[test]
+    fn tarantula_extremes() {
+        // Executed by every failing trace, no passing trace: maximal.
+        let hot = StmtSpectrum {
+            ef: 5,
+            nf: 0,
+            ep: 0,
+            np: 5,
+        };
+        assert_eq!(SpectrumFormula::Tarantula.score(&hot), 1.0);
+        // Executed only by passing traces: minimal.
+        let cold = StmtSpectrum {
+            ef: 0,
+            nf: 5,
+            ep: 5,
+            np: 0,
+        };
+        assert_eq!(SpectrumFormula::Tarantula.score(&cold), 0.0);
+    }
+
+    #[test]
+    fn ochiai_monotone_in_ef() {
+        let lo = StmtSpectrum {
+            ef: 1,
+            nf: 4,
+            ep: 2,
+            np: 3,
+        };
+        let hi = StmtSpectrum {
+            ef: 4,
+            nf: 1,
+            ep: 2,
+            np: 3,
+        };
+        assert!(SpectrumFormula::Ochiai.score(&hi) > SpectrumFormula::Ochiai.score(&lo));
+    }
+
+    #[test]
+    fn zero_denominators_are_zero_scores() {
+        let empty = StmtSpectrum::default();
+        for f in SpectrumFormula::ALL {
+            assert_eq!(f.score(&empty), 0.0, "{f}");
+        }
+    }
+
+    #[test]
+    fn spectra_collection_counts_correctly() {
+        use sim::{CycleRecord, StmtExec, Value};
+        let mk_trace = |stmts: &[u32]| Trace {
+            cycles: vec![CycleRecord {
+                cycle: 0,
+                signals: vec![Value::bit(false)],
+                execs: stmts
+                    .iter()
+                    .map(|s| StmtExec {
+                        stmt: StmtId(*s),
+                        cycle: 0,
+                        operands: vec![],
+                        result: Value::bit(true),
+                    })
+                    .collect(),
+            }],
+        };
+        let fail = mk_trace(&[0, 1]);
+        let pass = mk_trace(&[0]);
+        let slice: BTreeSet<StmtId> = [StmtId(0), StmtId(1)].into_iter().collect();
+        let runs = vec![
+            (TraceLabel::Failing, &fail),
+            (TraceLabel::Correct, &pass),
+        ];
+        let spectra = collect_spectra(&runs, &slice);
+        assert_eq!(
+            spectra[&StmtId(0)],
+            StmtSpectrum {
+                ef: 1,
+                nf: 0,
+                ep: 1,
+                np: 0
+            }
+        );
+        assert_eq!(
+            spectra[&StmtId(1)],
+            StmtSpectrum {
+                ef: 1,
+                nf: 0,
+                ep: 0,
+                np: 1
+            }
+        );
+        // Statement 1 only executes in the failing trace: most suspicious.
+        assert_eq!(top1(&spectra, SpectrumFormula::Ochiai), Some(StmtId(1)));
+    }
+
+    #[test]
+    fn ranking_is_deterministic_under_ties() {
+        let mut spectra = BTreeMap::new();
+        let s = StmtSpectrum {
+            ef: 2,
+            nf: 0,
+            ep: 0,
+            np: 2,
+        };
+        spectra.insert(StmtId(5), s);
+        spectra.insert(StmtId(2), s);
+        let ranked = rank(&spectra, SpectrumFormula::Tarantula);
+        assert_eq!(ranked[0].0, StmtId(2));
+    }
+}

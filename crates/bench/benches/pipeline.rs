@@ -1,0 +1,149 @@
+//! Criterion micro-benchmarks for every pipeline stage: parsing, static
+//! analysis, simulation, feature extraction, model inference, and one
+//! training step. Not a paper table — throughput context for the
+//! experiment harness (the paper's "a few minutes to train" claim).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+
+use sim::{Simulator, TestbenchGen};
+use veribug::features::StatementFeatures;
+use veribug::model::{ModelConfig, Sample, VeriBugModel};
+use veribug::train::{Dataset, TrainConfig};
+use verilog::parse;
+
+fn bench_parse(c: &mut Criterion) {
+    let mut g = c.benchmark_group("parse");
+    for d in designs::catalog() {
+        g.bench_function(d.name, |b| {
+            b.iter(|| parse(black_box(d.source)).expect("parses"));
+        });
+    }
+    g.finish();
+}
+
+fn bench_static_analysis(c: &mut Criterion) {
+    let module = designs::IBEX_CONTROLLER.module().expect("parses");
+    let mut g = c.benchmark_group("static-analysis");
+    g.bench_function("cdfg", |b| {
+        b.iter(|| cdfg::Cdfg::build(black_box(&module)));
+    });
+    g.bench_function("vdg", |b| {
+        b.iter(|| cdfg::Vdg::build(black_box(&module)));
+    });
+    g.bench_function("slice", |b| {
+        b.iter(|| cdfg::Slice::of_target(black_box(&module), "stall"));
+    });
+    g.bench_function("coi-depth4", |b| {
+        let vdg = cdfg::Vdg::build(&module);
+        b.iter(|| cdfg::ConeOfInfluence::compute(black_box(&vdg), "stall", 4));
+    });
+    g.finish();
+}
+
+fn bench_simulate(c: &mut Criterion) {
+    let mut g = c.benchmark_group("simulate-256-cycles");
+    for d in designs::catalog() {
+        let module = d.module().expect("parses");
+        let mut sim = Simulator::new(&module).expect("elaborates");
+        let stim = TestbenchGen::new(7).generate(sim.netlist(), 256);
+        g.bench_function(d.name, |b| {
+            b.iter(|| sim.run(black_box(&stim)).expect("simulates"));
+        });
+    }
+    g.finish();
+}
+
+fn bench_features(c: &mut Criterion) {
+    let module = designs::USBF_PL.module().expect("parses");
+    c.bench_function("feature-extraction/usbf_pl", |b| {
+        b.iter(|| StatementFeatures::extract_all(black_box(&module)));
+    });
+}
+
+fn bench_inference(c: &mut Criterion) {
+    let model = VeriBugModel::new(ModelConfig::default());
+    let unit = parse(
+        "module m(input a, input b, input c, output y);\nassign y = (a & ~b) | c;\nendmodule",
+    )
+    .expect("parses");
+    let module = unit.top().clone();
+    let f = StatementFeatures::extract(&module.assignments()[0].clone()).expect("has operands");
+    c.bench_function("model-inference/3-operand-stmt", |b| {
+        b.iter(|| model.predict(black_box(&f), &[true, false, true]));
+    });
+}
+
+fn bench_train_step(c: &mut Criterion) {
+    let corpus: Vec<_> = rvdg::Generator::new(rvdg::RvdgConfig::default(), 3)
+        .generate_corpus(2)
+        .expect("generates")
+        .into_iter()
+        .map(|d| d.module)
+        .collect();
+    let dataset = Dataset::from_designs(&corpus, 1, 24, 1).expect("builds");
+    c.bench_function("train/one-epoch", |b| {
+        b.iter_batched(
+            || VeriBugModel::new(ModelConfig::default()),
+            |mut model| {
+                veribug::train::train(
+                    &mut model,
+                    &dataset,
+                    &TrainConfig {
+                        epochs: 1,
+                        ..TrainConfig::default()
+                    },
+                )
+                .expect("trains")
+            },
+            BatchSize::LargeInput,
+        );
+    });
+}
+
+fn bench_explainer(c: &mut Criterion) {
+    let model = VeriBugModel::new(ModelConfig::default());
+    let module = designs::WB_MUX_2.module().expect("parses");
+    let mut sim = Simulator::new(&module).expect("elaborates");
+    let stim = TestbenchGen::new(5).generate(sim.netlist(), 64);
+    let trace = sim.run(&stim).expect("simulates");
+    c.bench_function("explainer/attention-map-64-cycles", |b| {
+        b.iter(|| {
+            // Fresh explainer each time: the memo cache would otherwise
+            // turn this into a hash-lookup benchmark.
+            let mut ex = veribug::Explainer::new(&model, &module, "wbs0_we_o");
+            ex.attention_map(black_box(&[&trace]))
+        });
+    });
+}
+
+fn bench_mutation(c: &mut Criterion) {
+    let module = designs::USBF_IDMA.module().expect("parses");
+    c.bench_function("mutation/enumerate-sites/usbf_idma", |b| {
+        b.iter(|| mutate::enumerate_sites(black_box(&module), None));
+    });
+}
+
+/// One sample dummy Sample construction is cheap; keep it exercised so
+/// the type stays in the public-API benches.
+#[allow(dead_code)]
+fn sample() -> Sample {
+    Sample {
+        values: vec![true],
+        target: true,
+    }
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_parse,
+        bench_static_analysis,
+        bench_simulate,
+        bench_features,
+        bench_inference,
+        bench_train_step,
+        bench_explainer,
+        bench_mutation
+);
+criterion_main!(benches);

@@ -1,0 +1,153 @@
+//! # veribug-bench
+//!
+//! Shared plumbing for the experiment binaries that regenerate the paper's
+//! tables and figures:
+//!
+//! - `exp_table1` — Table I: localization test-set modules;
+//! - `exp_table2` — Table II: predictor quality vs regularization weight α
+//!   (plus `--ablate-eps` and `--ctx-agg` ablations);
+//! - `exp_table3` — Table III: per-design/per-target top-1 bug coverage
+//!   (plus SBFL baseline columns and `--threshold-sweep`);
+//! - `exp_fig4` — Fig. 4: qualitative heatmaps on the realistic designs.
+//!
+//! Criterion micro-benchmarks for each pipeline stage live in
+//! `benches/pipeline.rs`.
+
+#![warn(missing_docs)]
+
+use rvdg::{Generator, RvdgConfig};
+use veribug::{
+    model::{ModelConfig, VeriBugModel},
+    train::{self, Dataset, TrainConfig},
+    VeriBugError,
+};
+use verilog::Module;
+
+/// The corpus/training sizes the experiments use.
+#[derive(Debug, Clone, Copy)]
+pub struct ExperimentScale {
+    /// RVDG designs in the training corpus.
+    pub train_designs: usize,
+    /// RVDG designs held out for Table II evaluation.
+    pub holdout_designs: usize,
+    /// Cycles per dataset-building stimulus.
+    pub cycles: usize,
+    /// Stimuli per design.
+    pub runs_per_design: usize,
+    /// Training epochs.
+    pub epochs: usize,
+    /// Co-simulation runs per mutant in campaigns.
+    pub runs_per_mutant: usize,
+}
+
+impl ExperimentScale {
+    /// Full scale: what EXPERIMENTS.md reports.
+    pub fn full() -> Self {
+        ExperimentScale {
+            train_designs: 32,
+            holdout_designs: 8,
+            cycles: 64,
+            runs_per_design: 3,
+            epochs: 80,
+            runs_per_mutant: 160,
+        }
+    }
+
+    /// Reduced scale for smoke-testing the harness (`--quick`).
+    pub fn quick() -> Self {
+        ExperimentScale {
+            train_designs: 16,
+            holdout_designs: 4,
+            cycles: 48,
+            runs_per_design: 2,
+            epochs: 30,
+            runs_per_mutant: 30,
+        }
+    }
+
+    /// Picks full or quick scale from the presence of a `--quick` flag.
+    pub fn from_args() -> Self {
+        if std::env::args().any(|a| a == "--quick") {
+            ExperimentScale::quick()
+        } else {
+            ExperimentScale::full()
+        }
+    }
+}
+
+/// Generates the RVDG corpora: `(train, holdout)` module sets.
+///
+/// # Errors
+///
+/// Propagates generator/parse failures.
+pub fn corpora(scale: &ExperimentScale, seed: u64) -> Result<(Vec<Module>, Vec<Module>), verilog::ParseError> {
+    let generator = Generator::new(RvdgConfig::default(), seed);
+    let all = generator.generate_corpus(scale.train_designs + scale.holdout_designs)?;
+    let (train, hold) = all.split_at(scale.train_designs);
+    Ok((
+        train.iter().map(|d| d.module.clone()).collect(),
+        hold.iter().map(|d| d.module.clone()).collect(),
+    ))
+}
+
+/// Trains a model at the given scale with a specific regularization α.
+///
+/// # Errors
+///
+/// Propagates dataset/simulation failures.
+pub fn train_model(
+    scale: &ExperimentScale,
+    alpha: f32,
+    seed: u64,
+) -> Result<(VeriBugModel, Dataset, Dataset), VeriBugError> {
+    let (train_modules, holdout_modules) = corpora(scale, seed)?;
+    let train_set = Dataset::from_designs(&train_modules, seed ^ 1, scale.cycles, scale.runs_per_design)?;
+    let holdout_set =
+        Dataset::from_designs(&holdout_modules, seed ^ 2, scale.cycles, scale.runs_per_design)?;
+    let mut model = VeriBugModel::new(ModelConfig::default());
+    train::train(
+        &mut model,
+        &train_set,
+        &TrainConfig {
+            epochs: scale.epochs,
+            alpha,
+            ..TrainConfig::default()
+        },
+    )?;
+    Ok((model, train_set, holdout_set))
+}
+
+/// Formats a ratio as `"x/y (p%)"`.
+pub fn ratio(localized: usize, observable: usize) -> String {
+    if observable == 0 {
+        "-".to_owned()
+    } else {
+        format!(
+            "{:.1}% ({}/{})",
+            100.0 * localized as f64 / observable as f64,
+            localized,
+            observable
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_scale_trains_end_to_end() {
+        let scale = ExperimentScale::quick();
+        let (model, train_set, holdout) = train_model(&scale, 0.10, 99).unwrap();
+        assert!(train_set.len() > 50);
+        assert!(!holdout.is_empty());
+        let m = veribug::train::evaluate(&model, &holdout);
+        assert!(m.accuracy > 0.5, "quick model worse than chance: {m:?}");
+    }
+
+    #[test]
+    fn ratio_formatting() {
+        assert_eq!(ratio(7, 8), "87.5% (7/8)");
+        assert_eq!(ratio(0, 0), "-");
+    }
+}

@@ -1,0 +1,148 @@
+//! Cone-of-influence (COI): temporal dependence under `n`-cycle unrolling.
+//!
+//! Walking backward from the target, combinational edges are free while
+//! register-crossing (sequential) edges consume one cycle of the budget. The
+//! COI at depth `n` is every signal that can affect the target within `n`
+//! clock cycles — GOLDMINE's third artifact.
+
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+use crate::vdg::Vdg;
+
+/// The cone of influence of a target output.
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct ConeOfInfluence {
+    /// For each reachable signal, the minimum number of clock cycles needed
+    /// for a change on it to reach the target (0 = combinational path).
+    pub min_cycles: BTreeMap<String, u32>,
+    /// The unroll depth used to compute the cone.
+    pub depth: u32,
+}
+
+impl ConeOfInfluence {
+    /// Computes the COI of `target` for an `n`-cycle unrolling.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+    /// let unit = verilog::parse(
+    ///     "module m(input clk, input d, output y);\n\
+    ///      reg q;\n\
+    ///      always @(posedge clk) q <= d;\n\
+    ///      assign y = q;\nendmodule",
+    /// )?;
+    /// let vdg = veribug_cdfg::Vdg::build(unit.top());
+    /// let coi = veribug_cdfg::ConeOfInfluence::compute(&vdg, "y", 2);
+    /// assert_eq!(coi.min_cycles.get("q"), Some(&0)); // combinational into y
+    /// assert_eq!(coi.min_cycles.get("d"), Some(&1)); // one register away
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn compute(vdg: &Vdg, target: &str, depth: u32) -> Self {
+        let mut min_cycles = BTreeMap::new();
+        let Some(start) = vdg.index_of(target) else {
+            return ConeOfInfluence { min_cycles, depth };
+        };
+        // 0-1 BFS backward: sequential edges cost 1 cycle, others 0.
+        let n = vdg.signals().len();
+        let mut best = vec![u32::MAX; n];
+        best[start] = 0;
+        let mut queue: VecDeque<usize> = VecDeque::new();
+        queue.push_back(start);
+        while let Some(node) = queue.pop_front() {
+            let here = best[node];
+            for &ei in vdg.in_edges(node) {
+                let e = vdg.edges()[ei];
+                let cost = u32::from(e.sequential);
+                let cand = here.saturating_add(cost);
+                if cand <= depth && cand < best[e.from] {
+                    best[e.from] = cand;
+                    if cost == 0 {
+                        queue.push_front(e.from);
+                    } else {
+                        queue.push_back(e.from);
+                    }
+                }
+            }
+        }
+        for (i, b) in best.iter().enumerate() {
+            if *b != u32::MAX && i != start {
+                min_cycles.insert(vdg.signals()[i].clone(), *b);
+            }
+        }
+        ConeOfInfluence { min_cycles, depth }
+    }
+
+    /// Signals in the cone, ordered by name.
+    pub fn signals(&self) -> BTreeSet<&str> {
+        self.min_cycles.keys().map(String::as_str).collect()
+    }
+
+    /// True when the named signal can affect the target within the depth.
+    pub fn contains(&self, signal: &str) -> bool {
+        self.min_cycles.contains_key(signal)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vdg::Vdg;
+
+    fn coi(src: &str, target: &str, depth: u32) -> ConeOfInfluence {
+        let unit = verilog::parse(src).unwrap();
+        ConeOfInfluence::compute(&Vdg::build(unit.top()), target, depth)
+    }
+
+    const PIPE: &str = "\
+module pipe(input clk, input d, output y);
+  reg s1, s2;
+  always @(posedge clk) begin
+    s1 <= d;
+    s2 <= s1;
+  end
+  assign y = s2;
+endmodule
+";
+
+    #[test]
+    fn register_chain_counts_cycles() {
+        let c = coi(PIPE, "y", 4);
+        assert_eq!(c.min_cycles.get("s2"), Some(&0));
+        assert_eq!(c.min_cycles.get("s1"), Some(&1));
+        assert_eq!(c.min_cycles.get("d"), Some(&2));
+    }
+
+    #[test]
+    fn depth_zero_cuts_register_boundary() {
+        let c = coi(PIPE, "y", 0);
+        assert!(c.contains("s2"));
+        assert!(!c.contains("s1"));
+        assert!(!c.contains("d"));
+    }
+
+    #[test]
+    fn depth_one_reaches_one_register_back() {
+        let c = coi(PIPE, "y", 1);
+        assert!(c.contains("s1"));
+        assert!(!c.contains("d"));
+    }
+
+    #[test]
+    fn self_loop_register() {
+        let c = coi(
+            "module m(input clk, input en, output q);\nreg r;\nalways @(posedge clk) r <= r ^ en;\nassign q = r;\nendmodule",
+            "q",
+            3,
+        );
+        assert_eq!(c.min_cycles.get("r"), Some(&0));
+        assert_eq!(c.min_cycles.get("en"), Some(&1));
+    }
+
+    #[test]
+    fn unknown_target_empty() {
+        let c = coi(PIPE, "ghost", 3);
+        assert!(c.min_cycles.is_empty());
+    }
+}

@@ -1,0 +1,108 @@
+//! Dependence analysis: the `Dep_t` set of Sec. IV-B of the paper.
+//!
+//! Reverses the VDG edges and runs a depth-first search from the target
+//! variable `t`; every variable reachable that way influences `t` through
+//! some chain of control or data dependencies.
+
+use std::collections::BTreeSet;
+
+use crate::vdg::Vdg;
+
+/// Computes `Dep_t`: all variables that (transitively) influence `target`,
+/// excluding the target itself.
+///
+/// Returns an ordered set for deterministic downstream iteration. Returns an
+/// empty set when the target is not a known signal.
+///
+/// # Examples
+///
+/// ```
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let unit = verilog::parse(
+///     "module arb(input req1, input req2, input state, output gnt1, output gnt2);\n\
+///      assign gnt1 = (req1 & ~req2) | state;\n\
+///      assign gnt2 = req2;\nendmodule",
+/// )?;
+/// let vdg = veribug_cdfg::Vdg::build(unit.top());
+/// let dep = veribug_cdfg::dependencies_of(&vdg, "gnt1");
+/// assert_eq!(
+///     dep.into_iter().collect::<Vec<_>>(),
+///     vec!["req1".to_owned(), "req2".to_owned(), "state".to_owned()],
+/// );
+/// # Ok(())
+/// # }
+/// ```
+pub fn dependencies_of(vdg: &Vdg, target: &str) -> BTreeSet<String> {
+    let mut out = BTreeSet::new();
+    let Some(start) = vdg.index_of(target) else {
+        return out;
+    };
+    let mut seen = vec![false; vdg.signals().len()];
+    seen[start] = true;
+    let mut stack = vec![start];
+    while let Some(n) = stack.pop() {
+        for &ei in vdg.in_edges(n) {
+            let prev = vdg.edges()[ei].from;
+            if !seen[prev] {
+                seen[prev] = true;
+                out.insert(vdg.signals()[prev].clone());
+                stack.push(prev);
+            }
+        }
+    }
+    out.remove(target);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dep(src: &str, target: &str) -> Vec<String> {
+        let unit = verilog::parse(src).unwrap();
+        let vdg = Vdg::build(unit.top());
+        dependencies_of(&vdg, target).into_iter().collect()
+    }
+
+    #[test]
+    fn matches_paper_arbiter_example() {
+        // Fig. 2(1): Dep_gnt1 = {req1, req2, state}.
+        let src = "\
+module arb(input clk, input req1, input req2, output reg gnt1, output reg gnt2);
+  reg state;
+  always @(posedge clk) state <= req1 ^ req2;
+  always @(*) begin
+    if (state) gnt1 = req1 & ~req2;
+    else gnt1 = req1;
+    gnt2 = req2 & ~req1;
+  end
+endmodule
+";
+        assert_eq!(dep(src, "gnt1"), vec!["req1", "req2", "state"]);
+    }
+
+    #[test]
+    fn excludes_unrelated_signals() {
+        let src = "module m(input a, input b, output y, output z);\nassign y = a;\nassign z = b;\nendmodule";
+        assert_eq!(dep(src, "y"), vec!["a"]);
+        assert_eq!(dep(src, "z"), vec!["b"]);
+    }
+
+    #[test]
+    fn unknown_target_is_empty() {
+        let src = "module m(input a, output y);\nassign y = a;\nendmodule";
+        assert!(dep(src, "ghost").is_empty());
+    }
+
+    #[test]
+    fn cyclic_state_terminates() {
+        let src = "\
+module m(input clk, input d, output reg q);
+  always @(posedge clk) q <= q ^ d;
+endmodule
+";
+        // q depends on itself through the register; DFS must terminate and
+        // report d (and not loop forever). q itself is excluded.
+        assert_eq!(dep(src, "q"), vec!["d"]);
+    }
+}

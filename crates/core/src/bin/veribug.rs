@@ -1,0 +1,292 @@
+//! The `veribug` command-line tool: train, inject, localize, analyze, dump.
+//!
+//! ```text
+//! veribug train    --out model.vbm [--designs N] [--epochs N] [--seed S]
+//! veribug localize --golden g.v --buggy b.v --target T --model model.vbm
+//!                  [--runs N] [--cycles N] [--threshold X] [--ansi]
+//! veribug inject   --design g.v --target T [--negation N] [--operation N]
+//!                  [--misuse N] [--seed S] [--out-dir DIR]
+//! veribug analyze  --design f.v --target T
+//! veribug vcd      --design f.v [--cycles N] [--seed S] --out trace.vcd
+//! ```
+
+use std::collections::HashMap;
+use std::process::ExitCode;
+
+use mutate::{cosimulate, BugBudget, Campaign};
+use rvdg::{Generator, RvdgConfig};
+use sim::{Simulator, TestbenchGen, TraceLabel};
+use veribug::coverage::grouped_heatmap;
+use veribug::explain::LabelledTrace;
+use veribug::model::{ModelConfig, VeriBugModel};
+use veribug::render::render_comparison;
+use veribug::train::{self, Dataset, TrainConfig};
+use veribug::{persist, Explainer, DEFAULT_THRESHOLD};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(command) = args.first() else {
+        eprintln!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let opts = parse_opts(&args[1..]);
+    let result = match command.as_str() {
+        "train" => cmd_train(&opts),
+        "localize" => cmd_localize(&opts),
+        "inject" => cmd_inject(&opts),
+        "analyze" => cmd_analyze(&opts),
+        "vcd" => cmd_vcd(&opts),
+        "help" | "--help" | "-h" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command `{other}`\n{USAGE}").into()),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "\
+veribug — attention-based bug localization for Verilog designs
+
+USAGE:
+  veribug train    --out model.vbm [--designs N] [--epochs N] [--seed S]
+  veribug localize --golden g.v --buggy b.v --target T --model model.vbm
+                   [--runs N] [--cycles N] [--threshold X] [--ansi]
+  veribug inject   --design g.v --target T [--negation N] [--operation N]
+                   [--misuse N] [--seed S] [--out-dir DIR]
+  veribug analyze  --design f.v --target T
+  veribug vcd      --design f.v [--cycles N] [--seed S] --out trace.vcd";
+
+type CmdResult = Result<(), Box<dyn std::error::Error>>;
+
+fn parse_opts(args: &[String]) -> HashMap<String, String> {
+    let mut out = HashMap::new();
+    let mut i = 0;
+    while i < args.len() {
+        let a = &args[i];
+        if let Some(key) = a.strip_prefix("--") {
+            let value = args.get(i + 1).filter(|v| !v.starts_with("--"));
+            match value {
+                Some(v) => {
+                    out.insert(key.to_owned(), v.clone());
+                    i += 2;
+                }
+                None => {
+                    out.insert(key.to_owned(), "true".to_owned());
+                    i += 1;
+                }
+            }
+        } else {
+            i += 1;
+        }
+    }
+    out
+}
+
+fn required<'o>(opts: &'o HashMap<String, String>, key: &str) -> Result<&'o str, String> {
+    opts.get(key)
+        .map(String::as_str)
+        .ok_or_else(|| format!("missing required option --{key}"))
+}
+
+fn numeric<T: std::str::FromStr>(
+    opts: &HashMap<String, String>,
+    key: &str,
+    default: T,
+) -> Result<T, String>
+where
+    T::Err: std::fmt::Display,
+{
+    match opts.get(key) {
+        None => Ok(default),
+        Some(v) => v
+            .parse::<T>()
+            .map_err(|e| format!("bad value for --{key}: {e}")),
+    }
+}
+
+fn load_module(path: &str) -> Result<verilog::Module, Box<dyn std::error::Error>> {
+    let source = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read `{path}`: {e}"))?;
+    Ok(verilog::parse(&source)
+        .map_err(|e| format!("{path}: {e}"))?
+        .top()
+        .clone())
+}
+
+fn cmd_train(opts: &HashMap<String, String>) -> CmdResult {
+    let out = required(opts, "out")?;
+    let designs: usize = numeric(opts, "designs", 32)?;
+    let epochs: usize = numeric(opts, "epochs", 80)?;
+    let seed: u64 = numeric(opts, "seed", 1234)?;
+
+    eprintln!("generating {designs} RVDG designs (seed {seed})...");
+    let corpus: Vec<_> = Generator::new(RvdgConfig::default(), seed)
+        .generate_corpus(designs)?
+        .into_iter()
+        .map(|d| d.module)
+        .collect();
+    let dataset = Dataset::from_designs(&corpus, seed ^ 1, 64, 3)?;
+    eprintln!("dataset: {} unique statement executions", dataset.len());
+    let mut model = VeriBugModel::new(ModelConfig::default());
+    let report = train::train(
+        &mut model,
+        &dataset,
+        &TrainConfig {
+            epochs,
+            ..TrainConfig::default()
+        },
+    )?;
+    eprintln!(
+        "trained {epochs} epochs; loss {:.4} -> {:.4}",
+        report.epoch_losses.first().unwrap_or(&0.0),
+        report.epoch_losses.last().unwrap_or(&0.0)
+    );
+    persist::save(&model, out)?;
+    eprintln!("model written to {out}");
+    Ok(())
+}
+
+fn cmd_localize(opts: &HashMap<String, String>) -> CmdResult {
+    let golden = load_module(required(opts, "golden")?)?;
+    let buggy = load_module(required(opts, "buggy")?)?;
+    let target = required(opts, "target")?;
+    let model = persist::load(required(opts, "model")?)?;
+    let runs: usize = numeric(opts, "runs", 160)?;
+    let cycles: usize = numeric(opts, "cycles", 16)?;
+    let threshold: f32 = numeric(opts, "threshold", DEFAULT_THRESHOLD)?;
+    let ansi = opts.contains_key("ansi");
+
+    let golden_sim = Simulator::new(&golden)?;
+    let stimuli = TestbenchGen::new(0xD0_17)
+        .with_hold_probability(0.8)
+        .generate_many(golden_sim.netlist(), cycles, runs);
+    let labelled = cosimulate(&golden, &buggy, target, &stimuli)?;
+    let failing = labelled
+        .iter()
+        .filter(|r| r.label == TraceLabel::Failing)
+        .count();
+    eprintln!("{failing}/{} runs expose a failure at {target}", labelled.len());
+    if failing == 0 {
+        return Err("no failing runs: nothing to localize".into());
+    }
+
+    let runs_view: Vec<LabelledTrace<'_>> = labelled
+        .iter()
+        .map(|r| LabelledTrace {
+            trace: &r.trace,
+            label: r.label,
+            failure_cycles: if r.label == TraceLabel::Failing {
+                r.failure_cycles()
+            } else {
+                Vec::new()
+            },
+        })
+        .collect();
+    let mut explainer = Explainer::new(&model, &buggy, target);
+    let heatmap = grouped_heatmap(
+        &mut explainer,
+        &runs_view,
+        threshold,
+        veribug::coverage::DEFAULT_RUN_GROUPS,
+    );
+    if heatmap.is_empty() {
+        println!("heatmap is empty: no statement crossed the {threshold} threshold");
+        return Ok(());
+    }
+    println!("suspicious statements (most suspicious first):");
+    for (stmt, sus) in heatmap.ranked() {
+        let line = buggy
+            .assignment(stmt)
+            .map(|a| format!("{} = {}", a.lhs.base, verilog::print_expr(&a.rhs)))
+            .unwrap_or_else(|| "<unknown>".to_owned());
+        println!("  {sus:.3}  {stmt}  {line}");
+    }
+    // Render the comparison view for the top candidates.
+    let (_, _, c_map) = explainer.explain(&runs_view, threshold);
+    println!("\n{}", render_comparison(&buggy, &heatmap, &c_map, ansi));
+    Ok(())
+}
+
+fn cmd_inject(opts: &HashMap<String, String>) -> CmdResult {
+    let design = load_module(required(opts, "design")?)?;
+    let target = required(opts, "target")?;
+    let budget = BugBudget {
+        negation: numeric(opts, "negation", 2)?,
+        operation: numeric(opts, "operation", 2)?,
+        misuse: numeric(opts, "misuse", 2)?,
+    };
+    let seed: u64 = numeric(opts, "seed", 7)?;
+    let out_dir = opts.get("out-dir").cloned();
+
+    let mutants = Campaign::new(seed).run(&design, target, &budget)?;
+    println!(
+        "{} mutants produced, {} observable at {target}",
+        mutants.len(),
+        mutants.iter().filter(|m| m.observable).count()
+    );
+    for (i, m) in mutants.iter().enumerate() {
+        println!(
+            "  mutant {i}: {} at {} ({})",
+            m.site.kind,
+            m.site.stmt,
+            if m.observable { "observable" } else { "masked" }
+        );
+        if let Some(dir) = &out_dir {
+            std::fs::create_dir_all(dir)?;
+            let path = format!("{dir}/mutant_{i}.v");
+            std::fs::write(&path, &m.source)?;
+        }
+    }
+    if let Some(dir) = &out_dir {
+        println!("mutant sources written to {dir}/");
+    }
+    Ok(())
+}
+
+fn cmd_analyze(opts: &HashMap<String, String>) -> CmdResult {
+    let design = load_module(required(opts, "design")?)?;
+    let target = required(opts, "target")?;
+    let vdg = cdfg::Vdg::build(&design);
+    let dep = cdfg::dependencies_of(&vdg, target);
+    let slice = cdfg::Slice::of_target(&design, target);
+    let coi = cdfg::ConeOfInfluence::compute(&vdg, target, 8);
+    println!("module {}", design.name);
+    println!("target {target}");
+    println!(
+        "Dep_t ({}): {}",
+        dep.len(),
+        dep.iter().cloned().collect::<Vec<_>>().join(", ")
+    );
+    println!("static slice ({} statements):", slice.len());
+    for stmt in &slice.stmts {
+        if let Some(a) = design.assignment(*stmt) {
+            let depth = coi.min_cycles.get(&a.lhs.base).copied().unwrap_or(0);
+            println!(
+                "  {stmt} (depth {depth}): {} = {}",
+                a.lhs.base,
+                verilog::print_expr(&a.rhs)
+            );
+        }
+    }
+    Ok(())
+}
+
+fn cmd_vcd(opts: &HashMap<String, String>) -> CmdResult {
+    let design = load_module(required(opts, "design")?)?;
+    let out = required(opts, "out")?;
+    let cycles: usize = numeric(opts, "cycles", 64)?;
+    let seed: u64 = numeric(opts, "seed", 1)?;
+    let mut sim = Simulator::new(&design)?;
+    let stim = TestbenchGen::new(seed).generate(sim.netlist(), cycles);
+    let trace = sim.run(&stim)?;
+    std::fs::write(out, sim::to_vcd(sim.netlist(), &trace, 10))?;
+    println!("{cycles} cycles dumped to {out}");
+    Ok(())
+}

@@ -1,0 +1,57 @@
+//! VeriBug error type.
+
+use std::fmt;
+
+/// Errors surfaced by the VeriBug pipeline.
+#[derive(Debug)]
+pub enum VeriBugError {
+    /// A design failed to parse.
+    Parse(verilog::ParseError),
+    /// Elaboration or simulation failed.
+    Sim(sim::SimError),
+    /// The requested target output does not exist in the design.
+    UnknownTarget {
+        /// The missing target name.
+        target: String,
+    },
+    /// The training set is unusable (empty, or single-class).
+    BadDataset {
+        /// Human-readable detail.
+        detail: String,
+    },
+}
+
+impl fmt::Display for VeriBugError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VeriBugError::Parse(e) => write!(f, "parse error: {e}"),
+            VeriBugError::Sim(e) => write!(f, "simulation error: {e}"),
+            VeriBugError::UnknownTarget { target } => {
+                write!(f, "unknown target output `{target}`")
+            }
+            VeriBugError::BadDataset { detail } => write!(f, "bad dataset: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for VeriBugError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            VeriBugError::Parse(e) => Some(e),
+            VeriBugError::Sim(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<verilog::ParseError> for VeriBugError {
+    fn from(e: verilog::ParseError) -> Self {
+        VeriBugError::Parse(e)
+    }
+}
+
+impl From<sim::SimError> for VeriBugError {
+    fn from(e: sim::SimError) -> Self {
+        VeriBugError::Sim(e)
+    }
+}

@@ -1,0 +1,563 @@
+//! Explanation generation (paper Sec. IV-D): attention maps, aggregated
+//! maps `F_t`/`C_t`, suspiciousness scores, and the final heatmap `H_t`.
+
+use std::collections::{BTreeMap, HashMap};
+
+use crate::features::StatementFeatures;
+use crate::model::VeriBugModel;
+use crate::train::operand_values;
+use cdfg::{Cdfg, ConeOfInfluence, Slice, Vdg};
+use sim::{Trace, TraceLabel};
+use verilog::{Module, StmtId};
+
+/// The default suspiciousness threshold (paper: 0.10).
+pub const DEFAULT_THRESHOLD: f32 = 0.10;
+
+/// How many cycles before a target divergence still count as
+/// "failure-relevant" when aggregating failing-trace attention. Covers
+/// sequential propagation from a buggy register update to the output.
+pub const DEFAULT_FAILURE_WINDOW: u32 = 1;
+
+/// One trace with its label and (for failing traces) the cycles where the
+/// target output diverged from the golden design.
+#[derive(Debug, Clone)]
+pub struct LabelledTrace<'t> {
+    /// The (mutant) trace to analyze.
+    pub trace: &'t Trace,
+    /// Failing (`T_f`) or correct (`T_c`).
+    pub label: TraceLabel,
+    /// Divergence cycles, when known. Empty means "unknown": the whole
+    /// failing trace is aggregated (the paper's plain trace-level scheme).
+    pub failure_cycles: Vec<u32>,
+}
+
+impl<'t> LabelledTrace<'t> {
+    /// Wraps a trace with a label and no divergence information.
+    pub fn new(label: TraceLabel, trace: &'t Trace) -> Self {
+        LabelledTrace {
+            trace,
+            label,
+            failure_cycles: Vec::new(),
+        }
+    }
+}
+
+/// Per-statement aggregated attention: mean operand importance over every
+/// execution seen in one trace set.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct StmtAttention {
+    /// Operand names, aligned with `weights`.
+    pub operands: Vec<String>,
+    /// Mean attention weight per operand.
+    pub weights: Vec<f32>,
+    /// Number of executions averaged.
+    pub count: usize,
+}
+
+/// An aggregated attention map over a set of traces (the paper's `F_t` or
+/// `C_t`).
+#[derive(Debug, Clone, PartialEq, Default, serde::Serialize, serde::Deserialize)]
+pub struct AttentionMap {
+    /// Mean attention per statement in the dynamic slice.
+    pub per_stmt: BTreeMap<StmtId, StmtAttention>,
+}
+
+impl AttentionMap {
+    /// True when no statement was observed.
+    pub fn is_empty(&self) -> bool {
+        self.per_stmt.is_empty()
+    }
+}
+
+/// Why a statement entered the heatmap.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub enum SuspicionReason {
+    /// Present only in failing traces.
+    OnlyInFailing,
+    /// Present in both; attention differs above the threshold.
+    DivergentAttention,
+}
+
+/// One heatmap entry: a candidate buggy statement with its `F_t` weights.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct HeatmapEntry {
+    /// Operand names, aligned with `weights`.
+    pub operands: Vec<String>,
+    /// The failing-trace importance scores (copied from `F_t`).
+    pub weights: Vec<f32>,
+    /// The suspiciousness score `d(F_t(l), C_t(l))` (1.0 for statements
+    /// absent from `C_t`).
+    pub suspiciousness: f32,
+    /// Why the statement is in the heatmap.
+    pub reason: SuspicionReason,
+}
+
+/// The final heatmap `H_t`: candidate buggy statements only.
+#[derive(Debug, Clone, PartialEq, Default, serde::Serialize, serde::Deserialize)]
+pub struct Heatmap {
+    /// Heatmap entries by statement.
+    pub entries: BTreeMap<StmtId, HeatmapEntry>,
+    /// The threshold used.
+    pub threshold: f32,
+}
+
+impl Heatmap {
+    /// The statement with the highest suspiciousness, if any. Ties break
+    /// toward the lowest statement id (deterministic).
+    pub fn top1(&self) -> Option<StmtId> {
+        self.entries
+            .iter()
+            .max_by(|a, b| {
+                a.1.suspiciousness
+                    .total_cmp(&b.1.suspiciousness)
+                    .then(b.0.cmp(a.0))
+            })
+            .map(|(id, _)| *id)
+    }
+
+    /// Statements ranked by decreasing suspiciousness.
+    pub fn ranked(&self) -> Vec<(StmtId, f32)> {
+        let mut v: Vec<(StmtId, f32)> = self
+            .entries
+            .iter()
+            .map(|(id, e)| (*id, e.suspiciousness))
+            .collect();
+        v.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+        v
+    }
+
+    /// Number of candidate statements.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when nothing crossed the threshold.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+/// The Explainer: a trained model applied to labelled traces of one design.
+#[derive(Debug)]
+pub struct Explainer<'m> {
+    model: &'m VeriBugModel,
+    features: BTreeMap<StmtId, StatementFeatures>,
+    slice: Slice,
+    failure_window: u32,
+    /// Sequential depth of each slice statement: the minimum number of
+    /// clock cycles for a change at its defined signal to reach the target
+    /// (from the cone-of-influence analysis). A buggy execution of a
+    /// statement at depth δ symptomatizes δ cycles later, so failing-trace
+    /// aggregation aligns each statement's window by its own δ.
+    depth: BTreeMap<StmtId, u32>,
+    /// Memoized attention per (statement, operand values): executions of
+    /// the same statement with the same values always produce the same
+    /// weights, and traces repeat them constantly.
+    cache: HashMap<(StmtId, Vec<bool>), Vec<f32>>,
+}
+
+impl<'m> Explainer<'m> {
+    /// Prepares an explainer for `module` and target output `t`.
+    pub fn new(model: &'m VeriBugModel, module: &Module, target: &str) -> Self {
+        let cdfg = Cdfg::build(module);
+        let vdg = Vdg::from_cdfg(module, &cdfg);
+        let slice = Slice::of_target_with(&cdfg, &vdg, target);
+        let coi = ConeOfInfluence::compute(&vdg, target, 16);
+        let mut depth = BTreeMap::new();
+        for node in cdfg.nodes() {
+            if !slice.contains(node.stmt) {
+                continue;
+            }
+            let signal_depth = if node.lhs == target {
+                0
+            } else {
+                coi.min_cycles.get(&node.lhs).copied().unwrap_or(0)
+            };
+            // A non-blocking assignment executed at cycle c commits its
+            // value at the clock edge, so its effect is visible from cycle
+            // c+1: the statement sits one cycle deeper than its signal.
+            let commit_delay = u32::from(node.kind == verilog::AssignKind::NonBlocking);
+            depth.insert(node.stmt, signal_depth + commit_delay);
+        }
+        Explainer {
+            model,
+            features: StatementFeatures::extract_all(module),
+            slice,
+            failure_window: DEFAULT_FAILURE_WINDOW,
+            depth,
+            cache: HashMap::new(),
+        }
+    }
+
+    /// Overrides the failure-window width (cycles before a divergence that
+    /// still count as failure-relevant).
+    pub fn with_failure_window(mut self, window: u32) -> Self {
+        self.failure_window = window;
+        self
+    }
+
+    /// The static slice the explainer restricts attention to.
+    pub fn slice(&self) -> &Slice {
+        &self.slice
+    }
+
+    /// Aggregates attention over every execution (within the target's
+    /// dynamic slice) across `traces`, producing one attention map.
+    pub fn attention_map(&mut self, traces: &[&Trace]) -> AttentionMap {
+        self.attention_map_filtered(traces, |_, _| true)
+    }
+
+    /// Like [`Explainer::attention_map`], keeping only executions for
+    /// which `keep(statement, cycle)` holds.
+    pub fn attention_map_filtered(
+        &mut self,
+        traces: &[&Trace],
+        keep: impl Fn(StmtId, u32) -> bool,
+    ) -> AttentionMap {
+        struct Acc {
+            operands: Vec<String>,
+            sums: Vec<f32>,
+            count: usize,
+        }
+        let mut acc: BTreeMap<StmtId, Acc> = BTreeMap::new();
+        for trace in traces {
+            for cyc in &trace.cycles {
+                for exec in &cyc.execs {
+                    // Dynamic slice: executed AND in the static slice of t.
+                    if !self.slice.contains(exec.stmt) || !keep(exec.stmt, exec.cycle) {
+                        continue;
+                    }
+                    let Some(f) = self.features.get(&exec.stmt) else {
+                        continue;
+                    };
+                    let Some(values) = operand_values(f, exec) else {
+                        continue;
+                    };
+                    let weights = self
+                        .cache
+                        .entry((exec.stmt, values.clone()))
+                        .or_insert_with(|| self.model.predict(f, &values).1)
+                        .clone();
+                    let slot = acc.entry(exec.stmt).or_insert_with(|| Acc {
+                        operands: f.operands.iter().map(|o| o.name.clone()).collect(),
+                        sums: vec![0.0; weights.len()],
+                        count: 0,
+                    });
+                    for (s, w) in slot.sums.iter_mut().zip(&weights) {
+                        *s += w;
+                    }
+                    slot.count += 1;
+                }
+            }
+        }
+        AttentionMap {
+            per_stmt: acc
+                .into_iter()
+                .map(|(id, a)| {
+                    let n = a.count.max(1) as f32;
+                    (
+                        id,
+                        StmtAttention {
+                            operands: a.operands,
+                            weights: a.sums.into_iter().map(|s| s / n).collect(),
+                            count: a.count,
+                        },
+                    )
+                })
+                .collect(),
+        }
+    }
+
+    /// Builds the heatmap `H_t` from failing and correct attention maps
+    /// using the paper's three-case comparison and the given threshold.
+    pub fn heatmap(failing: &AttentionMap, correct: &AttentionMap, threshold: f32) -> Heatmap {
+        let mut entries = BTreeMap::new();
+        for (id, f_att) in &failing.per_stmt {
+            match correct.per_stmt.get(id) {
+                // Present only in F_t: suspicious; copy its weights.
+                None => {
+                    entries.insert(
+                        *id,
+                        HeatmapEntry {
+                            operands: f_att.operands.clone(),
+                            weights: f_att.weights.clone(),
+                            suspiciousness: 1.0,
+                            reason: SuspicionReason::OnlyInFailing,
+                        },
+                    );
+                }
+                // Present in both: compare attention with the normalized
+                // norm-1 distance (min 0, max 2 → divide by 2).
+                Some(c_att) => {
+                    let d = suspiciousness(&f_att.weights, &c_att.weights);
+                    if d > threshold {
+                        entries.insert(
+                            *id,
+                            HeatmapEntry {
+                                operands: f_att.operands.clone(),
+                                weights: f_att.weights.clone(),
+                                suspiciousness: d,
+                                reason: SuspicionReason::DivergentAttention,
+                            },
+                        );
+                    }
+                }
+            }
+            // Statements present only in C_t are *not suspicious*: failing
+            // traces never executed them, so they cannot have caused the
+            // symptom (paper case 1).
+        }
+        Heatmap { entries, threshold }
+    }
+
+    /// End-to-end explanation: split labelled runs into `T_f`/`T_c`,
+    /// aggregate both maps, and produce the heatmap.
+    ///
+    /// Two refinements over the plain trace-level scheme (both documented
+    /// in DESIGN.md):
+    ///
+    /// - **Failure-centered aggregation.** When a failing trace carries its
+    ///   divergence cycles, only executions within
+    ///   [`DEFAULT_FAILURE_WINDOW`] cycles *before* (and including) a
+    ///   divergence contribute to `F_t`. Executions far from any symptom
+    ///   carry correct-behavior statistics and would dilute the comparison.
+    /// - **Masked-cycle fallback for `C_t`.** When *no* run is fully
+    ///   correct (short aggressive stimuli can expose a bug in every run),
+    ///   the correct map is built from the non-divergent cycles of the
+    ///   failing traces instead of being empty, which would otherwise mark
+    ///   every statement "only-in-failing" and destroy the ranking.
+    pub fn explain(
+        &mut self,
+        runs: &[LabelledTrace<'_>],
+        threshold: f32,
+    ) -> (Heatmap, AttentionMap, AttentionMap) {
+        let window = self.failure_window;
+        let failing: Vec<&LabelledTrace<'_>> = runs
+            .iter()
+            .filter(|r| r.label == TraceLabel::Failing)
+            .collect();
+        let correct: Vec<&Trace> = runs
+            .iter()
+            .filter(|r| r.label == TraceLabel::Correct)
+            .map(|r| r.trace)
+            .collect();
+
+        // F_t: failure-centered when divergence cycles are known. Each
+        // statement's window is aligned by its sequential depth δ: a buggy
+        // execution at cycle k−δ symptomatizes at cycle k, so the
+        // executions that can have caused the symptom at k lie in
+        // [k−δ−window, k−δ].
+        let depth = self.depth.clone();
+        let delta = move |stmt: StmtId| depth.get(&stmt).copied().unwrap_or(0);
+        let mut f_map = AttentionMap::default();
+        for run in &failing {
+            let partial = if run.failure_cycles.is_empty() {
+                self.attention_map(&[run.trace])
+            } else {
+                let cycles = run.failure_cycles.clone();
+                let delta = delta.clone();
+                self.attention_map_filtered(&[run.trace], move |stmt, c| {
+                    let d = delta(stmt);
+                    cycles.iter().any(|&k| {
+                        let hi = k.saturating_sub(d);
+                        c <= hi && hi.saturating_sub(window) <= c
+                    })
+                })
+            };
+            merge_maps(&mut f_map, &partial);
+        }
+
+        // C_t: fully-correct runs, augmented with the masked (far-from-
+        // failure) cycles of failing runs — both exhibit correct behavior,
+        // and the extra executions sharpen the comparison baseline.
+        let mut c_map = self.attention_map(&correct);
+        for run in &failing {
+            if run.failure_cycles.is_empty() {
+                continue;
+            }
+            let cycles = run.failure_cycles.clone();
+            let delta = delta.clone();
+            let partial = self.attention_map_filtered(&[run.trace], move |stmt, c| {
+                let d = delta(stmt);
+                cycles.iter().all(|&k| {
+                    let hi = k.saturating_sub(d);
+                    c + window + 1 < hi.max(1) || hi + 2 < c
+                })
+            });
+            merge_maps(&mut c_map, &partial);
+        }
+
+        let heatmap = Self::heatmap(&f_map, &c_map, threshold);
+        (heatmap, f_map, c_map)
+    }
+}
+
+/// Count-weighted merge of one attention map into another.
+fn merge_maps(into: &mut AttentionMap, from: &AttentionMap) {
+    for (id, att) in &from.per_stmt {
+        match into.per_stmt.get_mut(id) {
+            None => {
+                into.per_stmt.insert(*id, att.clone());
+            }
+            Some(cur) => {
+                let old = cur.count as f32;
+                let new = att.count as f32;
+                let total = old + new;
+                if total == 0.0 {
+                    continue;
+                }
+                for (w, nw) in cur.weights.iter_mut().zip(&att.weights) {
+                    *w = (*w * old + nw * new) / total;
+                }
+                cur.count += att.count;
+            }
+        }
+    }
+}
+
+/// The paper's suspiciousness score: norm-1 distance between two attention
+/// vectors, min-max normalized with `min = 0, max = 2`.
+///
+/// When the operand sets differ in length (a variable-misuse mutation can
+/// change the operand list), missing positions count as zero weight.
+pub fn suspiciousness(f_weights: &[f32], c_weights: &[f32]) -> f32 {
+    let n = f_weights.len().max(c_weights.len());
+    let mut l1 = 0.0f32;
+    for i in 0..n {
+        let a = f_weights.get(i).copied().unwrap_or(0.0);
+        let b = c_weights.get(i).copied().unwrap_or(0.0);
+        l1 += (a - b).abs();
+    }
+    l1 / 2.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{ModelConfig, VeriBugModel};
+    use sim::{Simulator, TestbenchGen};
+
+    fn arb() -> Module {
+        verilog::parse(
+            "module arb(input clk, input req1, input req2, output reg gnt1, output reg gnt2);\n\
+             reg state;\n\
+             always @(posedge clk) state <= req1 ^ req2;\n\
+             always @(*) begin\n\
+             if (state) gnt1 = req1 & ~req2;\n\
+             else gnt1 = req1 | req2;\n\
+             gnt2 = req2 & ~req1;\n\
+             end\nendmodule",
+        )
+        .unwrap()
+        .top()
+        .clone()
+    }
+
+    #[test]
+    fn suspiciousness_bounds() {
+        assert_eq!(suspiciousness(&[0.5, 0.5], &[0.5, 0.5]), 0.0);
+        // Completely disjoint distributions -> max distance 2, normalized 1.
+        assert!((suspiciousness(&[1.0, 0.0], &[0.0, 1.0]) - 1.0).abs() < 1e-6);
+        // Length mismatch: missing weights count as zero.
+        assert!((suspiciousness(&[1.0], &[0.5, 0.5]) - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn attention_map_covers_dynamic_slice_only() {
+        let module = arb();
+        let model = VeriBugModel::new(ModelConfig::default());
+        let mut sim = Simulator::new(&module).unwrap();
+        let stim = TestbenchGen::new(3).generate(sim.netlist(), 32);
+        let trace = sim.run(&stim).unwrap();
+        let mut ex = Explainer::new(&model, &module, "gnt1");
+        let map = ex.attention_map(&[&trace]);
+        // gnt2's statement (id 3) is outside gnt1's slice.
+        assert!(!map.per_stmt.contains_key(&StmtId(3)));
+        assert!(!map.is_empty());
+        // Every weight vector is a distribution.
+        for att in map.per_stmt.values() {
+            let sum: f32 = att.weights.iter().sum();
+            assert!((sum - 1.0).abs() < 1e-4, "not a distribution: {att:?}");
+            assert!(att.count > 0);
+        }
+    }
+
+    #[test]
+    fn heatmap_three_cases() {
+        let mk = |stmts: &[(u32, Vec<f32>)]| AttentionMap {
+            per_stmt: stmts
+                .iter()
+                .map(|(id, w)| {
+                    (
+                        StmtId(*id),
+                        StmtAttention {
+                            operands: (0..w.len()).map(|i| format!("op{i}")).collect(),
+                            weights: w.clone(),
+                            count: 1,
+                        },
+                    )
+                })
+                .collect(),
+        };
+        // s0: identical in both (not suspicious).
+        // s1: diverges strongly (suspicious).
+        // s2: only in failing (suspicious, score 1.0).
+        // s3: only in correct (ignored).
+        let f = mk(&[
+            (0, vec![0.5, 0.5]),
+            (1, vec![0.9, 0.1]),
+            (2, vec![0.3, 0.7]),
+        ]);
+        let c = mk(&[
+            (0, vec![0.5, 0.5]),
+            (1, vec![0.1, 0.9]),
+            (3, vec![1.0]),
+        ]);
+        let h = Explainer::heatmap(&f, &c, DEFAULT_THRESHOLD);
+        assert_eq!(h.len(), 2);
+        assert!(!h.entries.contains_key(&StmtId(0)));
+        assert!(!h.entries.contains_key(&StmtId(3)));
+        let s1 = &h.entries[&StmtId(1)];
+        assert_eq!(s1.reason, SuspicionReason::DivergentAttention);
+        assert!((s1.suspiciousness - 0.8).abs() < 1e-6);
+        let s2 = &h.entries[&StmtId(2)];
+        assert_eq!(s2.reason, SuspicionReason::OnlyInFailing);
+        assert_eq!(s2.suspiciousness, 1.0);
+        // top-1 is the only-in-failing statement (score 1.0).
+        assert_eq!(h.top1(), Some(StmtId(2)));
+        let ranked = h.ranked();
+        assert_eq!(ranked[0].0, StmtId(2));
+        assert_eq!(ranked[1].0, StmtId(1));
+    }
+
+    #[test]
+    fn below_threshold_statements_are_excluded() {
+        let f = AttentionMap {
+            per_stmt: [(
+                StmtId(0),
+                StmtAttention {
+                    operands: vec!["a".into(), "b".into()],
+                    weights: vec![0.52, 0.48],
+                    count: 4,
+                },
+            )]
+            .into_iter()
+            .collect(),
+        };
+        let c = AttentionMap {
+            per_stmt: [(
+                StmtId(0),
+                StmtAttention {
+                    operands: vec!["a".into(), "b".into()],
+                    weights: vec![0.48, 0.52],
+                    count: 4,
+                },
+            )]
+            .into_iter()
+            .collect(),
+        };
+        let h = Explainer::heatmap(&f, &c, DEFAULT_THRESHOLD);
+        assert!(h.is_empty());
+        assert_eq!(h.top1(), None);
+    }
+}

@@ -1,0 +1,384 @@
+//! Feature extraction (paper Sec. IV-B): operand contexts as leaf-to-leaf
+//! AST paths.
+//!
+//! An assignment's AST is rooted at the assignment-kind node with two
+//! wrappers — `Lvalue` over the target and `Rvalue` over the expression —
+//! matching Fig. 2(3) of the paper. The *context* of an input operand is the
+//! list of interior-node-kind sequences from each of its leaf occurrences to
+//! every other leaf. For `gnt1 = req1 & ~req2`, the context of `req1` is
+//! `{[And, Rvalue, BlockingAssignment, Lvalue], [And, Not]}`.
+
+use std::collections::BTreeMap;
+
+use verilog::{Assignment, Expr, Module, NodeKind, Select, StmtId};
+
+/// A single leaf-to-leaf path: the interior node kinds between two leaves.
+pub type Path = Vec<NodeKind>;
+
+/// The context of one input operand in one statement.
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct OperandContext {
+    /// The operand's signal name.
+    pub name: String,
+    /// All leaf-to-leaf paths from this operand's occurrences to every
+    /// other leaf of the statement AST.
+    pub paths: Vec<Path>,
+}
+
+/// Extracted features for one assignment statement.
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct StatementFeatures {
+    /// The statement's stable id.
+    pub stmt: StmtId,
+    /// The defined (LHS) signal.
+    pub lhs: String,
+    /// One context per distinct input operand, in first-occurrence order.
+    pub operands: Vec<OperandContext>,
+}
+
+impl StatementFeatures {
+    /// Extracts features from one assignment.
+    ///
+    /// Returns `None` when the statement has no input operands (e.g.
+    /// `y = 1'b0`), which VeriBug cannot attribute to anything.
+    pub fn extract(a: &Assignment) -> Option<Self> {
+        let tree = build_tree(a);
+        let leaves = collect_leaves(&tree);
+        // Distinct input-operand names, first-occurrence order, excluding
+        // the LHS leaf (index 0 by construction).
+        let mut operand_names: Vec<&str> = Vec::new();
+        for leaf in leaves.iter().skip(1) {
+            if let Some(name) = &leaf.name {
+                if !operand_names.contains(&name.as_str()) {
+                    operand_names.push(name);
+                }
+            }
+        }
+        if operand_names.is_empty() {
+            return None;
+        }
+        let operands = operand_names
+            .iter()
+            .map(|name| {
+                let mut paths = Vec::new();
+                for (i, li) in leaves.iter().enumerate().skip(1) {
+                    if li.name.as_deref() != Some(*name) {
+                        continue;
+                    }
+                    for (j, lj) in leaves.iter().enumerate() {
+                        if i == j || lj.name.as_deref() == Some(*name) {
+                            continue;
+                        }
+                        paths.push(path_between(&li.ancestry, &lj.ancestry));
+                    }
+                }
+                OperandContext {
+                    name: (*name).to_owned(),
+                    paths,
+                }
+            })
+            .collect();
+        Some(StatementFeatures {
+            stmt: a.id,
+            lhs: a.lhs.base.clone(),
+            operands,
+        })
+    }
+
+    /// Extracts features for every assignment of a module, keyed by
+    /// statement id (statements without operands are skipped).
+    pub fn extract_all(module: &Module) -> BTreeMap<StmtId, StatementFeatures> {
+        module
+            .assignments()
+            .into_iter()
+            .filter_map(|a| Self::extract(a).map(|f| (a.id, f)))
+            .collect()
+    }
+
+    /// Number of operands.
+    pub fn operand_count(&self) -> usize {
+        self.operands.len()
+    }
+
+    /// Index of a named operand.
+    pub fn operand_index(&self, name: &str) -> Option<usize> {
+        self.operands.iter().position(|o| o.name == name)
+    }
+}
+
+// ---- internal path-tree machinery ----
+
+/// One leaf with the interior-node ancestry from the root down to (not
+/// including) the leaf.
+#[derive(Debug, Clone)]
+struct LeafInfo {
+    /// Signal name (None for literal leaves).
+    name: Option<String>,
+    /// Interior node kinds, root first.
+    ancestry: Vec<NodeKind>,
+}
+
+#[derive(Debug, Clone)]
+enum PathTree {
+    Interior(NodeKind, Vec<PathTree>),
+    Leaf(Option<String>),
+}
+
+fn build_tree(a: &Assignment) -> PathTree {
+    let mut lvalue_children = vec![PathTree::Leaf(Some(a.lhs.base.clone()))];
+    // A dynamic bit-select index on the LHS contributes operand leaves too.
+    if let Some(Select::Bit(idx)) = &a.lhs.select {
+        lvalue_children.push(expr_tree(idx));
+    }
+    PathTree::Interior(
+        a.kind.node_kind(),
+        vec![
+            PathTree::Interior(NodeKind::Lvalue, lvalue_children),
+            PathTree::Interior(NodeKind::Rvalue, vec![expr_tree(&a.rhs)]),
+        ],
+    )
+}
+
+fn expr_tree(e: &Expr) -> PathTree {
+    match e {
+        Expr::Ident { name, .. } => PathTree::Leaf(Some(name.clone())),
+        Expr::Literal { .. } => PathTree::Leaf(None),
+        Expr::Unary { op, operand, .. } => {
+            PathTree::Interior(op.node_kind(), vec![expr_tree(operand)])
+        }
+        Expr::Binary { op, lhs, rhs, .. } => {
+            PathTree::Interior(op.node_kind(), vec![expr_tree(lhs), expr_tree(rhs)])
+        }
+        Expr::Ternary {
+            cond,
+            then_expr,
+            else_expr,
+            ..
+        } => PathTree::Interior(
+            NodeKind::Ternary,
+            vec![
+                PathTree::Interior(NodeKind::TernaryCond, vec![expr_tree(cond)]),
+                PathTree::Interior(NodeKind::TernaryThen, vec![expr_tree(then_expr)]),
+                PathTree::Interior(NodeKind::TernaryElse, vec![expr_tree(else_expr)]),
+            ],
+        ),
+        Expr::Index { base, index, .. } => PathTree::Interior(
+            NodeKind::BitSelect,
+            vec![PathTree::Leaf(Some(base.clone())), expr_tree(index)],
+        ),
+        Expr::Part { base, .. } => PathTree::Interior(
+            NodeKind::PartSelect,
+            vec![PathTree::Leaf(Some(base.clone()))],
+        ),
+        Expr::Concat { parts, .. } => {
+            PathTree::Interior(NodeKind::Concat, parts.iter().map(expr_tree).collect())
+        }
+        Expr::Repeat { inner, .. } => {
+            PathTree::Interior(NodeKind::Repeat, vec![expr_tree(inner)])
+        }
+    }
+}
+
+/// Collects leaves in DFS order with their ancestries (root first). The
+/// first leaf is always the LHS (the Lvalue wrapper is the root's first
+/// child).
+fn collect_leaves(tree: &PathTree) -> Vec<LeafInfo> {
+    let mut out = Vec::new();
+    let mut stack = Vec::new();
+    walk(tree, &mut stack, &mut out);
+    out
+}
+
+fn walk(t: &PathTree, ancestry: &mut Vec<NodeKind>, out: &mut Vec<LeafInfo>) {
+    match t {
+        PathTree::Leaf(name) => out.push(LeafInfo {
+            name: name.clone(),
+            ancestry: ancestry.clone(),
+        }),
+        PathTree::Interior(kind, children) => {
+            ancestry.push(*kind);
+            for c in children {
+                walk(c, ancestry, out);
+            }
+            ancestry.pop();
+        }
+    }
+}
+
+/// The leaf-to-leaf path between two leaves, given their root-first interior
+/// ancestries: up from `from` to the lowest common ancestor, then down to
+/// `to`. The LCA appears once; neither leaf is included.
+fn path_between(from: &[NodeKind], to: &[NodeKind]) -> Path {
+    let common = from
+        .iter()
+        .zip(to)
+        .take_while(|(a, b)| a == b)
+        .count()
+        // Ancestries through distinct children of the same node share the
+        // full prefix; the divergence point is the LCA itself, which is at
+        // index `common - 1`.
+        .max(1);
+    let mut path: Path = from[common - 1..].iter().rev().copied().collect();
+    path.extend(to[common..].iter().copied());
+    path
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn features(src: &str, idx: usize) -> StatementFeatures {
+        let unit = verilog::parse(src).unwrap();
+        let module = unit.top().clone();
+        let a = module.assignments()[idx].clone();
+        StatementFeatures::extract(&a).unwrap()
+    }
+
+    #[test]
+    fn matches_paper_fig2_example() {
+        // gnt1 = req1 & ~req2 (blocking, inside an always block).
+        let f = features(
+            "module m(input req1, input req2, output reg gnt1);\n\
+             always @(*) begin\ngnt1 = req1 & ~req2;\nend\nendmodule",
+            0,
+        );
+        assert_eq!(f.lhs, "gnt1");
+        assert_eq!(f.operand_count(), 2);
+        let req1 = &f.operands[0];
+        assert_eq!(req1.name, "req1");
+        assert_eq!(req1.paths.len(), 2);
+        // Path to the LHS leaf: [And, Rvalue, BlockingAssignment, Lvalue].
+        assert!(
+            req1.paths.contains(&vec![
+                NodeKind::And,
+                NodeKind::Rvalue,
+                NodeKind::BlockingAssignment,
+                NodeKind::Lvalue,
+            ]),
+            "missing operand→output path: {:?}",
+            req1.paths
+        );
+        // Path to req2: [And, Not].
+        assert!(
+            req1.paths.contains(&vec![NodeKind::And, NodeKind::Not]),
+            "missing operand→operand path: {:?}",
+            req1.paths
+        );
+    }
+
+    #[test]
+    fn continuous_assign_uses_its_root_kind() {
+        let f = features(
+            "module m(input a, output y);\nassign y = ~a;\nendmodule",
+            0,
+        );
+        assert_eq!(f.operands[0].paths.len(), 1);
+        assert_eq!(
+            f.operands[0].paths[0],
+            vec![
+                NodeKind::Not,
+                NodeKind::Rvalue,
+                NodeKind::ContinuousAssign,
+                NodeKind::Lvalue
+            ]
+        );
+    }
+
+    #[test]
+    fn duplicate_occurrences_merge_into_one_operand() {
+        let f = features(
+            "module m(input a, input b, output y);\nassign y = (a & b) | (a ^ b);\nendmodule",
+            0,
+        );
+        assert_eq!(f.operand_count(), 2);
+        let a = &f.operands[0];
+        // a occurs twice; paths from both occurrences to y (1 each) and to
+        // each b occurrence (2 each) = 2*(1+2) = 6. Paths between the two
+        // `a` occurrences are excluded.
+        assert_eq!(a.paths.len(), 6);
+    }
+
+    #[test]
+    fn literals_are_path_endpoints_but_not_operands() {
+        let f = features(
+            "module m(input a, output y);\nassign y = a ^ 1'b1;\nendmodule",
+            0,
+        );
+        assert_eq!(f.operand_count(), 1);
+        // a → y and a → literal.
+        assert_eq!(f.operands[0].paths.len(), 2);
+        assert!(f
+            .operands[0]
+            .paths
+            .contains(&vec![NodeKind::Xor]));
+    }
+
+    #[test]
+    fn constant_only_statement_has_no_features() {
+        let unit = verilog::parse(
+            "module m(input c, output reg y);\nalways @(*) begin\nif (c) y = 1'b0;\nend\nendmodule",
+        )
+        .unwrap();
+        let module = unit.top().clone();
+        let a = module.assignments()[0].clone();
+        assert!(StatementFeatures::extract(&a).is_none());
+    }
+
+    #[test]
+    fn ternary_positions_are_distinguished() {
+        let f = features(
+            "module m(input c, input a, input b, output y);\nassign y = c ? a : b;\nendmodule",
+            0,
+        );
+        let c = f.operands.iter().find(|o| o.name == "c").unwrap();
+        let to_a = c
+            .paths
+            .iter()
+            .find(|p| p.contains(&NodeKind::TernaryThen))
+            .expect("path into then-branch");
+        assert_eq!(
+            to_a,
+            &vec![
+                NodeKind::TernaryCond,
+                NodeKind::Ternary,
+                NodeKind::TernaryThen
+            ]
+        );
+    }
+
+    #[test]
+    fn nonblocking_root_kind() {
+        let f = features(
+            "module m(input clk, input d, output reg q);\nalways @(posedge clk) q <= d;\nendmodule",
+            0,
+        );
+        assert!(f.operands[0]
+            .paths
+            .iter()
+            .any(|p| p.contains(&NodeKind::NonBlockingAssignment)));
+    }
+
+    #[test]
+    fn extract_all_skips_operandless_statements() {
+        let unit = verilog::parse(
+            "module m(input a, output y, output reg z);\n\
+             assign y = a;\nalways @(*) z = 1'b1;\nendmodule",
+        )
+        .unwrap();
+        let all = StatementFeatures::extract_all(unit.top());
+        assert_eq!(all.len(), 1);
+        assert!(all.contains_key(&StmtId(0)));
+    }
+
+    #[test]
+    fn lhs_index_reads_become_operands() {
+        let f = features(
+            "module m(input [1:0] i, input a, output reg [3:0] y);\n\
+             always @(*) begin\ny[i] = a;\nend\nendmodule",
+            0,
+        );
+        let names: Vec<_> = f.operands.iter().map(|o| o.name.as_str()).collect();
+        assert!(names.contains(&"i"), "{names:?}");
+        assert!(names.contains(&"a"), "{names:?}");
+    }
+}

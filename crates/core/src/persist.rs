@@ -1,0 +1,300 @@
+//! Trained-model persistence.
+//!
+//! A trained [`VeriBugModel`] is fully determined by its [`ModelConfig`]
+//! (layer shapes are derived from it) plus the parameter tensors. The
+//! format is a line-oriented, dependency-free text format:
+//!
+//! ```text
+//! veribug-model v1
+//! config <token_dim> <context_dim> <value_dim> <attention_dim> <mlp_hidden> <epsilon_init> <ctx_agg> <seed>
+//! param <name> <rows> <cols>
+//! <row-major f32 values, space-separated, one row per line>
+//! ...
+//! end
+//! ```
+
+use std::fmt::Write as _;
+use std::io;
+use std::path::Path;
+
+use crate::model::{ModelConfig, VeriBugModel};
+
+/// Magic first line of the format.
+const MAGIC: &str = "veribug-model v1";
+
+/// Serializes a model to the text format.
+pub fn to_string(model: &VeriBugModel) -> String {
+    let mut out = String::new();
+    let c = model.config();
+    out.push_str(MAGIC);
+    out.push('\n');
+    let agg = match c.context_aggregation {
+        crate::model::ContextAggregation::Sum => "sum",
+        crate::model::ContextAggregation::Mean => "mean",
+    };
+    let _ = writeln!(
+        out,
+        "config {} {} {} {} {} {} {} {}",
+        c.token_dim,
+        c.context_dim,
+        c.value_dim,
+        c.attention_dim,
+        c.mlp_hidden,
+        c.epsilon_init,
+        agg,
+        c.seed
+    );
+    let params = model.params();
+    for id in params.ids() {
+        let t = params.value(id);
+        let _ = writeln!(out, "param {} {} {}", params.name(id), t.rows(), t.cols());
+        for r in 0..t.rows() {
+            let row = t
+                .row(r)
+                .iter()
+                .map(|v| format!("{v:e}"))
+                .collect::<Vec<_>>()
+                .join(" ");
+            out.push_str(&row);
+            out.push('\n');
+        }
+    }
+    out.push_str("end\n");
+    out
+}
+
+/// Errors raised while loading a model.
+#[derive(Debug)]
+pub enum LoadError {
+    /// I/O failure.
+    Io(io::Error),
+    /// The text does not follow the format.
+    Format {
+        /// 1-based line number.
+        line: usize,
+        /// Human-readable detail.
+        detail: String,
+    },
+}
+
+impl std::fmt::Display for LoadError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LoadError::Io(e) => write!(f, "i/o error: {e}"),
+            LoadError::Format { line, detail } => {
+                write!(f, "format error at line {line}: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LoadError {}
+
+impl From<io::Error> for LoadError {
+    fn from(e: io::Error) -> Self {
+        LoadError::Io(e)
+    }
+}
+
+fn format_err(line: usize, detail: impl Into<String>) -> LoadError {
+    LoadError::Format {
+        line,
+        detail: detail.into(),
+    }
+}
+
+/// Deserializes a model from the text format.
+///
+/// # Errors
+///
+/// Returns [`LoadError::Format`] for malformed input, unknown parameter
+/// names, or shape mismatches against the config-derived architecture.
+pub fn from_str(text: &str) -> Result<VeriBugModel, LoadError> {
+    let mut lines = text.lines().enumerate();
+    let (ln, magic) = lines.next().ok_or_else(|| format_err(1, "empty input"))?;
+    if magic.trim() != MAGIC {
+        return Err(format_err(ln + 1, format!("bad magic `{magic}`")));
+    }
+    let (ln, cfg_line) = lines
+        .next()
+        .ok_or_else(|| format_err(2, "missing config line"))?;
+    let parts: Vec<&str> = cfg_line.split_whitespace().collect();
+    if parts.len() != 9 || parts[0] != "config" {
+        return Err(format_err(ln + 1, "expected `config` with 8 fields"));
+    }
+    let parse_usize = |s: &str, ln: usize| {
+        s.parse::<usize>()
+            .map_err(|e| format_err(ln + 1, format!("bad integer `{s}`: {e}")))
+    };
+    let config = ModelConfig {
+        token_dim: parse_usize(parts[1], ln)?,
+        context_dim: parse_usize(parts[2], ln)?,
+        value_dim: parse_usize(parts[3], ln)?,
+        attention_dim: parse_usize(parts[4], ln)?,
+        mlp_hidden: parse_usize(parts[5], ln)?,
+        epsilon_init: parts[6]
+            .parse::<f32>()
+            .map_err(|e| format_err(ln + 1, format!("bad float: {e}")))?,
+        context_aggregation: match parts[7] {
+            "sum" => crate::model::ContextAggregation::Sum,
+            "mean" => crate::model::ContextAggregation::Mean,
+            other => {
+                return Err(format_err(
+                    ln + 1,
+                    format!("unknown context aggregation `{other}`"),
+                ));
+            }
+        },
+        seed: parts[8]
+            .parse::<u64>()
+            .map_err(|e| format_err(ln + 1, format!("bad seed: {e}")))?,
+    };
+    let mut model = VeriBugModel::new(config);
+
+    loop {
+        let Some((ln, line)) = lines.next() else {
+            return Err(format_err(0, "missing `end` marker"));
+        };
+        let line = line.trim();
+        if line == "end" {
+            break;
+        }
+        let parts: Vec<&str> = line.split_whitespace().collect();
+        if parts.len() != 4 || parts[0] != "param" {
+            return Err(format_err(ln + 1, format!("expected `param`, got `{line}`")));
+        }
+        let name = parts[1];
+        let rows = parse_usize(parts[2], ln)?;
+        let cols = parse_usize(parts[3], ln)?;
+        let pid = model
+            .params()
+            .id_of(name)
+            .ok_or_else(|| format_err(ln + 1, format!("unknown parameter `{name}`")))?;
+        {
+            let expected = model.params().value(pid).shape();
+            if expected != (rows, cols) {
+                return Err(format_err(
+                    ln + 1,
+                    format!("shape mismatch for `{name}`: file {rows}x{cols}, model {expected:?}"),
+                ));
+            }
+        }
+        for r in 0..rows {
+            let Some((ln, row_line)) = lines.next() else {
+                return Err(format_err(0, format!("truncated data for `{name}`")));
+            };
+            let values: Result<Vec<f32>, _> = row_line
+                .split_whitespace()
+                .map(|v| v.parse::<f32>())
+                .collect();
+            let values =
+                values.map_err(|e| format_err(ln + 1, format!("bad float: {e}")))?;
+            if values.len() != cols {
+                return Err(format_err(
+                    ln + 1,
+                    format!("row has {} values, expected {cols}", values.len()),
+                ));
+            }
+            let t = model.params_mut().value_mut(pid);
+            for (c, v) in values.into_iter().enumerate() {
+                t[(r, c)] = v;
+            }
+        }
+    }
+    Ok(model)
+}
+
+/// Saves a model to a file.
+///
+/// # Errors
+///
+/// Propagates I/O failures.
+pub fn save(model: &VeriBugModel, path: impl AsRef<Path>) -> io::Result<()> {
+    std::fs::write(path, to_string(model))
+}
+
+/// Loads a model from a file.
+///
+/// # Errors
+///
+/// Propagates I/O failures and format errors.
+pub fn load(path: impl AsRef<Path>) -> Result<VeriBugModel, LoadError> {
+    from_str(&std::fs::read_to_string(path)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::features::StatementFeatures;
+
+    fn sample_features() -> StatementFeatures {
+        let unit = verilog::parse(
+            "module m(input a, input b, output y);\nassign y = a & ~b;\nendmodule",
+        )
+        .unwrap();
+        let module = unit.top().clone();
+        StatementFeatures::extract(&module.assignments()[0].clone()).unwrap()
+    }
+
+    #[test]
+    fn roundtrip_preserves_predictions() {
+        let model = VeriBugModel::new(ModelConfig::default());
+        let text = to_string(&model);
+        let loaded = from_str(&text).unwrap();
+        let f = sample_features();
+        for values in [[false, false], [false, true], [true, false], [true, true]] {
+            assert_eq!(
+                model.predict(&f, &values),
+                loaded.predict(&f, &values),
+                "prediction diverged for {values:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn rejects_bad_magic() {
+        assert!(matches!(
+            from_str("not-a-model\n"),
+            Err(LoadError::Format { line: 1, .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_shape_mismatch() {
+        let model = VeriBugModel::new(ModelConfig::default());
+        let text = to_string(&model);
+        // Corrupt one param header's shape.
+        let corrupted = text.replacen("param tok.table 41 16", "param tok.table 41 17", 1);
+        if corrupted != text {
+            assert!(matches!(
+                from_str(&corrupted),
+                Err(LoadError::Format { .. })
+            ));
+        }
+    }
+
+    #[test]
+    fn rejects_truncation() {
+        let model = VeriBugModel::new(ModelConfig::default());
+        let text = to_string(&model);
+        let cut = &text[..text.len() / 2];
+        assert!(from_str(cut).is_err());
+    }
+
+    #[test]
+    fn save_and_load_via_file() {
+        let model = VeriBugModel::new(ModelConfig {
+            seed: 42,
+            ..ModelConfig::default()
+        });
+        let dir = std::env::temp_dir().join("veribug-persist-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("model.vbm");
+        save(&model, &path).unwrap();
+        let loaded = load(&path).unwrap();
+        assert_eq!(loaded.config(), model.config());
+        let f = sample_features();
+        assert_eq!(model.predict(&f, &[true, false]), loaded.predict(&f, &[true, false]));
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,421 @@
+//! Dataset construction and training (paper Secs. IV-C, V).
+//!
+//! VeriBug trains on *free supervision*: the per-statement execution records
+//! produced by simulating RVDG-generated synthetic designs. The loss is a
+//! class-weighted cross-entropy (inverse class frequency) plus the
+//! localization regularizer `(α/N) Σ 1/‖X*_i‖` that keeps the aggregation
+//! and attention parameters training (paper "Training Loss").
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use std::collections::BTreeSet;
+
+use crate::error::VeriBugError;
+use crate::features::StatementFeatures;
+use crate::model::{Sample, VeriBugModel};
+use neuro::Graph;
+use sim::{Simulator, TestbenchGen};
+use verilog::Module;
+
+/// One dataset entry: a statement (by index into the feature table) plus an
+/// observed execution.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct DatasetEntry {
+    /// Index into [`Dataset::stmts`].
+    pub stmt_idx: usize,
+    /// Operand values and target bit.
+    pub sample: Sample,
+}
+
+/// A supervised dataset of statement executions.
+#[derive(Debug, Clone, PartialEq, Default, serde::Serialize, serde::Deserialize)]
+pub struct Dataset {
+    /// Feature table (deduplicated across designs).
+    pub stmts: Vec<StatementFeatures>,
+    /// Execution samples referencing the feature table.
+    pub entries: Vec<DatasetEntry>,
+}
+
+impl Dataset {
+    /// Builds a dataset by simulating each design with seeded random
+    /// stimuli and collecting every *distinct* `(statement, operand values)`
+    /// execution observed.
+    ///
+    /// # Errors
+    ///
+    /// Propagates elaboration/simulation failures, and reports a
+    /// [`VeriBugError::BadDataset`] when nothing executable was observed.
+    pub fn from_designs(
+        modules: &[Module],
+        seed: u64,
+        cycles: usize,
+        runs_per_design: usize,
+    ) -> Result<Self, VeriBugError> {
+        let mut stmts: Vec<StatementFeatures> = Vec::new();
+        let mut entries: Vec<DatasetEntry> = Vec::new();
+        let mut seen: BTreeSet<(usize, Vec<bool>)> = BTreeSet::new();
+        for (di, module) in modules.iter().enumerate() {
+            let features = StatementFeatures::extract_all(module);
+            let mut sim = Simulator::new(module)?;
+            let base = stmts.len();
+            // Map stmt id -> feature-table index for this design.
+            let mut local: std::collections::BTreeMap<verilog::StmtId, usize> =
+                std::collections::BTreeMap::new();
+            for (id, f) in &features {
+                local.insert(*id, base + local.len());
+                let _ = f; // pushed below in the same order
+            }
+            stmts.extend(features.values().cloned());
+            let tb = TestbenchGen::new(seed.wrapping_add(di as u64 * 7919));
+            for stim in tb.generate_many(sim.netlist(), cycles, runs_per_design) {
+                let trace = sim.run(&stim)?;
+                for cyc in &trace.cycles {
+                    for exec in &cyc.execs {
+                        let Some(&idx) = local.get(&exec.stmt) else {
+                            continue;
+                        };
+                        let f = &stmts[idx];
+                        let Some(values) = operand_values(f, exec) else {
+                            continue;
+                        };
+                        if !seen.insert((idx, values.clone())) {
+                            continue;
+                        }
+                        entries.push(DatasetEntry {
+                            stmt_idx: idx,
+                            sample: Sample {
+                                values,
+                                target: exec.result.is_truthy(),
+                            },
+                        });
+                    }
+                }
+            }
+        }
+        if entries.is_empty() {
+            return Err(VeriBugError::BadDataset {
+                detail: "no statement executions observed".to_owned(),
+            });
+        }
+        Ok(Dataset { stmts, entries })
+    }
+
+    /// Class weights `(w0, w1)` by inverse class frequency over the targets.
+    ///
+    /// # Errors
+    ///
+    /// Fails when only one class is present.
+    pub fn class_weights(&self) -> Result<(f32, f32), VeriBugError> {
+        let ones = self.entries.iter().filter(|e| e.sample.target).count();
+        let zeros = self.entries.len() - ones;
+        if ones == 0 || zeros == 0 {
+            return Err(VeriBugError::BadDataset {
+                detail: format!("single-class dataset ({zeros} zeros, {ones} ones)"),
+            });
+        }
+        let n = self.entries.len() as f32;
+        Ok((n / (2.0 * zeros as f32), n / (2.0 * ones as f32)))
+    }
+
+    /// Splits into `(train, holdout)` with the given holdout fraction,
+    /// shuffling entries with `seed`. The feature table is shared (cloned).
+    pub fn split(&self, holdout_fraction: f64, seed: u64) -> (Dataset, Dataset) {
+        let mut order: Vec<usize> = (0..self.entries.len()).collect();
+        let mut rng = StdRng::seed_from_u64(seed);
+        for i in (1..order.len()).rev() {
+            let j = rng.random_range(0..=i);
+            order.swap(i, j);
+        }
+        let cut = ((self.entries.len() as f64) * holdout_fraction).round() as usize;
+        let (hold_idx, train_idx) = order.split_at(cut.min(order.len()));
+        let pick = |idxs: &[usize]| Dataset {
+            stmts: self.stmts.clone(),
+            entries: idxs.iter().map(|&i| self.entries[i].clone()).collect(),
+        };
+        (pick(train_idx), pick(hold_idx))
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when there are no samples.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+/// Reads the recorded operand values for a statement's feature operands.
+/// Returns `None` when a feature operand was not recorded (should not
+/// happen for executions produced by `veribug-sim`).
+pub fn operand_values(f: &StatementFeatures, exec: &sim::StmtExec) -> Option<Vec<bool>> {
+    f.operands
+        .iter()
+        .map(|o| exec.operand(&o.name).map(|v| v.is_truthy()))
+        .collect()
+}
+
+/// Training hyper-parameters. Defaults follow the paper: Adam with
+/// `lr = 1e-3`, `wd = 1e-5`, regularization weight `α = 0.10`.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct TrainConfig {
+    /// Number of passes over the training set.
+    pub epochs: usize,
+    /// Mini-batch size.
+    pub batch_size: usize,
+    /// The regularizer weight α.
+    pub alpha: f32,
+    /// Adam learning rate.
+    pub learning_rate: f32,
+    /// Adam weight decay.
+    pub weight_decay: f32,
+    /// Shuffling seed.
+    pub seed: u64,
+}
+
+impl Default for TrainConfig {
+    fn default() -> Self {
+        TrainConfig {
+            epochs: 8,
+            batch_size: 32,
+            alpha: 0.10,
+            learning_rate: 1e-3,
+            weight_decay: 1e-5,
+            seed: 7,
+        }
+    }
+}
+
+impl TrainConfig {
+    /// The configuration the experiment harness uses: enough epochs for the
+    /// predictor to reach its Table II operating point (the default is kept
+    /// small so unit tests stay fast).
+    pub fn paper() -> Self {
+        TrainConfig {
+            epochs: 60,
+            ..TrainConfig::default()
+        }
+    }
+}
+
+/// Per-epoch training statistics.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct TrainReport {
+    /// Mean batch loss per epoch.
+    pub epoch_losses: Vec<f32>,
+    /// Final ε (skip-weight) value.
+    pub final_epsilon: f32,
+}
+
+/// Trains a model in place.
+///
+/// # Errors
+///
+/// Fails on unusable datasets (empty or single-class).
+pub fn train(
+    model: &mut VeriBugModel,
+    dataset: &Dataset,
+    cfg: &TrainConfig,
+) -> Result<TrainReport, VeriBugError> {
+    let (w0, w1) = dataset.class_weights()?;
+    let mut adam = neuro::Adam::new(cfg.learning_rate).with_weight_decay(cfg.weight_decay);
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut order: Vec<usize> = (0..dataset.len()).collect();
+    let mut epoch_losses = Vec::with_capacity(cfg.epochs);
+    for _ in 0..cfg.epochs {
+        for i in (1..order.len()).rev() {
+            let j = rng.random_range(0..=i);
+            order.swap(i, j);
+        }
+        let mut total = 0.0f32;
+        let mut batches = 0usize;
+        for chunk in order.chunks(cfg.batch_size) {
+            let loss = train_batch(model, dataset, chunk, w0, w1, cfg.alpha, &mut adam);
+            total += loss;
+            batches += 1;
+        }
+        epoch_losses.push(total / batches.max(1) as f32);
+    }
+    Ok(TrainReport {
+        epoch_losses,
+        final_epsilon: model.epsilon(),
+    })
+}
+
+fn train_batch(
+    model: &mut VeriBugModel,
+    dataset: &Dataset,
+    batch: &[usize],
+    w0: f32,
+    w1: f32,
+    alpha: f32,
+    adam: &mut neuro::Adam,
+) -> f32 {
+    let mut g = Graph::new();
+    let mut ce_terms = Vec::with_capacity(batch.len());
+    let mut reg_terms = Vec::with_capacity(batch.len());
+    let mut weight_sum = 0.0f32;
+    for &i in batch {
+        let entry = &dataset.entries[i];
+        let f = &dataset.stmts[entry.stmt_idx];
+        let fwd = model.forward(&mut g, f, &entry.sample);
+        let target = usize::from(entry.sample.target);
+        let w = if entry.sample.target { w1 } else { w0 };
+        weight_sum += w;
+        let ce = g.cross_entropy_logits(fwd.logits, target);
+        ce_terms.push(g.scale(ce, w));
+        reg_terms.push(g.recip_frob_norm(fwd.x_star));
+    }
+    let ce_sum = sum_nodes(&mut g, &ce_terms);
+    let ce_mean = g.scale(ce_sum, 1.0 / weight_sum);
+    let reg_sum = sum_nodes(&mut g, &reg_terms);
+    let reg_mean = g.scale(reg_sum, alpha / batch.len() as f32);
+    let loss = g.add(ce_mean, reg_mean);
+    let loss_value = g.value(loss).item();
+    g.backward(loss, model.params_mut());
+    adam.step(model.params_mut(), 1.0);
+    loss_value
+}
+
+fn sum_nodes(g: &mut Graph, nodes: &[neuro::NodeId]) -> neuro::NodeId {
+    let mut acc = nodes[0];
+    for &n in &nodes[1..] {
+        acc = g.add(acc, n);
+    }
+    acc
+}
+
+/// Evaluation metrics for the execution-semantics predictor (Table II
+/// columns).
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct EvalMetrics {
+    /// Overall accuracy.
+    pub accuracy: f32,
+    /// Precision for target bit 0.
+    pub precision0: f32,
+    /// Recall for target bit 0.
+    pub recall0: f32,
+    /// Precision for target bit 1.
+    pub precision1: f32,
+    /// Recall for target bit 1.
+    pub recall1: f32,
+    /// Number of evaluated samples.
+    pub count: usize,
+}
+
+/// Evaluates a model on a dataset.
+pub fn evaluate(model: &VeriBugModel, dataset: &Dataset) -> EvalMetrics {
+    // Confusion counts: [actual][predicted].
+    let mut m = [[0usize; 2]; 2];
+    for entry in &dataset.entries {
+        let f = &dataset.stmts[entry.stmt_idx];
+        let (pred, _) = model.predict(f, &entry.sample.values);
+        m[usize::from(entry.sample.target)][usize::from(pred)] += 1;
+    }
+    let total = dataset.len().max(1);
+    let div = |a: usize, b: usize| {
+        if b == 0 {
+            0.0
+        } else {
+            a as f32 / b as f32
+        }
+    };
+    EvalMetrics {
+        accuracy: (m[0][0] + m[1][1]) as f32 / total as f32,
+        precision0: div(m[0][0], m[0][0] + m[1][0]),
+        recall0: div(m[0][0], m[0][0] + m[0][1]),
+        precision1: div(m[1][1], m[1][1] + m[0][1]),
+        recall1: div(m[1][1], m[1][1] + m[1][0]),
+        count: dataset.len(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::ModelConfig;
+    use rvdg::{Generator, RvdgConfig};
+
+    fn small_corpus(n: usize) -> Vec<Module> {
+        Generator::new(RvdgConfig::default(), 5)
+            .generate_corpus(n)
+            .unwrap()
+            .into_iter()
+            .map(|d| d.module)
+            .collect()
+    }
+
+    #[test]
+    fn dataset_builds_and_is_two_class() {
+        let ds = Dataset::from_designs(&small_corpus(3), 1, 24, 2).unwrap();
+        assert!(ds.len() > 20, "dataset too small: {}", ds.len());
+        let (w0, w1) = ds.class_weights().unwrap();
+        assert!(w0 > 0.0 && w1 > 0.0);
+    }
+
+    #[test]
+    fn dataset_entries_are_unique() {
+        let ds = Dataset::from_designs(&small_corpus(2), 2, 24, 2).unwrap();
+        let mut seen = std::collections::BTreeSet::new();
+        for e in &ds.entries {
+            assert!(
+                seen.insert((e.stmt_idx, e.sample.values.clone())),
+                "duplicate entry"
+            );
+        }
+    }
+
+    #[test]
+    fn split_partitions_entries() {
+        let ds = Dataset::from_designs(&small_corpus(2), 3, 24, 2).unwrap();
+        let (train, hold) = ds.split(0.25, 9);
+        assert_eq!(train.len() + hold.len(), ds.len());
+        assert!(!hold.is_empty());
+        assert!(train.len() > hold.len());
+    }
+
+    #[test]
+    fn training_reduces_loss_and_learns_something() {
+        let ds = Dataset::from_designs(&small_corpus(4), 4, 32, 2).unwrap();
+        let (train_ds, hold) = ds.split(0.2, 1);
+        let mut model = VeriBugModel::new(ModelConfig::default());
+        let before = evaluate(&model, &hold);
+        let report = train(
+            &mut model,
+            &train_ds,
+            &TrainConfig {
+                epochs: 6,
+                ..TrainConfig::default()
+            },
+        )
+        .unwrap();
+        let after = evaluate(&model, &hold);
+        assert!(
+            report.epoch_losses.last().unwrap() < report.epoch_losses.first().unwrap(),
+            "loss did not decrease: {:?}",
+            report.epoch_losses
+        );
+        assert!(
+            after.accuracy > before.accuracy.max(0.6),
+            "accuracy before {} after {}",
+            before.accuracy,
+            after.accuracy
+        );
+    }
+
+    #[test]
+    fn single_class_dataset_is_rejected() {
+        let ds = Dataset {
+            stmts: vec![],
+            entries: vec![DatasetEntry {
+                stmt_idx: 0,
+                sample: Sample {
+                    values: vec![true],
+                    target: true,
+                },
+            }],
+        };
+        assert!(ds.class_weights().is_err());
+    }
+}

@@ -1,0 +1,181 @@
+// Ibex RISC-V processor controller (reduced re-implementation in the
+// VeriBug subset).
+//
+// The main decode-stage controller FSM of lowRISC Ibex: stall aggregation,
+// halt/flush decisions, and instruction-valid clearing — the logic cone of
+// the paper's targets: stall and instr_valid_clear_o.
+module ibex_controller(
+  input clk,
+  input rst_n,
+  // Stall sources from the decode/execute stages
+  input stall_lsu_i,
+  input stall_multdiv_i,
+  input stall_jump_i,
+  input stall_branch_i,
+  // Fetch/decode interface
+  input instr_valid_i,
+  input instr_fetch_err_i,
+  // Control/status events
+  input branch_set_i,
+  input jump_set_i,
+  input ecall_insn_i,
+  input ebrk_insn_i,
+  input illegal_insn_i,
+  input mret_insn_i,
+  input wfi_insn_i,
+  input csr_pipe_flush_i,
+  // Interrupt and debug requests
+  input irq_pending_i,
+  input irq_enabled_i,
+  input debug_req_i,
+  // Outputs
+  output stall,
+  output id_in_ready_o,
+  output instr_valid_clear_o,
+  output ctrl_busy_o,
+  output flush_id,
+  output halt_if,
+  output pc_set_o,
+  output [1:0] pc_mux_o,
+  output exc_req_d,
+  output debug_mode_o
+);
+  // FSM states (subset of Ibex's): RESET=0, FIRST_FETCH=1, DECODE=2,
+  // FLUSH=3, IRQ_TAKEN=4, DBG_TAKEN=5, SLEEP=6.
+  reg [2:0] ctrl_fsm_cs;
+  reg [2:0] ctrl_fsm_ns;
+  reg halt_if_d;
+  reg flush_id_d;
+  reg pc_set_d;
+  reg [1:0] pc_mux_d;
+  reg debug_mode_q;
+  reg debug_mode_d;
+  reg ctrl_busy_d;
+  reg ctrl_busy_q;
+  wire special_req;
+  wire exc_req;
+  wire enter_debug;
+  wire handle_irq;
+
+  // ---- Stall aggregation (the paper's Fig. 4 statement) ----
+  // As in lowRISC Ibex, the stall sources are inputs from the decode and
+  // execute stages; the controller only aggregates them.
+  assign stall = stall_lsu_i | stall_multdiv_i | stall_jump_i | stall_branch_i;
+
+  // ---- Exceptional-instruction requests ----
+  assign exc_req = (ecall_insn_i | ebrk_insn_i | illegal_insn_i | instr_fetch_err_i)
+                 & instr_valid_i;
+  assign exc_req_d = exc_req;
+  assign special_req = exc_req | (mret_insn_i | wfi_insn_i | csr_pipe_flush_i) & instr_valid_i;
+  assign enter_debug = debug_req_i & ~debug_mode_q;
+  assign handle_irq = irq_pending_i & irq_enabled_i & ~debug_mode_q;
+
+  // ---- FSM ----
+  always @(*) begin
+    ctrl_fsm_ns = ctrl_fsm_cs;
+    halt_if_d = 1'b0;
+    flush_id_d = 1'b0;
+    pc_set_d = 1'b0;
+    pc_mux_d = 2'b00;
+    debug_mode_d = debug_mode_q;
+    ctrl_busy_d = 1'b1;
+    case (ctrl_fsm_cs)
+      3'b000: begin
+        // RESET: set boot address and fetch.
+        pc_set_d = 1'b1;
+        pc_mux_d = 2'b00;
+        ctrl_fsm_ns = 3'b001;
+      end
+      3'b001: begin
+        // FIRST_FETCH: wait for a valid instruction.
+        if (instr_valid_i) ctrl_fsm_ns = 3'b010;
+        if (enter_debug) begin
+          ctrl_fsm_ns = 3'b101;
+          halt_if_d = 1'b1;
+        end
+        else if (handle_irq) begin
+          ctrl_fsm_ns = 3'b100;
+          halt_if_d = 1'b1;
+        end
+      end
+      3'b010: begin
+        // DECODE: normal operation.
+        if (branch_set_i | jump_set_i) begin
+          pc_set_d = ~(stall_lsu_i | stall_multdiv_i);
+          pc_mux_d = 2'b01;
+        end
+        if (special_req & ~stall) begin
+          ctrl_fsm_ns = 3'b011;
+          halt_if_d = 1'b1;
+        end
+        else if (enter_debug & ~stall) begin
+          ctrl_fsm_ns = 3'b101;
+          halt_if_d = 1'b1;
+        end
+        else if (handle_irq & ~stall & instr_valid_i) begin
+          ctrl_fsm_ns = 3'b100;
+          halt_if_d = 1'b1;
+        end
+        else if (wfi_insn_i & instr_valid_i & ~stall) begin
+          ctrl_fsm_ns = 3'b110;
+          halt_if_d = 1'b1;
+        end
+      end
+      3'b011: begin
+        // FLUSH: squash the pipeline, redirect to the handler.
+        flush_id_d = 1'b1;
+        pc_set_d = exc_req_d;
+        pc_mux_d = 2'b10;
+        ctrl_fsm_ns = 3'b010;
+      end
+      3'b100: begin
+        // IRQ_TAKEN: redirect to the vector table.
+        pc_set_d = 1'b1;
+        pc_mux_d = 2'b10;
+        flush_id_d = 1'b1;
+        ctrl_fsm_ns = 3'b010;
+      end
+      3'b101: begin
+        // DBG_TAKEN: enter debug mode.
+        pc_set_d = 1'b1;
+        pc_mux_d = 2'b11;
+        flush_id_d = 1'b1;
+        debug_mode_d = 1'b1;
+        ctrl_fsm_ns = 3'b010;
+      end
+      3'b110: begin
+        // SLEEP: wait for a wake-up event.
+        ctrl_busy_d = 1'b0;
+        halt_if_d = 1'b1;
+        flush_id_d = 1'b1;
+        if (irq_pending_i | debug_req_i) ctrl_fsm_ns = 3'b001;
+      end
+      default: begin
+        ctrl_fsm_ns = 3'b000;
+      end
+    endcase
+  end
+
+  always @(posedge clk or negedge rst_n) begin
+    if (~rst_n) begin
+      ctrl_fsm_cs <= 3'b000;
+      debug_mode_q <= 1'b0;
+      ctrl_busy_q <= 1'b1;
+    end
+    else begin
+      ctrl_fsm_cs <= ctrl_fsm_ns;
+      debug_mode_q <= debug_mode_d;
+      ctrl_busy_q <= ctrl_busy_d;
+    end
+  end
+
+  // ---- Pipeline-control outputs (paper Fig. 4 statements) ----
+  assign halt_if = halt_if_d;
+  assign flush_id = flush_id_d;
+  assign id_in_ready_o = ~stall & ~halt_if;
+  assign instr_valid_clear_o = (~stall & ~halt_if) | flush_id;
+  assign pc_set_o = pc_set_d;
+  assign pc_mux_o = pc_mux_d;
+  assign ctrl_busy_o = ctrl_busy_q;
+  assign debug_mode_o = debug_mode_q;
+endmodule

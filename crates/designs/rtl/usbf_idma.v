@@ -1,0 +1,98 @@
+// USB 2.0 function-core internal DMA controller (reduced re-implementation
+// in the VeriBug subset).
+//
+// Generates memory requests from the endpoint buffers and advances the
+// buffer address on completed word transfers — the slice of the OpenCores
+// usbf_idma.v feeding the paper's targets: mreq and adr_incw.
+module usbf_idma(
+  input clk,
+  input rst_n,
+  // Control
+  input rx_dma_en,
+  input tx_dma_en,
+  input abort,
+  input idle,
+  // Memory arbiter handshake
+  input mack,
+  // Data-path strobes
+  input rd_data_valid,
+  input wr_data_ready,
+  input [7:0] size,
+  // Outputs
+  output mreq,
+  output adr_incw,
+  output word_done,
+  output [7:0] adr_cw,
+  output dma_done,
+  output buf_ovfl
+);
+  reg mreq_d;
+  reg mack_r;
+  reg word_done_r;
+  reg [7:0] adr_cw_q;
+  reg [7:0] sizd_c;
+  reg dma_en_r;
+  reg dma_done_r;
+  reg ovfl_q;
+  wire dma_en;
+  wire word_ready;
+  wire sizd_is_zero;
+  wire adr_at_limit;
+
+  assign dma_en = rx_dma_en | tx_dma_en;
+  assign word_ready = (rx_dma_en & wr_data_ready) | (tx_dma_en & rd_data_valid);
+
+  // Memory request: a pending request that has not been acknowledged yet,
+  // or a freshly completed word that needs the next beat.
+  assign mreq = (mreq_d & ~mack_r) | word_done_r;
+  assign word_done = word_done_r;
+
+  always @(posedge clk or negedge rst_n) begin
+    if (~rst_n) begin
+      mreq_d <= 1'b0;
+      mack_r <= 1'b0;
+      word_done_r <= 1'b0;
+      dma_en_r <= 1'b0;
+    end
+    else begin
+      dma_en_r <= dma_en & ~abort;
+      mreq_d <= dma_en_r & word_ready & ~idle;
+      mack_r <= mack;
+      word_done_r <= mack_r & word_ready & ~abort;
+    end
+  end
+
+  // Buffer address counter: advances one word per acknowledged transfer.
+  assign adr_incw = mack_r & ~idle & dma_en_r & ~abort;
+  assign adr_cw = adr_cw_q;
+  assign adr_at_limit = (adr_cw_q == 8'hff);
+
+  always @(posedge clk or negedge rst_n) begin
+    if (~rst_n) adr_cw_q <= 8'h0;
+    else if (idle & ~dma_en) adr_cw_q <= 8'h0;
+    else if (adr_incw & ~adr_at_limit) adr_cw_q <= adr_cw_q + 8'h1;
+  end
+
+  // Remaining-size down-counter and completion flag.
+  assign sizd_is_zero = (sizd_c == 8'h0);
+
+  always @(posedge clk or negedge rst_n) begin
+    if (~rst_n) sizd_c <= 8'h0;
+    else if (idle & ~dma_en) sizd_c <= size;
+    else if (adr_incw & ~sizd_is_zero) sizd_c <= sizd_c - 8'h1;
+  end
+
+  always @(posedge clk or negedge rst_n) begin
+    if (~rst_n) begin
+      dma_done_r <= 1'b0;
+      ovfl_q <= 1'b0;
+    end
+    else begin
+      dma_done_r <= dma_en_r & sizd_is_zero & word_done_r;
+      ovfl_q <= (ovfl_q | (adr_at_limit & adr_incw)) & ~idle;
+    end
+  end
+
+  assign dma_done = dma_done_r;
+  assign buf_ovfl = ovfl_q;
+endmodule

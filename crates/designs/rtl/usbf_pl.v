@@ -1,0 +1,141 @@
+// USB 2.0 function-core protocol layer (reduced re-implementation in the
+// VeriBug subset).
+//
+// Decodes token PIDs, matches the function address, and drives the frame
+// number register from SOF tokens — the slice of the OpenCores usbf_pl.v
+// that feeds the paper's two targets: match_o and frame_no_we.
+module usbf_pl(
+  input clk,
+  input rst_n,
+  // Token interface from the packet decoder
+  input token_valid,
+  input crc5_err,
+  input [3:0] pid,
+  input [6:0] token_fadr,
+  input [3:0] token_endp,
+  input [10:0] frame_no,
+  // Configuration
+  input [6:0] fa,
+  input ep0_valid,
+  input ep1_valid,
+  input ep2_valid,
+  input ep3_valid,
+  // Data-phase handshakes
+  input rx_data_done,
+  input tx_data_done,
+  input rx_data_valid,
+  // Outputs
+  output match_o,
+  output frame_no_we,
+  output [10:0] frame_no_r,
+  output pid_OUT,
+  output pid_IN,
+  output pid_SOF,
+  output pid_SETUP,
+  output token_valid_str,
+  output send_token,
+  output [1:0] token_pid_sel
+);
+  // ---- PID decoding ----
+  wire pid_ACK;
+  wire pid_NACK;
+  wire fa_match;
+  wire ep_match;
+  wire match_int;
+  reg [10:0] frame_no_q;
+  reg token_valid_r;
+  reg send_token_r;
+  reg [1:0] token_pid_sel_r;
+  reg [1:0] state;
+  reg [1:0] next_state;
+  reg send_token_d;
+  reg [1:0] token_pid_sel_d;
+
+  assign pid_OUT = (pid == 4'h1);
+  assign pid_IN = (pid == 4'h9);
+  assign pid_SOF = (pid == 4'h5);
+  assign pid_SETUP = (pid == 4'hd);
+  assign pid_ACK = (pid == 4'h2);
+  assign pid_NACK = (pid == 4'ha);
+
+  // ---- Address / endpoint match ----
+  assign fa_match = (token_fadr == fa);
+  assign ep_match = ((token_endp == 4'h0) & ep0_valid)
+                  | ((token_endp == 4'h1) & ep1_valid)
+                  | ((token_endp == 4'h2) & ep2_valid)
+                  | ((token_endp == 4'h3) & ep3_valid);
+  assign match_int = fa_match & token_valid & ~crc5_err;
+  assign match_o = match_int & (pid_OUT | pid_IN | pid_SETUP);
+
+  // ---- Frame number register (from SOF tokens) ----
+  assign frame_no_we = token_valid & ~crc5_err & pid_SOF;
+  assign frame_no_r = frame_no_q;
+
+  always @(posedge clk or negedge rst_n) begin
+    if (~rst_n) frame_no_q <= 11'h0;
+    else if (frame_no_we) frame_no_q <= frame_no;
+  end
+
+  // ---- Token strobe pipeline ----
+  assign token_valid_str = token_valid_r;
+
+  always @(posedge clk) begin
+    token_valid_r <= token_valid & ~crc5_err;
+  end
+
+  // ---- Response FSM: IDLE -> TOKEN -> DATA -> STATUS ----
+  always @(*) begin
+    next_state = state;
+    send_token_d = 1'b0;
+    token_pid_sel_d = 2'b00;
+    case (state)
+      2'b00: begin
+        if (match_o & ep_match & pid_IN) begin
+          next_state = 2'b01;
+          send_token_d = 1'b1;
+          token_pid_sel_d = 2'b01;
+        end
+        else if (match_o & ep_match & (pid_OUT | pid_SETUP)) begin
+          next_state = 2'b10;
+        end
+      end
+      2'b01: begin
+        if (tx_data_done) begin
+          next_state = 2'b11;
+        end
+      end
+      2'b10: begin
+        if (rx_data_done & rx_data_valid) begin
+          next_state = 2'b11;
+          send_token_d = 1'b1;
+          token_pid_sel_d = 2'b10;
+        end
+        else if (rx_data_done) begin
+          next_state = 2'b00;
+          send_token_d = 1'b1;
+          token_pid_sel_d = 2'b11;
+        end
+      end
+      default: begin
+        next_state = 2'b00;
+        send_token_d = pid_ACK | pid_NACK;
+      end
+    endcase
+  end
+
+  always @(posedge clk or negedge rst_n) begin
+    if (~rst_n) begin
+      state <= 2'b00;
+      send_token_r <= 1'b0;
+      token_pid_sel_r <= 2'b00;
+    end
+    else begin
+      state <= next_state;
+      send_token_r <= send_token_d;
+      token_pid_sel_r <= token_pid_sel_d;
+    end
+  end
+
+  assign send_token = send_token_r;
+  assign token_pid_sel = token_pid_sel_r;
+endmodule

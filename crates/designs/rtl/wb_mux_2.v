@@ -1,0 +1,75 @@
+// Wishbone 2-port multiplexer (re-implementation in the VeriBug subset).
+//
+// One Wishbone master is routed to one of two slaves by address decode.
+// Functionally analogous to the OpenCores / alexforencich wb_mux_2 used in
+// the paper's Table I; datapath reduced to 8-bit address / 4-bit data so it
+// fits the two-state 64-bit simulator subset. Targets: wbs0_we_o, wbs0_stb_o.
+module wb_mux_2(
+  input clk,
+  // Master interface
+  input [7:0] wbm_adr_i,
+  input [3:0] wbm_dat_i,
+  input wbm_we_i,
+  input wbm_sel_i,
+  input wbm_stb_i,
+  input wbm_cyc_i,
+  output [3:0] wbm_dat_o,
+  output wbm_ack_o,
+  output wbm_err_o,
+  output wbm_rty_o,
+  // Slave 0 interface
+  input [3:0] wbs0_dat_i,
+  input wbs0_ack_i,
+  input wbs0_err_i,
+  input wbs0_rty_i,
+  output [7:0] wbs0_adr_o,
+  output [3:0] wbs0_dat_o,
+  output wbs0_we_o,
+  output wbs0_sel_o,
+  output wbs0_stb_o,
+  output wbs0_cyc_o,
+  // Slave 1 interface
+  input [3:0] wbs1_dat_i,
+  input wbs1_ack_i,
+  input wbs1_err_i,
+  input wbs1_rty_i,
+  output [7:0] wbs1_adr_o,
+  output [3:0] wbs1_dat_o,
+  output wbs1_we_o,
+  output wbs1_sel_o,
+  output wbs1_stb_o,
+  output wbs1_cyc_o
+);
+  // Address decode: slave 0 owns the lower half of the address space.
+  wire wbs0_match;
+  wire wbs1_match;
+  wire wbs0_sel;
+  wire wbs1_sel;
+
+  assign wbs0_match = ~wbm_adr_i[7];
+  assign wbs1_match = wbm_adr_i[7];
+  assign wbs0_sel = wbs0_match;
+  assign wbs1_sel = wbs1_match & ~wbs0_match;
+
+  // Slave 0 fan-out.
+  assign wbs0_adr_o = wbm_adr_i;
+  assign wbs0_dat_o = wbm_dat_i;
+  assign wbs0_we_o = wbm_we_i & wbs0_sel;
+  assign wbs0_sel_o = wbm_sel_i;
+  assign wbs0_stb_o = wbm_stb_i & wbs0_sel & wbm_cyc_i;
+  assign wbs0_cyc_o = wbm_cyc_i & wbs0_sel;
+
+  // Slave 1 fan-out.
+  assign wbs1_adr_o = wbm_adr_i;
+  assign wbs1_dat_o = wbm_dat_i;
+  assign wbs1_we_o = wbm_we_i & wbs1_sel;
+  assign wbs1_sel_o = wbm_sel_i;
+  assign wbs1_stb_o = wbm_stb_i & wbs1_sel & wbm_cyc_i;
+  assign wbs1_cyc_o = wbm_cyc_i & wbs1_sel;
+
+  // Master return path.
+  assign wbm_dat_o = wbs0_sel ? wbs0_dat_i : wbs1_dat_i;
+  assign wbm_ack_o = (wbs0_ack_i & wbs0_sel) | (wbs1_ack_i & wbs1_sel);
+  assign wbm_err_o = (wbs0_err_i & wbs0_sel) | (wbs1_err_i & wbs1_sel);
+  assign wbm_rty_o = (wbs0_rty_i & wbs0_sel) | (wbs1_rty_i & wbs1_sel);
+endmodule

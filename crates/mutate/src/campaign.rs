@@ -1,0 +1,268 @@
+//! Bug-injection campaigns: sample mutation sites, build mutants, and
+//! classify observability — the experimental setup behind Table III.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use std::collections::BTreeSet;
+
+use crate::mutation::{apply, enumerate_sites, MutationKind, MutationSite};
+use crate::observe::{cosimulate, is_observable, LabelledRun};
+use cdfg::Slice;
+use sim::{SimError, Simulator, Stimulus, TestbenchGen};
+use verilog::Module;
+
+/// How many mutants of each kind a campaign should produce.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct BugBudget {
+    /// Negation mutants.
+    pub negation: usize,
+    /// Operation-substitution mutants.
+    pub operation: usize,
+    /// Variable-misuse mutants.
+    pub misuse: usize,
+}
+
+impl BugBudget {
+    /// Total mutants requested.
+    pub fn total(&self) -> usize {
+        self.negation + self.operation + self.misuse
+    }
+
+    /// The budget for one kind.
+    pub fn for_kind(&self, kind: MutationKind) -> usize {
+        match kind {
+            MutationKind::Negation => self.negation,
+            MutationKind::OperationSubstitution => self.operation,
+            MutationKind::VariableMisuse => self.misuse,
+        }
+    }
+}
+
+/// One injected-bug experiment: the mutant and its labelled co-simulation runs.
+#[derive(Debug, Clone)]
+pub struct Mutant {
+    /// The mutated module (statement ids match the golden design).
+    pub module: Module,
+    /// Pretty-printed mutant source.
+    pub source: String,
+    /// The mutation that was injected.
+    pub site: MutationSite,
+    /// Labelled runs against the golden design (mutant + golden traces).
+    pub runs: Vec<LabelledRun>,
+    /// Whether the bug symptomatized at the target in any run.
+    pub observable: bool,
+}
+
+/// Campaign configuration.
+#[derive(Debug, Clone)]
+pub struct Campaign {
+    seed: u64,
+    cycles: usize,
+    runs_per_mutant: usize,
+    restrict_to_slice: bool,
+    hold_probability: f64,
+}
+
+impl Campaign {
+    /// Creates a campaign with the defaults used by the Table III harness:
+    /// many short, calm stimuli (40 runs × 16 cycles, hold probability 0.8)
+    /// so that a bug is typically *masked* in some runs — the correct-trace
+    /// set `T_c` the explainer compares against — and sites restricted to
+    /// the target's static slice (bugs outside the cone can never be
+    /// observable at the target output).
+    pub fn new(seed: u64) -> Self {
+        Campaign {
+            seed,
+            cycles: 16,
+            runs_per_mutant: 40,
+            restrict_to_slice: true,
+            hold_probability: 0.8,
+        }
+    }
+
+    /// Overrides the stimulus hold probability (temporal correlation of the
+    /// random inputs; higher = calmer, more directed-looking stimulus).
+    pub fn with_hold_probability(mut self, p: f64) -> Self {
+        self.hold_probability = p;
+        self
+    }
+
+    /// Overrides the stimulus length.
+    pub fn with_cycles(mut self, cycles: usize) -> Self {
+        self.cycles = cycles;
+        self
+    }
+
+    /// Overrides the number of independent runs per mutant.
+    pub fn with_runs_per_mutant(mut self, runs: usize) -> Self {
+        self.runs_per_mutant = runs;
+        self
+    }
+
+    /// Allow mutations anywhere in the design, not only the target's slice.
+    pub fn without_slice_restriction(mut self) -> Self {
+        self.restrict_to_slice = false;
+        self
+    }
+
+    /// Runs the campaign: inject up to `budget` bugs per kind into `golden`
+    /// and co-simulate each against the target output.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulation errors. Mutants that fail to elaborate or
+    /// simulate (e.g. a misuse creating a combinational loop) are skipped
+    /// rather than failing the campaign.
+    pub fn run(
+        &self,
+        golden: &Module,
+        target: &str,
+        budget: &BugBudget,
+    ) -> Result<Vec<Mutant>, SimError> {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let restrict: Option<BTreeSet<_>> = if self.restrict_to_slice {
+            Some(Slice::of_target(golden, target).stmts)
+        } else {
+            None
+        };
+        let all_sites = enumerate_sites(golden, restrict.as_ref());
+        let golden_sim = Simulator::new(golden)?;
+        let stimuli: Vec<Stimulus> = TestbenchGen::new(self.seed ^ 0xD1CE_F00D)
+            .with_hold_probability(self.hold_probability)
+            .generate_many(golden_sim.netlist(), self.cycles, self.runs_per_mutant);
+
+        let mut out = Vec::new();
+        for kind in MutationKind::ALL {
+            let mut sites: Vec<&MutationSite> =
+                all_sites.iter().filter(|s| s.kind == kind).collect();
+            shuffle(&mut sites, &mut rng);
+            let mut produced = 0;
+            let mut seen_sources: BTreeSet<String> = BTreeSet::new();
+            for site in sites {
+                if produced >= budget.for_kind(kind) {
+                    break;
+                }
+                let Some(module) = apply(golden, site) else {
+                    continue;
+                };
+                let source = verilog::print_module(&module);
+                if source == verilog::print_module(golden) {
+                    continue; // mutation was a semantic no-op at source level
+                }
+                if !seen_sources.insert(source.clone()) {
+                    continue; // duplicate mutant
+                }
+                let Ok(runs) = cosimulate(golden, &module, target, &stimuli) else {
+                    continue; // e.g. mutation created a combinational loop
+                };
+                let observable = is_observable(&runs);
+                out.push(Mutant {
+                    module,
+                    source,
+                    site: site.clone(),
+                    runs,
+                    observable,
+                });
+                produced += 1;
+            }
+        }
+        Ok(out)
+    }
+}
+
+/// Fisher–Yates shuffle (avoids pulling in rand's slice extension trait).
+fn shuffle<T>(items: &mut [T], rng: &mut StdRng) {
+    for i in (1..items.len()).rev() {
+        let j = rng.random_range(0..=i);
+        items.swap(i, j);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const ARB: &str = "\
+module arb(input clk, input req1, input req2, output reg gnt1, output reg gnt2);
+  reg state;
+  always @(posedge clk) state <= req1 ^ req2;
+  always @(*) begin
+    if (state) gnt1 = req1 & ~req2;
+    else gnt1 = req1 | req2;
+    gnt2 = req2 & ~req1;
+  end
+endmodule
+";
+
+    fn golden() -> Module {
+        verilog::parse(ARB).unwrap().top().clone()
+    }
+
+    #[test]
+    fn campaign_produces_budgeted_mutants() {
+        let budget = BugBudget {
+            negation: 2,
+            operation: 2,
+            misuse: 2,
+        };
+        let mutants = Campaign::new(7).run(&golden(), "gnt1", &budget).unwrap();
+        assert!(!mutants.is_empty());
+        assert!(mutants.len() <= budget.total());
+        for kind in MutationKind::ALL {
+            let n = mutants.iter().filter(|m| m.site.kind == kind).count();
+            assert!(n <= budget.for_kind(kind));
+        }
+    }
+
+    #[test]
+    fn campaign_is_deterministic() {
+        let budget = BugBudget {
+            negation: 2,
+            operation: 1,
+            misuse: 2,
+        };
+        let a = Campaign::new(11).run(&golden(), "gnt1", &budget).unwrap();
+        let b = Campaign::new(11).run(&golden(), "gnt1", &budget).unwrap();
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.source, y.source);
+            assert_eq!(x.observable, y.observable);
+        }
+    }
+
+    #[test]
+    fn mutated_statement_is_inside_target_slice() {
+        let budget = BugBudget {
+            negation: 3,
+            operation: 3,
+            misuse: 3,
+        };
+        let slice = Slice::of_target(&golden(), "gnt1");
+        let mutants = Campaign::new(13).run(&golden(), "gnt1", &budget).unwrap();
+        for m in &mutants {
+            assert!(
+                slice.contains(m.site.stmt),
+                "mutation outside slice: {:?}",
+                m.site
+            );
+        }
+    }
+
+    #[test]
+    fn observable_mutants_have_failing_runs() {
+        let budget = BugBudget {
+            negation: 3,
+            operation: 3,
+            misuse: 3,
+        };
+        let mutants = Campaign::new(17).run(&golden(), "gnt1", &budget).unwrap();
+        let observable = mutants.iter().filter(|m| m.observable).count();
+        assert!(observable > 0, "campaign found no observable bugs");
+        for m in mutants.iter().filter(|m| m.observable) {
+            assert!(m
+                .runs
+                .iter()
+                .any(|r| r.label == sim::TraceLabel::Failing));
+        }
+    }
+}

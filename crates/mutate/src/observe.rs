@@ -1,0 +1,134 @@
+//! Observability checking by golden-vs-mutant co-simulation.
+//!
+//! A bug is **observable** when it symptomatizes at the target output under
+//! at least one stimulus (paper Sec. V, "Bug injection"). The same
+//! co-simulation also labels traces: a run where the target diverges is a
+//! failure trace (`T_f`), one where the bug stays masked is a correct trace
+//! (`T_c`).
+
+use sim::{SimError, Simulator, Stimulus, Trace, TraceLabel};
+use verilog::Module;
+
+/// A pair of traces from the same stimulus, with the failure label.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LabelledRun {
+    /// The mutant's trace (this is what VeriBug analyzes).
+    pub trace: Trace,
+    /// The golden design's trace on the same stimulus.
+    pub golden: Trace,
+    /// Failing when the target output diverged in any cycle.
+    pub label: TraceLabel,
+    /// The target output's signal id (same in golden and mutant: the
+    /// mutation never touches declarations).
+    pub target: sim::SignalId,
+}
+
+impl LabelledRun {
+    /// Cycles where the mutant's target output diverged from golden.
+    pub fn failure_cycles(&self) -> Vec<u32> {
+        self.trace
+            .cycles
+            .iter()
+            .zip(&self.golden.cycles)
+            .filter(|(m, g)| m.value(self.target) != g.value(self.target))
+            .map(|(m, _)| m.cycle)
+            .collect()
+    }
+}
+
+/// Co-simulates golden and mutant designs on a set of stimuli and labels
+/// every run against the target output.
+///
+/// # Errors
+///
+/// Propagates elaboration or simulation errors from either design.
+pub fn cosimulate(
+    golden: &Module,
+    mutant: &Module,
+    target: &str,
+    stimuli: &[Stimulus],
+) -> Result<Vec<LabelledRun>, SimError> {
+    let mut golden_sim = Simulator::new(golden)?;
+    let mut mutant_sim = Simulator::new(mutant)?;
+    let target_id = golden_sim
+        .netlist()
+        .signal_id(target)
+        .ok_or_else(|| SimError::UnknownSignal {
+            name: target.to_owned(),
+        })?;
+    let mut out = Vec::with_capacity(stimuli.len());
+    for stim in stimuli {
+        let gt = golden_sim.run(stim)?;
+        let mt = mutant_sim.run(stim)?;
+        let label = if mt.differs_at(&gt, target_id) {
+            TraceLabel::Failing
+        } else {
+            TraceLabel::Correct
+        };
+        out.push(LabelledRun {
+            trace: mt,
+            golden: gt,
+            label,
+            target: target_id,
+        });
+    }
+    Ok(out)
+}
+
+/// True when any run in `runs` is failing — i.e. the bug is observable at
+/// the target.
+pub fn is_observable(runs: &[LabelledRun]) -> bool {
+    runs.iter().any(|r| r.label == TraceLabel::Failing)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sim::TestbenchGen;
+
+    fn module(src: &str) -> Module {
+        verilog::parse(src).unwrap().top().clone()
+    }
+
+    #[test]
+    fn detects_observable_divergence() {
+        let golden = module("module m(input a, input b, output y);\nassign y = a & b;\nendmodule");
+        let mutant = module("module m(input a, input b, output y);\nassign y = a | b;\nendmodule");
+        let sim0 = Simulator::new(&golden).unwrap();
+        let stimuli = TestbenchGen::new(1).generate_many(sim0.netlist(), 16, 4);
+        let runs = cosimulate(&golden, &mutant, "y", &stimuli).unwrap();
+        assert!(is_observable(&runs));
+        assert!(runs.iter().any(|r| r.label == TraceLabel::Failing));
+    }
+
+    #[test]
+    fn masked_bug_is_unobservable() {
+        // y only looks at a; mutating the z logic cannot show at y.
+        let golden = module(
+            "module m(input a, input b, output y, output z);\nassign y = a;\nassign z = a & b;\nendmodule",
+        );
+        let mutant = module(
+            "module m(input a, input b, output y, output z);\nassign y = a;\nassign z = a | b;\nendmodule",
+        );
+        let sim0 = Simulator::new(&golden).unwrap();
+        let stimuli = TestbenchGen::new(2).generate_many(sim0.netlist(), 16, 4);
+        let runs = cosimulate(&golden, &mutant, "y", &stimuli).unwrap();
+        assert!(!is_observable(&runs));
+    }
+
+    #[test]
+    fn identical_designs_never_fail() {
+        let golden = module("module m(input a, output y);\nassign y = ~a;\nendmodule");
+        let sim0 = Simulator::new(&golden).unwrap();
+        let stimuli = TestbenchGen::new(3).generate_many(sim0.netlist(), 8, 3);
+        let runs = cosimulate(&golden, &golden, "y", &stimuli).unwrap();
+        assert!(runs.iter().all(|r| r.label == TraceLabel::Correct));
+    }
+
+    #[test]
+    fn unknown_target_errors() {
+        let golden = module("module m(input a, output y);\nassign y = a;\nendmodule");
+        let err = cosimulate(&golden, &golden, "ghost", &[]).unwrap_err();
+        assert!(matches!(err, SimError::UnknownSignal { .. }));
+    }
+}

@@ -1,0 +1,155 @@
+//! Named, persistent model parameters with accumulated gradients.
+
+use crate::init::Initializer;
+use crate::tensor::Tensor;
+
+/// Handle to one parameter tensor inside a [`Params`] store.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize,
+)]
+pub struct ParamId(pub usize);
+
+/// The parameter store: values, gradient accumulators, and names.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct Params {
+    tensors: Vec<Tensor>,
+    grads: Vec<Tensor>,
+    names: Vec<String>,
+}
+
+impl Params {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        Params {
+            tensors: Vec::new(),
+            grads: Vec::new(),
+            names: Vec::new(),
+        }
+    }
+
+    /// Registers a parameter with an explicit initial value.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the name is already registered.
+    pub fn register(&mut self, name: &str, value: Tensor) -> ParamId {
+        assert!(
+            !self.names.iter().any(|n| n == name),
+            "duplicate parameter `{name}`"
+        );
+        let id = ParamId(self.tensors.len());
+        self.grads
+            .push(Tensor::zeros(value.rows(), value.cols()));
+        self.tensors.push(value);
+        self.names.push(name.to_owned());
+        id
+    }
+
+    /// Registers a parameter drawn from an initializer.
+    pub fn register_init(
+        &mut self,
+        name: &str,
+        rows: usize,
+        cols: usize,
+        init: &mut Initializer,
+    ) -> ParamId {
+        let value = init.sample(rows, cols);
+        self.register(name, value)
+    }
+
+    /// The current value of a parameter.
+    pub fn value(&self, id: ParamId) -> &Tensor {
+        &self.tensors[id.0]
+    }
+
+    /// Mutable access to a parameter value (used by optimizers).
+    pub fn value_mut(&mut self, id: ParamId) -> &mut Tensor {
+        &mut self.tensors[id.0]
+    }
+
+    /// The accumulated gradient of a parameter.
+    pub fn grad(&self, id: ParamId) -> &Tensor {
+        &self.grads[id.0]
+    }
+
+    /// Adds `delta` into a parameter's gradient accumulator.
+    pub fn accumulate_grad(&mut self, id: ParamId, delta: &Tensor) {
+        self.grads[id.0].add_assign(delta);
+    }
+
+    /// Zeroes every gradient accumulator.
+    pub fn zero_grads(&mut self) {
+        for g in &mut self.grads {
+            g.fill_zero();
+        }
+    }
+
+    /// The registered name of a parameter.
+    pub fn name(&self, id: ParamId) -> &str {
+        &self.names[id.0]
+    }
+
+    /// Looks a parameter up by name.
+    pub fn id_of(&self, name: &str) -> Option<ParamId> {
+        self.names.iter().position(|n| n == name).map(ParamId)
+    }
+
+    /// Iterates over every parameter id.
+    pub fn ids(&self) -> impl Iterator<Item = ParamId> {
+        (0..self.tensors.len()).map(ParamId)
+    }
+
+    /// Number of parameters (tensors, not scalars).
+    pub fn len(&self) -> usize {
+        self.tensors.len()
+    }
+
+    /// True when no parameters are registered.
+    pub fn is_empty(&self) -> bool {
+        self.tensors.is_empty()
+    }
+
+    /// Total scalar count across all parameter tensors.
+    pub fn scalar_count(&self) -> usize {
+        self.tensors.iter().map(|t| t.rows() * t.cols()).sum()
+    }
+}
+
+impl Default for Params {
+    fn default() -> Self {
+        Params::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn register_and_lookup() {
+        let mut p = Params::new();
+        let w = p.register("w", Tensor::zeros(2, 3));
+        assert_eq!(p.id_of("w"), Some(w));
+        assert_eq!(p.name(w), "w");
+        assert_eq!(p.scalar_count(), 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate parameter")]
+    fn duplicate_name_panics() {
+        let mut p = Params::new();
+        p.register("w", Tensor::zeros(1, 1));
+        p.register("w", Tensor::zeros(1, 1));
+    }
+
+    #[test]
+    fn gradient_accumulation_and_reset() {
+        let mut p = Params::new();
+        let w = p.register("w", Tensor::zeros(1, 2));
+        p.accumulate_grad(w, &Tensor::from_vec(1, 2, vec![1., 2.]));
+        p.accumulate_grad(w, &Tensor::from_vec(1, 2, vec![0.5, 0.5]));
+        assert_eq!(p.grad(w).data(), &[1.5, 2.5]);
+        p.zero_grads();
+        assert_eq!(p.grad(w).data(), &[0., 0.]);
+    }
+}

@@ -1,0 +1,290 @@
+//! Dense row-major `f32` matrices — the only tensor shape the VeriBug model
+//! needs (vectors are `1×n` matrices).
+
+use std::fmt;
+use std::ops::{Index, IndexMut};
+
+/// A dense row-major matrix of `f32`.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct Tensor {
+    rows: usize,
+    cols: usize,
+    data: Vec<f32>,
+}
+
+impl Tensor {
+    /// Creates a matrix filled with zeros.
+    ///
+    /// # Panics
+    ///
+    /// Panics when either dimension is zero.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        assert!(rows > 0 && cols > 0, "empty tensor {rows}x{cols}");
+        Tensor {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Creates a matrix from row-major data.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `data.len() != rows * cols` or a dimension is zero.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f32>) -> Self {
+        assert!(rows > 0 && cols > 0, "empty tensor {rows}x{cols}");
+        assert_eq!(data.len(), rows * cols, "data length mismatch");
+        Tensor { rows, cols, data }
+    }
+
+    /// A `1×n` row vector.
+    pub fn row_vector(data: Vec<f32>) -> Self {
+        let n = data.len();
+        Tensor::from_vec(1, n, data)
+    }
+
+    /// A `1×1` scalar.
+    pub fn scalar(v: f32) -> Self {
+        Tensor::from_vec(1, 1, vec![v])
+    }
+
+    /// A one-hot `1×n` row vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `hot >= n`.
+    pub fn one_hot(n: usize, hot: usize) -> Self {
+        assert!(hot < n, "one-hot index {hot} out of {n}");
+        let mut t = Tensor::zeros(1, n);
+        t[(0, hot)] = 1.0;
+        t
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// `(rows, cols)`.
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// The underlying row-major data.
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable access to the underlying data.
+    pub fn data_mut(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// The single element of a `1×1` tensor.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the tensor is not `1×1`.
+    pub fn item(&self) -> f32 {
+        assert_eq!(self.shape(), (1, 1), "item() on non-scalar tensor");
+        self.data[0]
+    }
+
+    /// Borrows one row as a slice.
+    pub fn row(&self, r: usize) -> &[f32] {
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Matrix multiply `self (r×k) · other (k×c) -> (r×c)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on inner-dimension mismatch.
+    pub fn matmul(&self, other: &Tensor) -> Tensor {
+        assert_eq!(
+            self.cols, other.rows,
+            "matmul {}x{} by {}x{}",
+            self.rows, self.cols, other.rows, other.cols
+        );
+        let mut out = Tensor::zeros(self.rows, other.cols);
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self.data[i * self.cols + k];
+                if a == 0.0 {
+                    continue;
+                }
+                let orow = &other.data[k * other.cols..(k + 1) * other.cols];
+                let dst = &mut out.data[i * other.cols..(i + 1) * other.cols];
+                for (d, &b) in dst.iter_mut().zip(orow) {
+                    *d += a * b;
+                }
+            }
+        }
+        out
+    }
+
+    /// Transposed copy.
+    pub fn transposed(&self) -> Tensor {
+        let mut out = Tensor::zeros(self.cols, self.rows);
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                out.data[j * self.rows + i] = self.data[i * self.cols + j];
+            }
+        }
+        out
+    }
+
+    /// Elementwise map.
+    pub fn map(&self, f: impl Fn(f32) -> f32) -> Tensor {
+        Tensor {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().map(|&v| f(v)).collect(),
+        }
+    }
+
+    /// Elementwise combine with another same-shape tensor.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    pub fn zip(&self, other: &Tensor, f: impl Fn(f32, f32) -> f32) -> Tensor {
+        assert_eq!(self.shape(), other.shape(), "zip shape mismatch");
+        Tensor {
+            rows: self.rows,
+            cols: self.cols,
+            data: self
+                .data
+                .iter()
+                .zip(&other.data)
+                .map(|(&a, &b)| f(a, b))
+                .collect(),
+        }
+    }
+
+    /// In-place elementwise add.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    pub fn add_assign(&mut self, other: &Tensor) {
+        assert_eq!(self.shape(), other.shape(), "add_assign shape mismatch");
+        for (a, b) in self.data.iter_mut().zip(&other.data) {
+            *a += b;
+        }
+    }
+
+    /// Sets every element to zero.
+    pub fn fill_zero(&mut self) {
+        self.data.fill(0.0);
+    }
+
+    /// Frobenius norm.
+    pub fn frob_norm(&self) -> f32 {
+        self.data.iter().map(|v| v * v).sum::<f32>().sqrt()
+    }
+
+    /// Sum of all elements.
+    pub fn sum(&self) -> f32 {
+        self.data.iter().sum()
+    }
+
+    /// Index of the maximum element in a `1×n` row vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the tensor has more than one row.
+    pub fn argmax_row(&self) -> usize {
+        assert_eq!(self.rows, 1, "argmax_row on multi-row tensor");
+        self.data
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.total_cmp(b.1))
+            .map(|(i, _)| i)
+            .unwrap_or(0)
+    }
+}
+
+impl Index<(usize, usize)> for Tensor {
+    type Output = f32;
+
+    fn index(&self, (r, c): (usize, usize)) -> &f32 {
+        &self.data[r * self.cols + c]
+    }
+}
+
+impl IndexMut<(usize, usize)> for Tensor {
+    fn index_mut(&mut self, (r, c): (usize, usize)) -> &mut f32 {
+        &mut self.data[r * self.cols + c]
+    }
+}
+
+impl fmt::Display for Tensor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Tensor {}x{} [", self.rows, self.cols)?;
+        for r in 0..self.rows.min(8) {
+            write!(f, "  ")?;
+            for c in 0..self.cols.min(12) {
+                write!(f, "{:>9.4} ", self[(r, c)])?;
+            }
+            writeln!(f)?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matmul_matches_hand_computation() {
+        let a = Tensor::from_vec(2, 3, vec![1., 2., 3., 4., 5., 6.]);
+        let b = Tensor::from_vec(3, 2, vec![7., 8., 9., 10., 11., 12.]);
+        let c = a.matmul(&b);
+        assert_eq!(c.shape(), (2, 2));
+        assert_eq!(c.data(), &[58., 64., 139., 154.]);
+    }
+
+    #[test]
+    fn transpose_roundtrip() {
+        let a = Tensor::from_vec(2, 3, vec![1., 2., 3., 4., 5., 6.]);
+        assert_eq!(a.transposed().transposed(), a);
+        assert_eq!(a.transposed()[(2, 1)], 6.0);
+    }
+
+    #[test]
+    fn one_hot_and_argmax() {
+        let t = Tensor::one_hot(4, 2);
+        assert_eq!(t.argmax_row(), 2);
+        assert_eq!(t.sum(), 1.0);
+    }
+
+    #[test]
+    fn frobenius_norm() {
+        let t = Tensor::from_vec(1, 2, vec![3., 4.]);
+        assert!((t.frob_norm() - 5.0).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "matmul")]
+    fn matmul_shape_mismatch_panics() {
+        let a = Tensor::zeros(2, 3);
+        let b = Tensor::zeros(2, 3);
+        let _ = a.matmul(&b);
+    }
+
+    #[test]
+    fn zip_and_map() {
+        let a = Tensor::from_vec(1, 3, vec![1., 2., 3.]);
+        let b = Tensor::from_vec(1, 3, vec![4., 5., 6.]);
+        assert_eq!(a.zip(&b, |x, y| x * y).data(), &[4., 10., 18.]);
+        assert_eq!(a.map(|x| x + 1.).data(), &[2., 3., 4.]);
+    }
+}

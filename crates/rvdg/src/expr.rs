@@ -1,0 +1,122 @@
+//! Random Boolean-expression generation for RVDG statements.
+//!
+//! The paper's generator "randomly generates legal blocking assignments
+//! following Verilog's grammar" and "controls the maximum number of operands
+//! and Boolean operators in each design statement". Expressions here are
+//! random left-leaning trees of `&`/`|`/`^` over a bounded number of operand
+//! references, each optionally negated.
+
+use rand::rngs::StdRng;
+use rand::RngExt;
+
+/// Configuration for one random expression.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct ExprConfig {
+    /// Minimum number of operands (≥ 1).
+    pub min_operands: usize,
+    /// Maximum number of operands.
+    pub max_operands: usize,
+    /// Probability that an operand is negated with `~`.
+    pub negate_probability: f64,
+    /// Probability of parenthesizing a sub-expression (adds AST variety).
+    pub group_probability: f64,
+}
+
+impl Default for ExprConfig {
+    fn default() -> Self {
+        ExprConfig {
+            min_operands: 2,
+            max_operands: 4,
+            negate_probability: 0.3,
+            group_probability: 0.25,
+        }
+    }
+}
+
+const BOOLEAN_OPS: [&str; 3] = ["&", "|", "^"];
+
+/// Generates one random Boolean expression over `candidates` as source text.
+///
+/// # Panics
+///
+/// Panics when `candidates` is empty or the operand bounds are invalid.
+pub fn random_expr(rng: &mut StdRng, candidates: &[String], cfg: &ExprConfig) -> String {
+    assert!(!candidates.is_empty(), "no candidate operands");
+    assert!(
+        cfg.min_operands >= 1 && cfg.min_operands <= cfg.max_operands,
+        "bad operand bounds"
+    );
+    let n = rng.random_range(cfg.min_operands..=cfg.max_operands);
+    let mut expr = random_operand(rng, candidates, cfg);
+    for _ in 1..n {
+        let op = BOOLEAN_OPS[rng.random_range(0..BOOLEAN_OPS.len())];
+        let rhs = random_operand(rng, candidates, cfg);
+        let joined = format!("{expr} {op} {rhs}");
+        expr = if rng.random_bool(cfg.group_probability) {
+            format!("({joined})")
+        } else {
+            joined
+        };
+    }
+    expr
+}
+
+fn random_operand(rng: &mut StdRng, candidates: &[String], cfg: &ExprConfig) -> String {
+    let name = &candidates[rng.random_range(0..candidates.len())];
+    if rng.random_bool(cfg.negate_probability) {
+        format!("~{name}")
+    } else {
+        name.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng(seed: u64) -> StdRng {
+        StdRng::seed_from_u64(seed)
+    }
+
+    fn names() -> Vec<String> {
+        vec!["a".into(), "b".into(), "c".into()]
+    }
+
+    #[test]
+    fn expressions_parse_inside_a_module() {
+        let cfg = ExprConfig::default();
+        let mut r = rng(42);
+        for _ in 0..50 {
+            let e = random_expr(&mut r, &names(), &cfg);
+            let src = format!(
+                "module m(input a, input b, input c, output y);\nassign y = {e};\nendmodule"
+            );
+            verilog::parse(&src).unwrap_or_else(|err| panic!("`{e}` failed to parse: {err}"));
+        }
+    }
+
+    #[test]
+    fn operand_count_is_bounded() {
+        let cfg = ExprConfig {
+            min_operands: 2,
+            max_operands: 4,
+            negate_probability: 0.0,
+            group_probability: 0.0,
+        };
+        let mut r = rng(7);
+        for _ in 0..50 {
+            let e = random_expr(&mut r, &names(), &cfg);
+            let ops = e.matches(['&', '|', '^']).count();
+            assert!((1..=3).contains(&ops), "operator count out of range in `{e}`");
+        }
+    }
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let cfg = ExprConfig::default();
+        let a = random_expr(&mut rng(5), &names(), &cfg);
+        let b = random_expr(&mut rng(5), &names(), &cfg);
+        assert_eq!(a, b);
+    }
+}

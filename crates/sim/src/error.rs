@@ -1,0 +1,57 @@
+//! Simulator error types.
+
+use std::fmt;
+
+/// An error raised during elaboration or simulation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// The design uses a construct the simulator does not support.
+    Unsupported {
+        /// Human-readable description.
+        detail: String,
+    },
+    /// Combinational evaluation failed to reach a fixpoint.
+    CombinationalLoop {
+        /// Iterations attempted before giving up.
+        iterations: u32,
+    },
+    /// A referenced signal does not exist.
+    UnknownSignal {
+        /// The missing name.
+        name: String,
+    },
+    /// Edge-sensitive blocks disagree on the clock signal.
+    ClockMismatch {
+        /// The first clock seen.
+        first: String,
+        /// The conflicting clock.
+        second: String,
+    },
+    /// The stimulus drives a signal that is not an input.
+    NotAnInput {
+        /// The offending name.
+        name: String,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::Unsupported { detail } => write!(f, "unsupported construct: {detail}"),
+            SimError::CombinationalLoop { iterations } => write!(
+                f,
+                "combinational logic did not settle after {iterations} iterations"
+            ),
+            SimError::UnknownSignal { name } => write!(f, "unknown signal `{name}`"),
+            SimError::ClockMismatch { first, second } => write!(
+                f,
+                "multiple clock domains are unsupported (saw `{first}` and `{second}`)"
+            ),
+            SimError::NotAnInput { name } => {
+                write!(f, "stimulus drives `{name}`, which is not an input port")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimError {}

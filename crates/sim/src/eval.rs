@@ -1,0 +1,457 @@
+//! Expression evaluation and statement execution.
+//!
+//! Width semantics follow a simplified two-state reading of Verilog-2001:
+//! bitwise/arithmetic binary operators work at the wider operand's width
+//! (zero-extended, wrapping), comparisons/logical operators/reductions yield
+//! one bit, shifts keep the left operand's width, concatenation sums widths.
+
+use crate::error::SimError;
+use crate::netlist::{Netlist, SignalId};
+use crate::trace::StmtExec;
+use crate::value::Value;
+use verilog::{
+    Assignment, BinaryOp, CaseStmt, Expr, IfStmt, LValue, Select, Stmt, UnaryOp,
+};
+
+/// A pending (possibly partial) write to a signal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Write {
+    /// Target signal.
+    pub target: SignalId,
+    /// Lowest bit replaced.
+    pub lo: u8,
+    /// Number of bits replaced.
+    pub width: u8,
+    /// Replacement bits (already truncated to `width`).
+    pub bits: u64,
+}
+
+impl Write {
+    /// Applies this write to a current value, read-modify-write style.
+    pub fn apply(self, current: Value) -> Value {
+        let mask = Value::mask(self.width) << self.lo;
+        let bits = (current.bits() & !mask) | ((self.bits << self.lo) & mask);
+        Value::new(bits, current.width())
+    }
+}
+
+/// Mutable evaluation state over a netlist.
+#[derive(Debug)]
+pub struct EvalCtx<'n> {
+    netlist: &'n Netlist,
+    /// Current value of every signal, indexed by [`SignalId`].
+    pub values: Vec<Value>,
+}
+
+impl<'n> EvalCtx<'n> {
+    /// Creates a context with every signal at zero.
+    pub fn new(netlist: &'n Netlist) -> Self {
+        let values = netlist
+            .signals()
+            .iter()
+            .map(|s| Value::zero(s.width))
+            .collect();
+        EvalCtx { netlist, values }
+    }
+
+    /// Resets every signal to zero.
+    pub fn reset(&mut self) {
+        for (v, s) in self.values.iter_mut().zip(self.netlist.signals()) {
+            *v = Value::zero(s.width);
+        }
+    }
+
+    /// The current value of a named signal.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::UnknownSignal`] when the name is not declared.
+    pub fn value_of(&self, name: &str) -> Result<Value, SimError> {
+        let id = self
+            .netlist
+            .signal_id(name)
+            .ok_or_else(|| SimError::UnknownSignal {
+                name: name.to_owned(),
+            })?;
+        Ok(self.values[id.0 as usize])
+    }
+
+    /// Evaluates an expression against the current signal values.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::UnknownSignal`] for undeclared references and
+    /// [`SimError::Unsupported`] for concatenations wider than 64 bits.
+    pub fn eval(&self, e: &Expr) -> Result<Value, SimError> {
+        match e {
+            Expr::Ident { name, .. } => self.value_of(name),
+            Expr::Literal { width, value, .. } => {
+                let w = width.unwrap_or(32).min(64) as u8;
+                Ok(Value::new(*value, w))
+            }
+            Expr::Unary { op, operand, .. } => {
+                let v = self.eval(operand)?;
+                Ok(match op {
+                    UnaryOp::Not => Value::new(!v.bits(), v.width()),
+                    UnaryOp::LogicalNot => Value::bit(!v.is_truthy()),
+                    UnaryOp::Negate => Value::new(v.bits().wrapping_neg(), v.width()),
+                    UnaryOp::RedAnd => Value::bit(v.bits() == Value::mask(v.width())),
+                    UnaryOp::RedOr => Value::bit(v.is_truthy()),
+                    UnaryOp::RedXor => Value::bit(v.bits().count_ones() % 2 == 1),
+                    UnaryOp::RedXnor => Value::bit(v.bits().count_ones() % 2 == 0),
+                })
+            }
+            Expr::Binary { op, lhs, rhs, .. } => {
+                let a = self.eval(lhs)?;
+                let b = self.eval(rhs)?;
+                let w = a.width().max(b.width());
+                Ok(match op {
+                    BinaryOp::And => Value::new(a.bits() & b.bits(), w),
+                    BinaryOp::Or => Value::new(a.bits() | b.bits(), w),
+                    BinaryOp::Xor => Value::new(a.bits() ^ b.bits(), w),
+                    BinaryOp::Xnor => Value::new(!(a.bits() ^ b.bits()), w),
+                    BinaryOp::LogAnd => Value::bit(a.is_truthy() && b.is_truthy()),
+                    BinaryOp::LogOr => Value::bit(a.is_truthy() || b.is_truthy()),
+                    BinaryOp::Eq | BinaryOp::CaseEq => Value::bit(a.bits() == b.bits()),
+                    BinaryOp::Neq | BinaryOp::CaseNeq => Value::bit(a.bits() != b.bits()),
+                    BinaryOp::Lt => Value::bit(a.bits() < b.bits()),
+                    BinaryOp::Le => Value::bit(a.bits() <= b.bits()),
+                    BinaryOp::Gt => Value::bit(a.bits() > b.bits()),
+                    BinaryOp::Ge => Value::bit(a.bits() >= b.bits()),
+                    BinaryOp::Add => Value::new(a.bits().wrapping_add(b.bits()), w),
+                    BinaryOp::Sub => Value::new(a.bits().wrapping_sub(b.bits()), w),
+                    BinaryOp::Mul => Value::new(a.bits().wrapping_mul(b.bits()), w),
+                    BinaryOp::Div => {
+                        let d = b.bits();
+                        Value::new(if d == 0 { 0 } else { a.bits() / d }, w)
+                    }
+                    BinaryOp::Mod => {
+                        let d = b.bits();
+                        Value::new(if d == 0 { 0 } else { a.bits() % d }, w)
+                    }
+                    BinaryOp::Shl => {
+                        let sh = b.bits().min(64) as u32;
+                        Value::new(a.bits().checked_shl(sh).unwrap_or(0), a.width())
+                    }
+                    BinaryOp::Shr => {
+                        let sh = b.bits().min(64) as u32;
+                        Value::new(a.bits().checked_shr(sh).unwrap_or(0), a.width())
+                    }
+                })
+            }
+            Expr::Ternary {
+                cond,
+                then_expr,
+                else_expr,
+                ..
+            } => {
+                let c = self.eval(cond)?;
+                let t = self.eval(then_expr)?;
+                let f = self.eval(else_expr)?;
+                let w = t.width().max(f.width());
+                Ok(if c.is_truthy() {
+                    t.resize(w)
+                } else {
+                    f.resize(w)
+                })
+            }
+            Expr::Index { base, index, .. } => {
+                let v = self.value_of(base)?;
+                let i = self.eval(index)?.bits();
+                Ok(Value::bit(i < u64::from(v.width()) && (v.bits() >> i) & 1 == 1))
+            }
+            Expr::Part { base, msb, lsb, .. } => {
+                let v = self.value_of(base)?;
+                let width = (msb - lsb + 1) as u8;
+                Ok(Value::new(v.bits() >> lsb, width))
+            }
+            Expr::Concat { parts, span } => {
+                let mut bits = 0u64;
+                let mut width = 0u32;
+                for p in parts {
+                    let v = self.eval(p)?;
+                    width += u32::from(v.width());
+                    if width > 64 {
+                        return Err(SimError::Unsupported {
+                            detail: format!("concatenation wider than 64 bits at {span}"),
+                        });
+                    }
+                    bits = (bits << v.width()) | v.bits();
+                }
+                Ok(Value::new(bits, width.max(1) as u8))
+            }
+            Expr::Repeat {
+                count, inner, span, ..
+            } => {
+                let v = self.eval(inner)?;
+                let width = u32::from(v.width()) * count;
+                if width > 64 || width == 0 {
+                    return Err(SimError::Unsupported {
+                        detail: format!("replication width {width} at {span}"),
+                    });
+                }
+                let mut bits = 0u64;
+                for _ in 0..*count {
+                    bits = (bits << v.width()) | v.bits();
+                }
+                Ok(Value::new(bits, width as u8))
+            }
+        }
+    }
+
+    /// Resolves an l-value into a [`Write`] carrying `value`.
+    fn resolve_write(&self, lhs: &LValue, value: Value) -> Result<Write, SimError> {
+        let target = self
+            .netlist
+            .signal_id(&lhs.base)
+            .ok_or_else(|| SimError::UnknownSignal {
+                name: lhs.base.clone(),
+            })?;
+        let full = self.netlist.signal(target).width;
+        Ok(match &lhs.select {
+            None => Write {
+                target,
+                lo: 0,
+                width: full,
+                bits: value.resize(full).bits(),
+            },
+            Some(Select::Bit(idx)) => {
+                let i = self.eval(idx)?.bits().min(63) as u8;
+                Write {
+                    target,
+                    lo: i.min(full - 1),
+                    width: 1,
+                    bits: u64::from(value.lsb()),
+                }
+            }
+            Some(Select::Part { msb, lsb }) => {
+                let width = (msb - lsb + 1) as u8;
+                Write {
+                    target,
+                    lo: *lsb as u8,
+                    width,
+                    bits: value.resize(width).bits(),
+                }
+            }
+        })
+    }
+
+    /// Executes one assignment: evaluates the RHS, optionally records the
+    /// execution, and either applies the write immediately or defers it.
+    fn exec_assign(
+        &mut self,
+        a: &Assignment,
+        cycle: u32,
+        defer: Option<&mut Vec<Write>>,
+        recorder: Option<&mut Vec<StmtExec>>,
+    ) -> Result<(), SimError> {
+        let value = self.eval(&a.rhs)?;
+        let write = self.resolve_write(&a.lhs, value)?;
+        if let Some(rec) = recorder {
+            let mut operands: Vec<(String, Value)> = Vec::new();
+            for name in a.rhs.referenced_signals() {
+                if operands.iter().all(|(n, _)| n != name) {
+                    operands.push((name.to_owned(), self.value_of(name)?));
+                }
+            }
+            if let Some(Select::Bit(idx)) = &a.lhs.select {
+                for name in idx.referenced_signals() {
+                    if operands.iter().all(|(n, _)| n != name) {
+                        operands.push((name.to_owned(), self.value_of(name)?));
+                    }
+                }
+            }
+            rec.push(StmtExec {
+                stmt: a.id,
+                cycle,
+                operands,
+                result: Value::new(write.bits, write.width),
+            });
+        }
+        match (defer, a.kind == verilog::AssignKind::NonBlocking) {
+            (Some(d), true) => d.push(write),
+            _ => {
+                let cur = self.values[write.target.0 as usize];
+                self.values[write.target.0 as usize] = write.apply(cur);
+            }
+        }
+        Ok(())
+    }
+
+    /// Executes a statement list. Non-blocking writes are deferred into
+    /// `defer` when it is provided (sequential context); blocking writes are
+    /// always immediate. When `recorder` is provided, every executed
+    /// assignment appends a [`StmtExec`].
+    pub fn exec_stmts(
+        &mut self,
+        stmts: &[Stmt],
+        cycle: u32,
+        mut defer: Option<&mut Vec<Write>>,
+        mut recorder: Option<&mut Vec<StmtExec>>,
+    ) -> Result<(), SimError> {
+        for s in stmts {
+            match s {
+                Stmt::Assign(a) => {
+                    self.exec_assign(a, cycle, defer.as_deref_mut(), recorder.as_deref_mut())?;
+                }
+                Stmt::If(IfStmt {
+                    cond,
+                    then_branch,
+                    else_branch,
+                    ..
+                }) => {
+                    let taken = if self.eval(cond)?.is_truthy() {
+                        then_branch
+                    } else {
+                        else_branch
+                    };
+                    self.exec_stmts(taken, cycle, defer.as_deref_mut(), recorder.as_deref_mut())?;
+                }
+                Stmt::Case(CaseStmt {
+                    subject,
+                    arms,
+                    default,
+                    ..
+                }) => {
+                    let subj = self.eval(subject)?;
+                    let mut matched = false;
+                    for arm in arms {
+                        for label in &arm.labels {
+                            if self.eval(label)?.bits() == subj.bits() {
+                                matched = true;
+                                break;
+                            }
+                        }
+                        if matched {
+                            self.exec_stmts(
+                                &arm.body,
+                                cycle,
+                                defer.as_deref_mut(),
+                                recorder.as_deref_mut(),
+                            )?;
+                            break;
+                        }
+                    }
+                    if !matched {
+                        self.exec_stmts(
+                            default,
+                            cycle,
+                            defer.as_deref_mut(),
+                            recorder.as_deref_mut(),
+                        )?;
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::netlist::Netlist;
+
+    fn ctx_for(src: &str) -> (Netlist, Vec<(String, u64)>) {
+        let nl = Netlist::elaborate(verilog::parse(src).unwrap().top()).unwrap();
+        (nl, vec![])
+    }
+
+    fn eval_with(src: &str, sets: &[(&str, u64)], expr_of: &str) -> Value {
+        let (nl, _) = ctx_for(src);
+        let mut ctx = EvalCtx::new(&nl);
+        for (name, v) in sets {
+            let id = nl.signal_id(name).unwrap();
+            let w = nl.signal(id).width;
+            ctx.values[id.0 as usize] = Value::new(*v, w);
+        }
+        // Find the assignment whose LHS is expr_of and evaluate its RHS.
+        let module = nl.module.clone();
+        let assigns = module.assignments();
+        let a = assigns
+            .iter()
+            .find(|a| a.lhs.base == expr_of)
+            .expect("target assignment");
+        ctx.eval(&a.rhs).unwrap()
+    }
+
+    #[test]
+    fn bitwise_ops() {
+        let src = "module m(input [3:0] a, input [3:0] b, output [3:0] y);\nassign y = a & ~b;\nendmodule";
+        assert_eq!(
+            eval_with(src, &[("a", 0b1100), ("b", 0b1010)], "y").bits(),
+            0b0100
+        );
+    }
+
+    #[test]
+    fn reductions() {
+        let src = "module m(input [3:0] a, output y0, output y1, output y2);\n\
+                   assign y0 = &a;\nassign y1 = |a;\nassign y2 = ^a;\nendmodule";
+        assert_eq!(eval_with(src, &[("a", 0xF)], "y0").bits(), 1);
+        assert_eq!(eval_with(src, &[("a", 0xE)], "y0").bits(), 0);
+        assert_eq!(eval_with(src, &[("a", 0x0)], "y1").bits(), 0);
+        assert_eq!(eval_with(src, &[("a", 0b0111)], "y2").bits(), 1);
+    }
+
+    #[test]
+    fn comparison_and_arith() {
+        let src = "module m(input [3:0] a, input [3:0] b, output y, output [3:0] s);\n\
+                   assign y = a < b;\nassign s = a + b;\nendmodule";
+        assert_eq!(eval_with(src, &[("a", 3), ("b", 7)], "y").bits(), 1);
+        // 4-bit wrap: 12 + 7 = 19 -> 3.
+        assert_eq!(eval_with(src, &[("a", 12), ("b", 7)], "s").bits(), 3);
+    }
+
+    #[test]
+    fn division_by_zero_is_zero() {
+        let src = "module m(input [3:0] a, input [3:0] b, output [3:0] q, output [3:0] r);\n\
+                   assign q = a / b;\nassign r = a % b;\nendmodule";
+        assert_eq!(eval_with(src, &[("a", 9), ("b", 0)], "q").bits(), 0);
+        assert_eq!(eval_with(src, &[("a", 9), ("b", 0)], "r").bits(), 0);
+        assert_eq!(eval_with(src, &[("a", 9), ("b", 2)], "q").bits(), 4);
+    }
+
+    #[test]
+    fn ternary_selects_branch() {
+        let src = "module m(input c, input [1:0] a, input [1:0] b, output [1:0] y);\n\
+                   assign y = c ? a : b;\nendmodule";
+        assert_eq!(eval_with(src, &[("c", 1), ("a", 2), ("b", 1)], "y").bits(), 2);
+        assert_eq!(eval_with(src, &[("c", 0), ("a", 2), ("b", 1)], "y").bits(), 1);
+    }
+
+    #[test]
+    fn concat_and_repeat() {
+        let src = "module m(input a, input [1:0] b, output [4:0] y);\n\
+                   assign y = {a, {2{b}}};\nendmodule";
+        // a=1, b=0b10 -> {1, 10, 10} = 0b11010 = 26.
+        assert_eq!(eval_with(src, &[("a", 1), ("b", 2)], "y").bits(), 0b11010);
+    }
+
+    #[test]
+    fn bit_select_out_of_range_is_zero() {
+        let src = "module m(input [3:0] a, input [2:0] i, output y);\nassign y = a[i];\nendmodule";
+        assert_eq!(eval_with(src, &[("a", 0xF), ("i", 6)], "y").bits(), 0);
+        assert_eq!(eval_with(src, &[("a", 0b1000), ("i", 3)], "y").bits(), 1);
+    }
+
+    #[test]
+    fn shifts_keep_lhs_width() {
+        let src = "module m(input [3:0] a, input [2:0] n, output [3:0] y, output [3:0] z);\n\
+                   assign y = a << n;\nassign z = a >> n;\nendmodule";
+        assert_eq!(eval_with(src, &[("a", 0b0011), ("n", 2)], "y").bits(), 0b1100);
+        assert_eq!(eval_with(src, &[("a", 0b1100), ("n", 2)], "z").bits(), 0b0011);
+    }
+
+    #[test]
+    fn partial_write_applies_rmw() {
+        let w = Write {
+            target: SignalId(0),
+            lo: 2,
+            width: 2,
+            bits: 0b11,
+        };
+        let cur = Value::new(0b0001, 4);
+        assert_eq!(w.apply(cur).bits(), 0b1101);
+    }
+}

@@ -1,0 +1,54 @@
+//! # veribug-sim
+//!
+//! A two-state, cycle-based RTL simulator for the VeriBug reproduction.
+//!
+//! Beyond computing output values, the simulator records **per-statement
+//! execution records** — which assignment executed in which cycle, the values
+//! of its operands at execution time, and the value it produced. Those
+//! records are exactly the "free supervision" VeriBug trains its execution-
+//! semantics model on (paper Sec. IV-C), and they drive the dynamic-slicing
+//! step of feature extraction (Sec. IV-B).
+//!
+//! The crate also provides [`TestbenchGen`], a seeded constrained-random
+//! stimulus generator standing in for GOLDMINE-generated testbenches.
+//!
+//! ## Quick start
+//!
+//! ```
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! use veribug_sim::{Simulator, TestbenchGen};
+//!
+//! let unit = verilog::parse(
+//!     "module counter(input clk, input en, output reg [3:0] n);\n\
+//!      always @(posedge clk) begin\nif (en) n <= n + 1'b1;\nend\nendmodule",
+//! )?;
+//! let mut sim = Simulator::new(unit.top())?;
+//! let stim = TestbenchGen::new(42).generate(sim.netlist(), 32);
+//! let trace = sim.run(&stim)?;
+//! assert_eq!(trace.len(), 32);
+//! // Every execution of the increment was recorded with operand values.
+//! let execs = trace.execs_of(verilog::StmtId(0));
+//! assert!(!execs.is_empty());
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod error;
+pub mod eval;
+pub mod netlist;
+pub mod sched;
+pub mod testbench;
+pub mod trace;
+pub mod value;
+pub mod vcd;
+
+pub use error::SimError;
+pub use eval::{EvalCtx, Write};
+pub use netlist::{Netlist, Process, Signal, SignalId, SignalRole};
+pub use sched::{simulate, Simulator};
+pub use testbench::{InputVector, Stimulus, TestbenchGen};
+pub use trace::{CycleRecord, StmtExec, Trace, TraceLabel};
+pub use value::Value;
+pub use vcd::to_vcd;

@@ -1,0 +1,325 @@
+//! The cycle-based simulation scheduler.
+//!
+//! Each simulated cycle:
+//!
+//! 1. apply the stimulus vector to the input ports,
+//! 2. settle combinational logic to a fixpoint (silently), then run one more
+//!    recording pass so executed-statement records reflect stable values,
+//! 3. snapshot all signal values into the cycle record,
+//! 4. fire the clock edge: run every sequential block against pre-edge
+//!    values (recording executions), then commit all non-blocking writes.
+//!
+//! Async-reset edges are approximated synchronously: reset blocks execute at
+//! every clock edge with the current reset value, which matches the paper's
+//! usage (reset held during the first cycles of each GOLDMINE testbench).
+
+use crate::error::SimError;
+use crate::eval::{EvalCtx, Write};
+use crate::netlist::{Netlist, Process};
+use crate::testbench::Stimulus;
+use crate::trace::{CycleRecord, StmtExec, Trace};
+use crate::value::Value;
+use verilog::Module;
+
+/// A reusable simulator for one design.
+#[derive(Debug)]
+pub struct Simulator {
+    netlist: Netlist,
+}
+
+impl Simulator {
+    /// Elaborates a module into a simulator.
+    ///
+    /// # Errors
+    ///
+    /// Propagates elaboration errors ([`SimError::Unsupported`],
+    /// [`SimError::ClockMismatch`]).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+    /// use veribug_sim::{Simulator, TestbenchGen};
+    ///
+    /// let unit = verilog::parse(
+    ///     "module m(input clk, input d, output reg q);\n\
+    ///      always @(posedge clk) q <= d;\nendmodule",
+    /// )?;
+    /// let mut sim = Simulator::new(unit.top())?;
+    /// let stim = TestbenchGen::new(7).generate(sim.netlist(), 16);
+    /// let trace = sim.run(&stim)?;
+    /// assert_eq!(trace.len(), 16);
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn new(module: &Module) -> Result<Self, SimError> {
+        Ok(Simulator {
+            netlist: Netlist::elaborate(module)?,
+        })
+    }
+
+    /// The elaborated design.
+    pub fn netlist(&self) -> &Netlist {
+        &self.netlist
+    }
+
+    /// Runs a stimulus from the all-zero reset state and returns the trace.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::NotAnInput`] when the stimulus drives a non-input,
+    /// [`SimError::CombinationalLoop`] when combinational logic does not
+    /// settle, plus any evaluation error.
+    pub fn run(&mut self, stimulus: &Stimulus) -> Result<Trace, SimError> {
+        let mut ctx = EvalCtx::new(&self.netlist);
+        let mut cycles = Vec::with_capacity(stimulus.vectors.len());
+        for (cycle_idx, vector) in stimulus.vectors.iter().enumerate() {
+            let cycle = cycle_idx as u32;
+            // 1. Apply inputs.
+            for (name, bits) in &vector.assigns {
+                let id = self
+                    .netlist
+                    .signal_id(name)
+                    .ok_or_else(|| SimError::UnknownSignal { name: name.clone() })?;
+                if self.netlist.signal(id).role != crate::netlist::SignalRole::Input {
+                    return Err(SimError::NotAnInput { name: name.clone() });
+                }
+                ctx.values[id.0 as usize] = Value::new(*bits, self.netlist.signal(id).width);
+            }
+
+            // 2. Combinational settle + recording pass.
+            let mut execs: Vec<StmtExec> = Vec::new();
+            self.settle_comb(&mut ctx)?;
+            for p in &self.netlist.comb {
+                self.run_comb_process(&mut ctx, p, cycle, Some(&mut execs))?;
+            }
+
+            // 3. Snapshot pre-edge values.
+            let signals = ctx.values.clone();
+
+            // 4. Clock edge: sequential blocks with deferred commits.
+            let mut deferred: Vec<Write> = Vec::new();
+            for p in &self.netlist.seq {
+                let Process::Seq(blk) = p else { continue };
+                ctx.exec_stmts(&blk.body, cycle, Some(&mut deferred), Some(&mut execs))?;
+            }
+            for w in deferred {
+                let cur = ctx.values[w.target.0 as usize];
+                ctx.values[w.target.0 as usize] = w.apply(cur);
+            }
+
+            cycles.push(CycleRecord {
+                cycle,
+                signals,
+                execs,
+            });
+        }
+        Ok(Trace { cycles })
+    }
+
+    fn run_comb_process(
+        &self,
+        ctx: &mut EvalCtx<'_>,
+        p: &Process,
+        cycle: u32,
+        recorder: Option<&mut Vec<StmtExec>>,
+    ) -> Result<(), SimError> {
+        match p {
+            Process::Assign(a) => {
+                let stmts = [verilog::Stmt::Assign(a.clone())];
+                ctx.exec_stmts(&stmts, cycle, None, recorder)
+            }
+            Process::Comb(blk) => ctx.exec_stmts(&blk.body, cycle, None, recorder),
+            Process::Seq(_) => Ok(()),
+        }
+    }
+
+    /// Iterates the combinational processes until no signal changes.
+    fn settle_comb(&self, ctx: &mut EvalCtx<'_>) -> Result<(), SimError> {
+        let max_iters = (self.netlist.comb.len() as u32 + 4) * 4;
+        for _ in 0..max_iters {
+            let before = ctx.values.clone();
+            for p in &self.netlist.comb {
+                self.run_comb_process(ctx, p, 0, None)?;
+            }
+            if ctx.values == before {
+                return Ok(());
+            }
+        }
+        Err(SimError::CombinationalLoop {
+            iterations: max_iters,
+        })
+    }
+}
+
+/// One-shot convenience: elaborate, simulate, return the trace.
+///
+/// # Errors
+///
+/// See [`Simulator::new`] and [`Simulator::run`].
+pub fn simulate(module: &Module, stimulus: &Stimulus) -> Result<Trace, SimError> {
+    Simulator::new(module)?.run(stimulus)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testbench::{InputVector, Stimulus};
+
+    fn stim(vectors: Vec<Vec<(&str, u64)>>) -> Stimulus {
+        Stimulus {
+            vectors: vectors
+                .into_iter()
+                .map(|v| InputVector {
+                    assigns: v
+                        .into_iter()
+                        .map(|(n, b)| (n.to_owned(), b))
+                        .collect(),
+                })
+                .collect(),
+        }
+    }
+
+    fn run(src: &str, vectors: Vec<Vec<(&str, u64)>>) -> (Simulator, Trace) {
+        let unit = verilog::parse(src).unwrap();
+        let mut sim = Simulator::new(unit.top()).unwrap();
+        let t = sim.run(&stim(vectors)).unwrap();
+        (sim, t)
+    }
+
+    #[test]
+    fn combinational_logic_settles_through_chain() {
+        let src = "module m(input a, output y);\nwire t1, t2;\n\
+                   assign t2 = ~t1;\nassign t1 = ~a;\nassign y = t2;\nendmodule";
+        let (sim, t) = run(src, vec![vec![("a", 1)], vec![("a", 0)]]);
+        let y = sim.netlist().signal_id("y").unwrap();
+        assert_eq!(t.cycles[0].value(y).bits(), 1);
+        assert_eq!(t.cycles[1].value(y).bits(), 0);
+    }
+
+    #[test]
+    fn register_delays_by_one_cycle() {
+        let src = "module m(input clk, input d, output reg q);\n\
+                   always @(posedge clk) q <= d;\nendmodule";
+        let (sim, t) = run(
+            src,
+            vec![vec![("d", 1)], vec![("d", 0)], vec![("d", 1)]],
+        );
+        let q = sim.netlist().signal_id("q").unwrap();
+        // Pre-edge snapshot: q holds the previous cycle's d.
+        assert_eq!(t.cycles[0].value(q).bits(), 0);
+        assert_eq!(t.cycles[1].value(q).bits(), 1);
+        assert_eq!(t.cycles[2].value(q).bits(), 0);
+    }
+
+    #[test]
+    fn nonblocking_swap_is_simultaneous() {
+        let src = "module m(input clk, input seed, output reg a, output reg b);\n\
+                   always @(posedge clk) begin\n\
+                   if (seed) begin a <= 1'b1; b <= 1'b0; end\n\
+                   else begin a <= b; b <= a; end\nend\nendmodule";
+        let (sim, t) = run(
+            src,
+            vec![
+                vec![("seed", 1)],
+                vec![("seed", 0)],
+                vec![("seed", 0)],
+                vec![("seed", 0)],
+            ],
+        );
+        let a = sim.netlist().signal_id("a").unwrap();
+        let b = sim.netlist().signal_id("b").unwrap();
+        // After the seed cycle: a=1,b=0. Swaps alternate each edge.
+        assert_eq!(
+            (t.cycles[1].value(a).bits(), t.cycles[1].value(b).bits()),
+            (1, 0)
+        );
+        assert_eq!(
+            (t.cycles[2].value(a).bits(), t.cycles[2].value(b).bits()),
+            (0, 1)
+        );
+        assert_eq!(
+            (t.cycles[3].value(a).bits(), t.cycles[3].value(b).bits()),
+            (1, 0)
+        );
+    }
+
+    #[test]
+    fn comb_loop_detected() {
+        let src = "module m(input a, output y);\nwire t;\n\
+                   assign t = ~y;\nassign y = t & a;\nendmodule";
+        // With a=1: y = ~y — a genuine oscillation.
+        let unit = verilog::parse(src).unwrap();
+        let mut sim = Simulator::new(unit.top()).unwrap();
+        let err = sim.run(&stim(vec![vec![("a", 1)]])).unwrap_err();
+        assert!(matches!(err, SimError::CombinationalLoop { .. }));
+    }
+
+    #[test]
+    fn execution_records_capture_operands_and_branches() {
+        let src = "module m(input c, input a, input b, output reg y);\n\
+                   always @(*) begin\nif (c) y = a; else y = b;\nend\nendmodule";
+        let (_, t) = run(src, vec![vec![("c", 1), ("a", 1), ("b", 0)]]);
+        let execs = &t.cycles[0].execs;
+        assert_eq!(execs.len(), 1, "only the taken branch records");
+        let e = &execs[0];
+        assert_eq!(e.stmt, verilog::StmtId(0));
+        assert_eq!(e.operand("a").unwrap().bits(), 1);
+        assert_eq!(e.result.bits(), 1);
+    }
+
+    #[test]
+    fn driving_non_input_errors() {
+        let src = "module m(input a, output y);\nassign y = a;\nendmodule";
+        let unit = verilog::parse(src).unwrap();
+        let mut sim = Simulator::new(unit.top()).unwrap();
+        let err = sim.run(&stim(vec![vec![("y", 1)]])).unwrap_err();
+        assert!(matches!(err, SimError::NotAnInput { .. }));
+    }
+
+    #[test]
+    fn case_statement_executes_matching_arm() {
+        let src = "module m(input [1:0] s, input a, input b, output reg y);\n\
+                   always @(*) begin\ncase (s)\n2'b00: y = a;\n2'b01: y = b;\ndefault: y = 1'b1;\nendcase\nend\nendmodule";
+        let (sim, t) = run(
+            src,
+            vec![
+                vec![("s", 0), ("a", 1), ("b", 0)],
+                vec![("s", 1), ("a", 1), ("b", 0)],
+                vec![("s", 3), ("a", 0), ("b", 0)],
+            ],
+        );
+        let y = sim.netlist().signal_id("y").unwrap();
+        assert_eq!(t.cycles[0].value(y).bits(), 1); // y = a = 1
+        assert_eq!(t.cycles[1].value(y).bits(), 0); // y = b = 0
+        assert_eq!(t.cycles[2].value(y).bits(), 1); // default
+    }
+
+    #[test]
+    fn async_reset_block_approximated_synchronously() {
+        let src = "module m(input clk, input rst_n, input d, output reg q);\n\
+                   always @(posedge clk or negedge rst_n) begin\n\
+                   if (!rst_n) q <= 1'b0; else q <= d;\nend\nendmodule";
+        let (sim, t) = run(
+            src,
+            vec![
+                vec![("rst_n", 0), ("d", 1)],
+                vec![("rst_n", 1), ("d", 1)],
+                vec![("rst_n", 1), ("d", 0)],
+            ],
+        );
+        let q = sim.netlist().signal_id("q").unwrap();
+        assert_eq!(t.cycles[1].value(q).bits(), 0); // held in reset at cycle 0 edge
+        assert_eq!(t.cycles[2].value(q).bits(), 1); // captured d=1 at cycle 1 edge
+    }
+
+    #[test]
+    fn blocking_order_within_comb_block() {
+        let src = "module m(input a, output reg y);\nreg t;\n\
+                   always @(*) begin\nt = ~a;\ny = t;\nend\nendmodule";
+        let (sim, t) = run(src, vec![vec![("a", 0)], vec![("a", 1)]]);
+        let y = sim.netlist().signal_id("y").unwrap();
+        assert_eq!(t.cycles[0].value(y).bits(), 1);
+        assert_eq!(t.cycles[1].value(y).bits(), 0);
+    }
+}

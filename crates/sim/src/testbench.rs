@@ -1,0 +1,274 @@
+//! Random-stimulus testbench generation (GOLDMINE testbench substitute).
+//!
+//! Generates seeded, reproducible input sequences. Reset-like inputs
+//! (detected by name or by appearing as an async-reset edge) are held active
+//! for the first cycles and inactive afterwards; every other input is
+//! re-randomized per cycle with a configurable hold probability, which keeps
+//! temporal correlation in the stimulus the way constrained-random
+//! testbenches do.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use crate::netlist::Netlist;
+use crate::value::Value;
+
+/// A single cycle's input assignments, by port name.
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct InputVector {
+    /// `(port name, bits)` pairs.
+    pub assigns: Vec<(String, u64)>,
+}
+
+impl InputVector {
+    /// The driven value of a port, if present in this vector.
+    pub fn value_of(&self, name: &str) -> Option<u64> {
+        self.assigns
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| *v)
+    }
+}
+
+/// A complete multi-cycle stimulus.
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct Stimulus {
+    /// One input vector per cycle.
+    pub vectors: Vec<InputVector>,
+}
+
+impl Stimulus {
+    /// Number of cycles.
+    pub fn len(&self) -> usize {
+        self.vectors.len()
+    }
+
+    /// True when the stimulus has no cycles.
+    pub fn is_empty(&self) -> bool {
+        self.vectors.is_empty()
+    }
+}
+
+/// Seeded random testbench generator.
+#[derive(Debug, Clone)]
+pub struct TestbenchGen {
+    seed: u64,
+    hold_probability: f64,
+    reset_cycles: usize,
+    couple_probability: f64,
+}
+
+impl TestbenchGen {
+    /// Creates a generator with the default hold probability (0.5), a
+    /// 2-cycle reset window, and 25% input coupling.
+    pub fn new(seed: u64) -> Self {
+        TestbenchGen {
+            seed,
+            hold_probability: 0.5,
+            reset_cycles: 2,
+            couple_probability: 0.25,
+        }
+    }
+
+    /// Sets the probability that a multi-bit input copies the value of
+    /// another same-width input in the same cycle. Coupling makes equality
+    /// comparisons (address matches, tag compares) fire at useful rates —
+    /// the role GOLDMINE's design-aware testbenches play in the paper.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not within `[0, 1]`.
+    pub fn with_couple_probability(mut self, p: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p), "probability {p} out of [0,1]");
+        self.couple_probability = p;
+        self
+    }
+
+    /// Sets the probability that an input holds its previous value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not within `[0, 1]`.
+    pub fn with_hold_probability(mut self, p: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p), "probability {p} out of [0,1]");
+        self.hold_probability = p;
+        self
+    }
+
+    /// Sets how many leading cycles reset-like inputs stay asserted.
+    pub fn with_reset_cycles(mut self, cycles: usize) -> Self {
+        self.reset_cycles = cycles;
+        self
+    }
+
+    /// Generates a stimulus of `cycles` cycles for a design.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+    /// use veribug_sim::{Netlist, TestbenchGen};
+    ///
+    /// let unit = verilog::parse(
+    ///     "module m(input clk, input rst_n, input d, output reg q);\n\
+    ///      always @(posedge clk) q <= d & rst_n;\nendmodule",
+    /// )?;
+    /// let netlist = Netlist::elaborate(unit.top())?;
+    /// let stim = TestbenchGen::new(42).generate(&netlist, 8);
+    /// assert_eq!(stim.len(), 8);
+    /// // rst_n is active-low: held at 0 during the reset window.
+    /// assert_eq!(stim.vectors[0].value_of("rst_n"), Some(0));
+    /// assert_eq!(stim.vectors[7].value_of("rst_n"), Some(1));
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn generate(&self, netlist: &Netlist, cycles: usize) -> Stimulus {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let inputs = netlist.stimulus_inputs();
+        let mut prev: Vec<u64> = inputs.iter().map(|_| 0).collect();
+        let mut vectors = Vec::with_capacity(cycles);
+        for cycle in 0..cycles {
+            let mut assigns: Vec<(String, u64)> = Vec::with_capacity(inputs.len());
+            for (slot, id) in inputs.iter().enumerate() {
+                let sig = netlist.signal(*id);
+                let bits = if let Some(active_low) = reset_polarity(netlist, &sig.name, *id) {
+                    let in_reset = cycle < self.reset_cycles;
+                    // Active-low reset: 0 while resetting. Active-high: 1.
+                    u64::from(in_reset != active_low)
+                } else if cycle > 0 && rng.random_bool(self.hold_probability) {
+                    prev[slot]
+                } else if sig.width > 1 && rng.random_bool(self.couple_probability) {
+                    // Copy another same-width input already driven this
+                    // cycle, so equality comparisons can fire.
+                    let peers: Vec<u64> = inputs[..slot]
+                        .iter()
+                        .zip(&assigns)
+                        .filter(|(pid, _)| netlist.signal(**pid).width == sig.width)
+                        .map(|(_, (_, bits))| *bits)
+                        .collect();
+                    if peers.is_empty() {
+                        rng.random::<u64>() & Value::mask(sig.width)
+                    } else {
+                        peers[rng.random_range(0..peers.len())]
+                    }
+                } else {
+                    rng.random::<u64>() & Value::mask(sig.width)
+                };
+                prev[slot] = bits;
+                assigns.push((sig.name.clone(), bits));
+            }
+            vectors.push(InputVector { assigns });
+        }
+        Stimulus { vectors }
+    }
+
+    /// Generates `count` independent stimuli by perturbing the seed.
+    pub fn generate_many(&self, netlist: &Netlist, cycles: usize, count: usize) -> Vec<Stimulus> {
+        (0..count)
+            .map(|i| {
+                TestbenchGen {
+                    seed: self.seed.wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(i as u64 + 1)),
+                    ..self.clone()
+                }
+                .generate(netlist, cycles)
+            })
+            .collect()
+    }
+}
+
+/// Returns `Some(active_low)` when the signal looks like a reset.
+fn reset_polarity(netlist: &Netlist, name: &str, id: crate::netlist::SignalId) -> Option<bool> {
+    let lower = name.to_ascii_lowercase();
+    let is_named_reset = lower == "rst"
+        || lower == "reset"
+        || lower.starts_with("rst_")
+        || lower.starts_with("reset_")
+        || lower.ends_with("_rst")
+        || lower.ends_with("_reset")
+        || lower.ends_with("rst_n")
+        || lower.ends_with("resetn")
+        || lower.ends_with("rst_ni");
+    if !is_named_reset && !netlist.resets.contains(&id) {
+        return None;
+    }
+    let active_low = lower.ends_with('n') || lower.ends_with("_ni") || lower.contains("_n");
+    Some(active_low)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::netlist::Netlist;
+
+    fn netlist(src: &str) -> Netlist {
+        Netlist::elaborate(verilog::parse(src).unwrap().top()).unwrap()
+    }
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let n = netlist(
+            "module m(input clk, input [7:0] a, input b, output reg [7:0] q);\n\
+             always @(posedge clk) q <= a & {8{b}};\nendmodule",
+        );
+        let s1 = TestbenchGen::new(123).generate(&n, 32);
+        let s2 = TestbenchGen::new(123).generate(&n, 32);
+        let s3 = TestbenchGen::new(124).generate(&n, 32);
+        assert_eq!(s1, s2);
+        assert_ne!(s1, s3);
+    }
+
+    #[test]
+    fn values_respect_widths() {
+        let n = netlist(
+            "module m(input clk, input [2:0] a, output reg [2:0] q);\n\
+             always @(posedge clk) q <= a;\nendmodule",
+        );
+        let s = TestbenchGen::new(9).with_hold_probability(0.0).generate(&n, 64);
+        for v in &s.vectors {
+            let a = v.value_of("a").unwrap();
+            assert!(a < 8, "3-bit input out of range: {a}");
+        }
+    }
+
+    #[test]
+    fn reset_window_polarity() {
+        let n = netlist(
+            "module m(input clk, input rst, input rst_n, input d, output reg q);\n\
+             always @(posedge clk) q <= d & rst_n & ~rst;\nendmodule",
+        );
+        let s = TestbenchGen::new(5).with_reset_cycles(3).generate(&n, 6);
+        for c in 0..3 {
+            assert_eq!(s.vectors[c].value_of("rst"), Some(1), "active-high asserted");
+            assert_eq!(s.vectors[c].value_of("rst_n"), Some(0), "active-low asserted");
+        }
+        for c in 3..6 {
+            assert_eq!(s.vectors[c].value_of("rst"), Some(0));
+            assert_eq!(s.vectors[c].value_of("rst_n"), Some(1));
+        }
+    }
+
+    #[test]
+    fn generate_many_yields_distinct_stimuli() {
+        let n = netlist(
+            "module m(input clk, input [7:0] a, output reg [7:0] q);\n\
+             always @(posedge clk) q <= a;\nendmodule",
+        );
+        let many = TestbenchGen::new(1).generate_many(&n, 16, 4);
+        assert_eq!(many.len(), 4);
+        assert_ne!(many[0], many[1]);
+        assert_ne!(many[1], many[2]);
+    }
+
+    #[test]
+    fn hold_probability_one_freezes_inputs_after_first_cycle() {
+        let n = netlist(
+            "module m(input clk, input [7:0] a, output reg [7:0] q);\n\
+             always @(posedge clk) q <= a;\nendmodule",
+        );
+        let s = TestbenchGen::new(2).with_hold_probability(1.0).generate(&n, 8);
+        let first = s.vectors[0].value_of("a").unwrap();
+        for v in &s.vectors {
+            assert_eq!(v.value_of("a"), Some(first));
+        }
+    }
+}

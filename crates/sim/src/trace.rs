@@ -1,0 +1,169 @@
+//! Simulation traces: per-cycle signal values and per-statement execution
+//! records — the free supervision VeriBug trains on.
+
+use std::collections::BTreeSet;
+
+use crate::netlist::{Netlist, SignalId};
+use crate::value::Value;
+use verilog::StmtId;
+
+/// One execution of one assignment statement.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct StmtExec {
+    /// Which statement executed.
+    pub stmt: StmtId,
+    /// Cycle index the execution belongs to.
+    pub cycle: u32,
+    /// Values of the distinct signals read by the right-hand side (and any
+    /// LHS index expression), keyed by name, at execution time.
+    pub operands: Vec<(String, Value)>,
+    /// The value assigned to the left-hand side.
+    pub result: Value,
+}
+
+impl StmtExec {
+    /// The recorded value of a named operand, if the statement read it.
+    pub fn operand(&self, name: &str) -> Option<Value> {
+        self.operands
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| *v)
+    }
+}
+
+/// Everything observed in one clock cycle.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct CycleRecord {
+    /// Cycle index (0-based).
+    pub cycle: u32,
+    /// Post-settle value of every signal, indexed by [`SignalId`].
+    pub signals: Vec<Value>,
+    /// Statement executions this cycle (combinational settle + clock edge).
+    pub execs: Vec<StmtExec>,
+}
+
+impl CycleRecord {
+    /// The settled value of a signal this cycle.
+    pub fn value(&self, id: SignalId) -> Value {
+        self.signals[id.0 as usize]
+    }
+}
+
+/// A complete simulation run.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct Trace {
+    /// Per-cycle records in time order.
+    pub cycles: Vec<CycleRecord>,
+}
+
+impl Trace {
+    /// The sequence of settled values a signal took, one per cycle.
+    pub fn signal_values(&self, id: SignalId) -> Vec<Value> {
+        self.cycles.iter().map(|c| c.value(id)).collect()
+    }
+
+    /// Looks up a signal by name in `netlist` and returns its per-cycle values.
+    pub fn values_of(&self, netlist: &Netlist, name: &str) -> Option<Vec<Value>> {
+        netlist.signal_id(name).map(|id| self.signal_values(id))
+    }
+
+    /// Every statement that executed at least once in the trace.
+    pub fn executed_stmts(&self) -> BTreeSet<StmtId> {
+        self.cycles
+            .iter()
+            .flat_map(|c| c.execs.iter().map(|e| e.stmt))
+            .collect()
+    }
+
+    /// All executions of a given statement across the trace.
+    pub fn execs_of(&self, stmt: StmtId) -> Vec<&StmtExec> {
+        self.cycles
+            .iter()
+            .flat_map(|c| c.execs.iter().filter(move |e| e.stmt == stmt))
+            .collect()
+    }
+
+    /// True when `self` and `other` disagree on `signal` in any cycle
+    /// (compared over the shorter of the two traces).
+    pub fn differs_at(&self, other: &Trace, signal: SignalId) -> bool {
+        self.cycles
+            .iter()
+            .zip(&other.cycles)
+            .any(|(a, b)| a.value(signal) != b.value(signal))
+    }
+
+    /// Number of simulated cycles.
+    pub fn len(&self) -> usize {
+        self.cycles.len()
+    }
+
+    /// True when no cycles were simulated.
+    pub fn is_empty(&self) -> bool {
+        self.cycles.is_empty()
+    }
+}
+
+/// A trace labelled by golden-vs-mutant comparison at a target output.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub enum TraceLabel {
+    /// The bug symptomatized at the target output: a failure trace (`T_f`).
+    Failing,
+    /// The target output matched the golden design: a correct trace (`T_c`).
+    Correct,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn exec(stmt: u32, cycle: u32, result: u64) -> StmtExec {
+        StmtExec {
+            stmt: StmtId(stmt),
+            cycle,
+            operands: vec![("a".to_owned(), Value::bit(true))],
+            result: Value::new(result, 1),
+        }
+    }
+
+    #[test]
+    fn executed_stmts_dedups() {
+        let t = Trace {
+            cycles: vec![
+                CycleRecord {
+                    cycle: 0,
+                    signals: vec![Value::bit(false)],
+                    execs: vec![exec(0, 0, 1), exec(1, 0, 0)],
+                },
+                CycleRecord {
+                    cycle: 1,
+                    signals: vec![Value::bit(true)],
+                    execs: vec![exec(0, 1, 1)],
+                },
+            ],
+        };
+        let s = t.executed_stmts();
+        assert_eq!(s.len(), 2);
+        assert_eq!(t.execs_of(StmtId(0)).len(), 2);
+        assert_eq!(t.execs_of(StmtId(1)).len(), 1);
+    }
+
+    #[test]
+    fn differs_at_detects_divergence() {
+        let mk = |v: bool| Trace {
+            cycles: vec![CycleRecord {
+                cycle: 0,
+                signals: vec![Value::bit(v)],
+                execs: vec![],
+            }],
+        };
+        assert!(mk(true).differs_at(&mk(false), SignalId(0)));
+        assert!(!mk(true).differs_at(&mk(true), SignalId(0)));
+    }
+
+    #[test]
+    fn operand_lookup() {
+        let e = exec(0, 0, 1);
+        assert_eq!(e.operand("a"), Some(Value::bit(true)));
+        assert_eq!(e.operand("b"), None);
+    }
+}

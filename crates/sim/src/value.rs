@@ -1,0 +1,139 @@
+//! Two-state bit-vector values (1–64 bits).
+
+use std::fmt;
+
+/// A two-state logic value: `width` bits stored in the low bits of `bits`.
+///
+/// All constructors and operations keep the invariant that bits above
+/// `width` are zero.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub struct Value {
+    bits: u64,
+    width: u8,
+}
+
+impl Value {
+    /// Creates a value, truncating `bits` to `width`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is 0 or greater than 64.
+    pub fn new(bits: u64, width: u8) -> Self {
+        assert!((1..=64).contains(&width), "width {width} out of 1..=64");
+        Value {
+            bits: bits & Self::mask(width),
+            width,
+        }
+    }
+
+    /// A single-bit value.
+    pub fn bit(b: bool) -> Self {
+        Value {
+            bits: u64::from(b),
+            width: 1,
+        }
+    }
+
+    /// The all-zero value of a given width.
+    pub fn zero(width: u8) -> Self {
+        Value::new(0, width)
+    }
+
+    /// The raw bits (above-width bits are always zero).
+    pub fn bits(self) -> u64 {
+        self.bits
+    }
+
+    /// The width in bits.
+    pub fn width(self) -> u8 {
+        self.width
+    }
+
+    /// True when any bit is set.
+    pub fn is_truthy(self) -> bool {
+        self.bits != 0
+    }
+
+    /// The least-significant bit.
+    pub fn lsb(self) -> bool {
+        self.bits & 1 != 0
+    }
+
+    /// Reinterprets the value at a new width (truncating or zero-extending).
+    pub fn resize(self, width: u8) -> Self {
+        Value::new(self.bits, width)
+    }
+
+    /// The low-bit mask for a width.
+    pub fn mask(width: u8) -> u64 {
+        if width >= 64 {
+            u64::MAX
+        } else {
+            (1u64 << width) - 1
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}'d{}", self.width, self.bits)
+    }
+}
+
+impl fmt::Binary for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:0width$b}", self.bits, width = self.width as usize)
+    }
+}
+
+impl fmt::LowerHex for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:x}", self.bits)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(b: bool) -> Self {
+        Value::bit(b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn truncates_to_width() {
+        assert_eq!(Value::new(0xFF, 4).bits(), 0xF);
+        assert_eq!(Value::new(u64::MAX, 64).bits(), u64::MAX);
+    }
+
+    #[test]
+    fn resize_zero_extends_and_truncates() {
+        let v = Value::new(0b1010, 4);
+        assert_eq!(v.resize(8).bits(), 0b1010);
+        assert_eq!(v.resize(2).bits(), 0b10);
+    }
+
+    #[test]
+    #[should_panic(expected = "width")]
+    fn zero_width_panics() {
+        let _ = Value::new(0, 0);
+    }
+
+    #[test]
+    fn formatting() {
+        let v = Value::new(0b101, 3);
+        assert_eq!(v.to_string(), "3'd5");
+        assert_eq!(format!("{v:b}"), "101");
+        assert_eq!(format!("{v:x}"), "5");
+    }
+
+    #[test]
+    fn truthiness() {
+        assert!(Value::new(2, 4).is_truthy());
+        assert!(!Value::zero(4).is_truthy());
+        assert!(!Value::new(2, 4).lsb());
+        assert!(Value::new(3, 4).lsb());
+    }
+}

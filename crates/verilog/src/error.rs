@@ -1,0 +1,95 @@
+//! Error types for lexing and parsing.
+
+use crate::token::{Span, TokenKind};
+use std::fmt;
+
+/// An error produced while lexing or parsing Verilog source.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseError {
+    /// A character the lexer does not understand.
+    UnexpectedChar {
+        /// The offending character.
+        ch: char,
+        /// Where it was found.
+        span: Span,
+    },
+    /// A malformed number literal (bad base, overflow, empty digits).
+    MalformedNumber {
+        /// Human-readable detail.
+        detail: String,
+        /// Where the literal starts.
+        span: Span,
+    },
+    /// An unterminated block comment.
+    UnterminatedComment {
+        /// Where the comment starts.
+        span: Span,
+    },
+    /// The parser found a token it did not expect.
+    UnexpectedToken {
+        /// What was found.
+        found: TokenKind,
+        /// What the parser was expecting, human-readable.
+        expected: String,
+        /// Where the token is.
+        span: Span,
+    },
+    /// A construct that is valid Verilog but outside the supported subset.
+    Unsupported {
+        /// Human-readable description of the construct.
+        detail: String,
+        /// Where it occurs.
+        span: Span,
+    },
+    /// A semantic-level problem found during post-parse validation
+    /// (e.g. duplicate declaration, undeclared identifier).
+    Semantic {
+        /// Human-readable detail.
+        detail: String,
+        /// Where it occurs.
+        span: Span,
+    },
+}
+
+impl ParseError {
+    /// The source location the error points at.
+    pub fn span(&self) -> Span {
+        match self {
+            ParseError::UnexpectedChar { span, .. }
+            | ParseError::MalformedNumber { span, .. }
+            | ParseError::UnterminatedComment { span }
+            | ParseError::UnexpectedToken { span, .. }
+            | ParseError::Unsupported { span, .. }
+            | ParseError::Semantic { span, .. } => *span,
+        }
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseError::UnexpectedChar { ch, span } => {
+                write!(f, "unexpected character `{ch}` at {span}")
+            }
+            ParseError::MalformedNumber { detail, span } => {
+                write!(f, "malformed number at {span}: {detail}")
+            }
+            ParseError::UnterminatedComment { span } => {
+                write!(f, "unterminated block comment starting at {span}")
+            }
+            ParseError::UnexpectedToken {
+                found,
+                expected,
+                span,
+            } => write!(f, "expected {expected}, found {found} at {span}"),
+            ParseError::Unsupported { detail, span } => {
+                write!(f, "unsupported construct at {span}: {detail}")
+            }
+            ParseError::Semantic { detail, span } => {
+                write!(f, "semantic error at {span}: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}

@@ -1,0 +1,1055 @@
+//! Recursive-descent parser for the Verilog subset.
+//!
+//! Supports both ANSI (`module m(input a, output reg [3:0] y);`) and
+//! non-ANSI (`module m(a, y); input a; ...`) port declarations. Parameters
+//! and localparams are constant-folded at parse time, so downstream crates
+//! never see symbolic widths or parameter references.
+
+use crate::ast::*;
+use crate::error::ParseError;
+use crate::lexer::lex;
+use crate::token::{Keyword, Span, Token, TokenKind};
+use std::collections::HashMap;
+
+/// Parses Verilog source into a [`SourceUnit`].
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] for lexical errors, syntax errors, constructs
+/// outside the supported subset, and semantic problems (undeclared signals,
+/// duplicate declarations).
+///
+/// # Examples
+///
+/// ```
+/// # fn main() -> Result<(), veribug_verilog::ParseError> {
+/// let unit = veribug_verilog::parse(
+///     "module arb(input req1, input req2, output wire gnt1);\n\
+///      assign gnt1 = req1 & ~req2;\nendmodule",
+/// )?;
+/// assert_eq!(unit.top().name, "arb");
+/// assert_eq!(unit.top().assignments().len(), 1);
+/// # Ok(())
+/// # }
+/// ```
+pub fn parse(source: &str) -> Result<SourceUnit, ParseError> {
+    let tokens = lex(source)?;
+    let mut parser = Parser {
+        tokens,
+        pos: 0,
+        params: HashMap::new(),
+        next_stmt: 0,
+    };
+    let mut modules = Vec::new();
+    while !parser.at_eof() {
+        modules.push(parser.parse_module()?);
+    }
+    if modules.is_empty() {
+        return Err(ParseError::UnexpectedToken {
+            found: TokenKind::Eof,
+            expected: "`module`".to_owned(),
+            span: Span::new(1, 1),
+        });
+    }
+    let unit = SourceUnit { modules };
+    validate(&unit)?;
+    Ok(unit)
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+    /// Parameter environment of the module being parsed.
+    params: HashMap<String, (u64, Option<u32>)>,
+    /// Next statement id in the module being parsed.
+    next_stmt: u32,
+}
+
+impl Parser {
+    fn peek(&self) -> &Token {
+        &self.tokens[self.pos.min(self.tokens.len() - 1)]
+    }
+
+    fn peek_kind(&self) -> &TokenKind {
+        &self.peek().kind
+    }
+
+    fn at_eof(&self) -> bool {
+        matches!(self.peek_kind(), TokenKind::Eof)
+    }
+
+    fn bump(&mut self) -> Token {
+        let t = self.peek().clone();
+        if self.pos < self.tokens.len() - 1 {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn eat(&mut self, kind: &TokenKind) -> bool {
+        if self.peek_kind() == kind {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, kind: TokenKind) -> Result<Token, ParseError> {
+        if self.peek_kind() == &kind {
+            Ok(self.bump())
+        } else {
+            Err(self.unexpected(&format!("{kind}")))
+        }
+    }
+
+    fn expect_kw(&mut self, kw: Keyword) -> Result<Token, ParseError> {
+        self.expect(TokenKind::Keyword(kw))
+    }
+
+    fn eat_kw(&mut self, kw: Keyword) -> bool {
+        self.eat(&TokenKind::Keyword(kw))
+    }
+
+    fn at_kw(&self, kw: Keyword) -> bool {
+        self.peek_kind() == &TokenKind::Keyword(kw)
+    }
+
+    fn unexpected(&self, expected: &str) -> ParseError {
+        ParseError::UnexpectedToken {
+            found: self.peek_kind().clone(),
+            expected: expected.to_owned(),
+            span: self.peek().span,
+        }
+    }
+
+    fn expect_ident(&mut self) -> Result<(String, Span), ParseError> {
+        match self.peek_kind().clone() {
+            TokenKind::Ident(name) => {
+                let span = self.peek().span;
+                self.bump();
+                Ok((name, span))
+            }
+            _ => Err(self.unexpected("identifier")),
+        }
+    }
+
+    fn fresh_stmt_id(&mut self) -> StmtId {
+        let id = StmtId(self.next_stmt);
+        self.next_stmt += 1;
+        id
+    }
+
+    // ---- module structure ----
+
+    fn parse_module(&mut self) -> Result<Module, ParseError> {
+        self.params.clear();
+        self.next_stmt = 0;
+        let mspan = self.expect_kw(Keyword::Module)?.span;
+        let (name, _) = self.expect_ident()?;
+
+        // Optional parameter header `#(parameter W = 4, ...)`.
+        let mut params = Vec::new();
+        if self.eat(&TokenKind::Hash) {
+            self.expect(TokenKind::LParen)?;
+            loop {
+                self.expect_kw(Keyword::Parameter)?;
+                let p = self.parse_param_binding()?;
+                params.push(p);
+                if !self.eat(&TokenKind::Comma) {
+                    break;
+                }
+            }
+            self.expect(TokenKind::RParen)?;
+        }
+
+        let mut ports: Vec<Port> = Vec::new();
+        // Port list: either ANSI declarations or a bare name list.
+        let mut bare_port_names: Vec<(String, Span)> = Vec::new();
+        if self.eat(&TokenKind::LParen) {
+            if !self.eat(&TokenKind::RParen) {
+                if matches!(
+                    self.peek_kind(),
+                    TokenKind::Keyword(Keyword::Input | Keyword::Output | Keyword::Inout)
+                ) {
+                    // ANSI style.
+                    loop {
+                        let mut group = self.parse_ansi_port_group()?;
+                        ports.append(&mut group);
+                        if !self.eat(&TokenKind::Comma) {
+                            break;
+                        }
+                    }
+                } else {
+                    // Non-ANSI: bare names now, directions in the body.
+                    loop {
+                        bare_port_names.push(self.expect_ident()?);
+                        if !self.eat(&TokenKind::Comma) {
+                            break;
+                        }
+                    }
+                }
+                self.expect(TokenKind::RParen)?;
+            }
+        }
+        self.expect(TokenKind::Semi)?;
+
+        let mut decls: Vec<Decl> = Vec::new();
+        let mut items: Vec<Item> = Vec::new();
+        // Non-ANSI port directions discovered in the body.
+        let mut body_ports: Vec<Port> = Vec::new();
+
+        while !self.at_kw(Keyword::Endmodule) {
+            match self.peek_kind().clone() {
+                TokenKind::Keyword(Keyword::Parameter | Keyword::Localparam) => {
+                    self.bump();
+                    loop {
+                        let p = self.parse_param_binding()?;
+                        params.push(p);
+                        if !self.eat(&TokenKind::Comma) {
+                            break;
+                        }
+                    }
+                    self.expect(TokenKind::Semi)?;
+                }
+                TokenKind::Keyword(Keyword::Input | Keyword::Output | Keyword::Inout) => {
+                    let mut group = self.parse_ansi_port_group()?;
+                    self.expect(TokenKind::Semi)?;
+                    body_ports.append(&mut group);
+                }
+                TokenKind::Keyword(Keyword::Wire) => {
+                    self.bump();
+                    self.parse_decl_group(NetKind::Wire, &mut decls)?;
+                }
+                TokenKind::Keyword(Keyword::Reg) => {
+                    self.bump();
+                    self.parse_decl_group(NetKind::Reg, &mut decls)?;
+                }
+                TokenKind::Keyword(Keyword::Integer) => {
+                    let span = self.bump().span;
+                    loop {
+                        let (dname, _) = self.expect_ident()?;
+                        decls.push(Decl {
+                            name: dname,
+                            kind: NetKind::Reg,
+                            width: 32,
+                            span,
+                        });
+                        if !self.eat(&TokenKind::Comma) {
+                            break;
+                        }
+                    }
+                    self.expect(TokenKind::Semi)?;
+                }
+                TokenKind::Keyword(Keyword::Assign) => {
+                    let span = self.bump().span;
+                    let lhs = self.parse_lvalue()?;
+                    self.expect(TokenKind::Eq)?;
+                    let rhs = self.parse_expr()?;
+                    self.expect(TokenKind::Semi)?;
+                    items.push(Item::Assign(Assignment {
+                        id: self.fresh_stmt_id(),
+                        kind: AssignKind::Continuous,
+                        lhs,
+                        rhs,
+                        span,
+                    }));
+                }
+                TokenKind::Keyword(Keyword::Always) => {
+                    items.push(Item::Always(self.parse_always()?));
+                }
+                _ => return Err(self.unexpected("module item")),
+            }
+        }
+        self.expect_kw(Keyword::Endmodule)?;
+
+        // Merge body-declared ports: if there was a bare port list, its order
+        // wins; otherwise (pure ANSI) the header already produced `ports`.
+        if !bare_port_names.is_empty() {
+            for (pname, pspan) in &bare_port_names {
+                let found = body_ports.iter().find(|p| &p.name == pname).cloned();
+                match found {
+                    Some(mut p) => {
+                        p.span = *pspan;
+                        ports.push(p);
+                    }
+                    None => {
+                        return Err(ParseError::Semantic {
+                            detail: format!("port `{pname}` has no direction declaration"),
+                            span: *pspan,
+                        });
+                    }
+                }
+            }
+        } else {
+            ports.extend(body_ports);
+        }
+
+        // `output reg` ports double as declarations for the simulator; plain
+        // `reg` declarations that shadow a port are merged during validation.
+        Ok(Module {
+            name,
+            ports,
+            params,
+            decls,
+            items,
+            span: mspan,
+        })
+    }
+
+    fn parse_param_binding(&mut self) -> Result<Param, ParseError> {
+        let width = if self.peek_kind() == &TokenKind::LBracket {
+            Some(self.parse_range()?.0)
+        } else {
+            None
+        };
+        let (name, span) = self.expect_ident()?;
+        self.expect(TokenKind::Eq)?;
+        let value_expr = self.parse_expr()?;
+        let value = self.const_eval(&value_expr)?;
+        self.params.insert(name.clone(), (value, width));
+        Ok(Param {
+            name,
+            value,
+            width,
+            span,
+        })
+    }
+
+    /// Parses `input|output|inout [reg] [range] name {, name}` and fans the
+    /// shared direction/width out to each name. Stops before `,` followed by
+    /// another direction keyword so ANSI headers group correctly.
+    fn parse_ansi_port_group(&mut self) -> Result<Vec<Port>, ParseError> {
+        let dir = match self.peek_kind() {
+            TokenKind::Keyword(Keyword::Input) => PortDir::Input,
+            TokenKind::Keyword(Keyword::Output) => PortDir::Output,
+            TokenKind::Keyword(Keyword::Inout) => PortDir::Inout,
+            _ => return Err(self.unexpected("port direction")),
+        };
+        self.bump();
+        let is_reg = self.eat_kw(Keyword::Reg) || {
+            self.eat_kw(Keyword::Wire);
+            false
+        };
+        let width = if self.peek_kind() == &TokenKind::LBracket {
+            self.parse_range()?.1
+        } else {
+            1
+        };
+        let mut out = Vec::new();
+        loop {
+            let (name, span) = self.expect_ident()?;
+            out.push(Port {
+                name,
+                dir,
+                width,
+                is_reg,
+                span,
+            });
+            // In an ANSI header another `,` may introduce a new direction
+            // group; only consume the comma when a plain name follows.
+            if self.peek_kind() == &TokenKind::Comma
+                && matches!(self.tokens[self.pos + 1].kind, TokenKind::Ident(_))
+            {
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        Ok(out)
+    }
+
+    fn parse_decl_group(
+        &mut self,
+        kind: NetKind,
+        decls: &mut Vec<Decl>,
+    ) -> Result<(), ParseError> {
+        let width = if self.peek_kind() == &TokenKind::LBracket {
+            self.parse_range()?.1
+        } else {
+            1
+        };
+        loop {
+            let (name, span) = self.expect_ident()?;
+            decls.push(Decl {
+                name,
+                kind,
+                width,
+                span,
+            });
+            if !self.eat(&TokenKind::Comma) {
+                break;
+            }
+        }
+        self.expect(TokenKind::Semi)?;
+        Ok(())
+    }
+
+    /// Parses `[msb:lsb]`, returning `(msb, width)`.
+    fn parse_range(&mut self) -> Result<(u32, u32), ParseError> {
+        let span = self.expect(TokenKind::LBracket)?.span;
+        let msb_expr = self.parse_expr()?;
+        let msb = self.const_eval(&msb_expr)?;
+        self.expect(TokenKind::Colon)?;
+        let lsb_expr = self.parse_expr()?;
+        let lsb = self.const_eval(&lsb_expr)?;
+        self.expect(TokenKind::RBracket)?;
+        if msb < lsb {
+            return Err(ParseError::Unsupported {
+                detail: format!("ascending range [{msb}:{lsb}]"),
+                span,
+            });
+        }
+        let width = (msb - lsb + 1) as u32;
+        if width > 64 {
+            return Err(ParseError::Unsupported {
+                detail: format!("width {width} exceeds the 64-bit subset limit"),
+                span,
+            });
+        }
+        if lsb != 0 {
+            return Err(ParseError::Unsupported {
+                detail: format!("non-zero LSB range [{msb}:{lsb}]"),
+                span,
+            });
+        }
+        Ok((msb as u32, width))
+    }
+
+    fn parse_always(&mut self) -> Result<AlwaysBlock, ParseError> {
+        let span = self.expect_kw(Keyword::Always)?.span;
+        self.expect(TokenKind::At)?;
+        let sensitivity = if self.eat(&TokenKind::Star) {
+            Sensitivity::Star
+        } else {
+            self.expect(TokenKind::LParen)?;
+            if self.eat(&TokenKind::Star) {
+                self.expect(TokenKind::RParen)?;
+                Sensitivity::Star
+            } else if self.at_kw(Keyword::Posedge) || self.at_kw(Keyword::Negedge) {
+                let mut edges = Vec::new();
+                loop {
+                    let edge = if self.eat_kw(Keyword::Posedge) {
+                        EdgeKind::Pos
+                    } else {
+                        self.expect_kw(Keyword::Negedge)?;
+                        EdgeKind::Neg
+                    };
+                    let (sig, _) = self.expect_ident()?;
+                    edges.push((edge, sig));
+                    if !(self.eat_kw(Keyword::Or) || self.eat(&TokenKind::Comma)) {
+                        break;
+                    }
+                }
+                self.expect(TokenKind::RParen)?;
+                Sensitivity::Edges(edges)
+            } else {
+                let mut names = Vec::new();
+                loop {
+                    let (sig, _) = self.expect_ident()?;
+                    names.push(sig);
+                    if !(self.eat_kw(Keyword::Or) || self.eat(&TokenKind::Comma)) {
+                        break;
+                    }
+                }
+                self.expect(TokenKind::RParen)?;
+                Sensitivity::Level(names)
+            }
+        };
+        let body = self.parse_stmt_block()?;
+        Ok(AlwaysBlock {
+            sensitivity,
+            body,
+            span,
+        })
+    }
+
+    /// Parses either `begin ... end` or a single statement.
+    fn parse_stmt_block(&mut self) -> Result<Vec<Stmt>, ParseError> {
+        if self.eat_kw(Keyword::Begin) {
+            let mut stmts = Vec::new();
+            while !self.at_kw(Keyword::End) {
+                stmts.push(self.parse_stmt()?);
+            }
+            self.expect_kw(Keyword::End)?;
+            Ok(stmts)
+        } else {
+            Ok(vec![self.parse_stmt()?])
+        }
+    }
+
+    fn parse_stmt(&mut self) -> Result<Stmt, ParseError> {
+        match self.peek_kind().clone() {
+            TokenKind::Keyword(Keyword::If) => {
+                let span = self.bump().span;
+                self.expect(TokenKind::LParen)?;
+                let cond = self.parse_expr()?;
+                self.expect(TokenKind::RParen)?;
+                let then_branch = self.parse_stmt_block()?;
+                let else_branch = if self.eat_kw(Keyword::Else) {
+                    if self.at_kw(Keyword::If) {
+                        vec![self.parse_stmt()?]
+                    } else {
+                        self.parse_stmt_block()?
+                    }
+                } else {
+                    Vec::new()
+                };
+                Ok(Stmt::If(IfStmt {
+                    cond,
+                    then_branch,
+                    else_branch,
+                    span,
+                }))
+            }
+            TokenKind::Keyword(kw @ (Keyword::Case | Keyword::Casez)) => {
+                let span = self.bump().span;
+                self.expect(TokenKind::LParen)?;
+                let subject = self.parse_expr()?;
+                self.expect(TokenKind::RParen)?;
+                let mut arms = Vec::new();
+                let mut default = Vec::new();
+                while !self.at_kw(Keyword::Endcase) {
+                    if self.eat_kw(Keyword::Default) {
+                        self.eat(&TokenKind::Colon);
+                        default = self.parse_stmt_block()?;
+                    } else {
+                        let mut labels = vec![self.parse_expr()?];
+                        while self.eat(&TokenKind::Comma) {
+                            labels.push(self.parse_expr()?);
+                        }
+                        self.expect(TokenKind::Colon)?;
+                        let body = self.parse_stmt_block()?;
+                        arms.push(CaseArm { labels, body });
+                    }
+                }
+                self.expect_kw(Keyword::Endcase)?;
+                Ok(Stmt::Case(CaseStmt {
+                    subject,
+                    arms,
+                    default,
+                    casez: kw == Keyword::Casez,
+                    span,
+                }))
+            }
+            TokenKind::Ident(_) => {
+                let lhs = self.parse_lvalue()?;
+                let span = lhs.span;
+                let kind = if self.eat(&TokenKind::Eq) {
+                    AssignKind::Blocking
+                } else if self.eat(&TokenKind::LtEq) {
+                    AssignKind::NonBlocking
+                } else {
+                    return Err(self.unexpected("`=` or `<=`"));
+                };
+                let rhs = self.parse_expr()?;
+                self.expect(TokenKind::Semi)?;
+                Ok(Stmt::Assign(Assignment {
+                    id: self.fresh_stmt_id(),
+                    kind,
+                    lhs,
+                    rhs,
+                    span,
+                }))
+            }
+            _ => Err(self.unexpected("statement")),
+        }
+    }
+
+    fn parse_lvalue(&mut self) -> Result<LValue, ParseError> {
+        let (base, span) = self.expect_ident()?;
+        let select = if self.eat(&TokenKind::LBracket) {
+            let first = self.parse_expr()?;
+            if self.eat(&TokenKind::Colon) {
+                let msb = self.const_eval(&first)?;
+                let lsb_expr = self.parse_expr()?;
+                let lsb = self.const_eval(&lsb_expr)?;
+                self.expect(TokenKind::RBracket)?;
+                Some(Select::Part {
+                    msb: msb as u32,
+                    lsb: lsb as u32,
+                })
+            } else {
+                self.expect(TokenKind::RBracket)?;
+                Some(Select::Bit(Box::new(first)))
+            }
+        } else {
+            None
+        };
+        Ok(LValue { base, select, span })
+    }
+
+    // ---- expressions (precedence climbing) ----
+
+    fn parse_expr(&mut self) -> Result<Expr, ParseError> {
+        self.parse_ternary()
+    }
+
+    fn parse_ternary(&mut self) -> Result<Expr, ParseError> {
+        let cond = self.parse_binary(0)?;
+        if self.eat(&TokenKind::Question) {
+            let span = cond.span();
+            let then_expr = self.parse_ternary()?;
+            self.expect(TokenKind::Colon)?;
+            let else_expr = self.parse_ternary()?;
+            Ok(Expr::Ternary {
+                cond: Box::new(cond),
+                then_expr: Box::new(then_expr),
+                else_expr: Box::new(else_expr),
+                span,
+            })
+        } else {
+            Ok(cond)
+        }
+    }
+
+    /// Binary-operator precedence levels, lowest first.
+    fn binop_at(&self, level: u8) -> Option<BinaryOp> {
+        let k = self.peek_kind();
+        let op = match (level, k) {
+            (0, TokenKind::PipePipe) => BinaryOp::LogOr,
+            (1, TokenKind::AmpAmp) => BinaryOp::LogAnd,
+            (2, TokenKind::Pipe) => BinaryOp::Or,
+            (3, TokenKind::Caret) => BinaryOp::Xor,
+            (3, TokenKind::TildeCaret) => BinaryOp::Xnor,
+            (4, TokenKind::Amp) => BinaryOp::And,
+            (5, TokenKind::EqEq) => BinaryOp::Eq,
+            (5, TokenKind::BangEq) => BinaryOp::Neq,
+            (5, TokenKind::EqEqEq) => BinaryOp::CaseEq,
+            (5, TokenKind::BangEqEq) => BinaryOp::CaseNeq,
+            (6, TokenKind::Lt) => BinaryOp::Lt,
+            (6, TokenKind::LtEq) => BinaryOp::Le,
+            (6, TokenKind::Gt) => BinaryOp::Gt,
+            (6, TokenKind::GtEq) => BinaryOp::Ge,
+            (7, TokenKind::Shl) => BinaryOp::Shl,
+            (7, TokenKind::Shr) => BinaryOp::Shr,
+            (8, TokenKind::Plus) => BinaryOp::Add,
+            (8, TokenKind::Minus) => BinaryOp::Sub,
+            (9, TokenKind::Star) => BinaryOp::Mul,
+            (9, TokenKind::Slash) => BinaryOp::Div,
+            (9, TokenKind::Percent) => BinaryOp::Mod,
+            _ => return None,
+        };
+        Some(op)
+    }
+
+    fn parse_binary(&mut self, level: u8) -> Result<Expr, ParseError> {
+        if level > 9 {
+            return self.parse_unary();
+        }
+        let mut lhs = self.parse_binary(level + 1)?;
+        while let Some(op) = self.binop_at(level) {
+            let span = self.bump().span;
+            let rhs = self.parse_binary(level + 1)?;
+            lhs = Expr::Binary {
+                op,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+                span,
+            };
+        }
+        Ok(lhs)
+    }
+
+    fn parse_unary(&mut self) -> Result<Expr, ParseError> {
+        let span = self.peek().span;
+        let op = match self.peek_kind() {
+            TokenKind::Tilde => Some(UnaryOp::Not),
+            TokenKind::Bang => Some(UnaryOp::LogicalNot),
+            TokenKind::Minus => Some(UnaryOp::Negate),
+            TokenKind::Amp => Some(UnaryOp::RedAnd),
+            TokenKind::Pipe => Some(UnaryOp::RedOr),
+            TokenKind::Caret => Some(UnaryOp::RedXor),
+            TokenKind::TildeCaret => Some(UnaryOp::RedXnor),
+            _ => None,
+        };
+        match op {
+            Some(op) => {
+                self.bump();
+                let operand = self.parse_unary()?;
+                Ok(Expr::Unary {
+                    op,
+                    operand: Box::new(operand),
+                    span,
+                })
+            }
+            None => self.parse_primary(),
+        }
+    }
+
+    fn parse_primary(&mut self) -> Result<Expr, ParseError> {
+        let span = self.peek().span;
+        match self.peek_kind().clone() {
+            TokenKind::Number { width, value } => {
+                self.bump();
+                Ok(Expr::Literal { width, value, span })
+            }
+            TokenKind::Ident(name) => {
+                self.bump();
+                // Parameters fold to literals at parse time.
+                if let Some(&(value, width)) = self.params.get(&name) {
+                    return Ok(Expr::Literal { width, value, span });
+                }
+                if self.eat(&TokenKind::LBracket) {
+                    let first = self.parse_expr()?;
+                    if self.eat(&TokenKind::Colon) {
+                        let msb = self.const_eval(&first)? as u32;
+                        let lsb_expr = self.parse_expr()?;
+                        let lsb = self.const_eval(&lsb_expr)? as u32;
+                        self.expect(TokenKind::RBracket)?;
+                        Ok(Expr::Part {
+                            base: name,
+                            msb,
+                            lsb,
+                            span,
+                        })
+                    } else {
+                        self.expect(TokenKind::RBracket)?;
+                        Ok(Expr::Index {
+                            base: name,
+                            index: Box::new(first),
+                            span,
+                        })
+                    }
+                } else {
+                    Ok(Expr::Ident { name, span })
+                }
+            }
+            TokenKind::LParen => {
+                self.bump();
+                let e = self.parse_expr()?;
+                self.expect(TokenKind::RParen)?;
+                Ok(e)
+            }
+            TokenKind::LBrace => {
+                self.bump();
+                let first = self.parse_expr()?;
+                // `{n{expr}}` replication: first must be a constant and the
+                // next token an opening brace.
+                if self.peek_kind() == &TokenKind::LBrace {
+                    let count = self.const_eval(&first)? as u32;
+                    self.bump();
+                    let inner = self.parse_expr()?;
+                    self.expect(TokenKind::RBrace)?;
+                    self.expect(TokenKind::RBrace)?;
+                    return Ok(Expr::Repeat {
+                        count,
+                        inner: Box::new(inner),
+                        span,
+                    });
+                }
+                let mut parts = vec![first];
+                while self.eat(&TokenKind::Comma) {
+                    parts.push(self.parse_expr()?);
+                }
+                self.expect(TokenKind::RBrace)?;
+                Ok(Expr::Concat { parts, span })
+            }
+            _ => Err(self.unexpected("expression")),
+        }
+    }
+
+    /// Evaluates a constant expression (literals, folded parameters,
+    /// arithmetic). Used for ranges, replication counts, and parameters.
+    fn const_eval(&self, e: &Expr) -> Result<u64, ParseError> {
+        match e {
+            Expr::Literal { value, .. } => Ok(*value),
+            Expr::Unary { op, operand, span } => {
+                let v = self.const_eval(operand)?;
+                Ok(match op {
+                    UnaryOp::Not => !v,
+                    UnaryOp::LogicalNot => u64::from(v == 0),
+                    UnaryOp::Negate => v.wrapping_neg(),
+                    _ => {
+                        return Err(ParseError::Unsupported {
+                            detail: "reduction operator in constant expression".to_owned(),
+                            span: *span,
+                        });
+                    }
+                })
+            }
+            Expr::Binary { op, lhs, rhs, span } => {
+                let a = self.const_eval(lhs)?;
+                let b = self.const_eval(rhs)?;
+                Ok(match op {
+                    BinaryOp::Add => a.wrapping_add(b),
+                    BinaryOp::Sub => a.wrapping_sub(b),
+                    BinaryOp::Mul => a.wrapping_mul(b),
+                    BinaryOp::Div => {
+                        if b == 0 {
+                            return Err(ParseError::Semantic {
+                                detail: "division by zero in constant expression".to_owned(),
+                                span: *span,
+                            });
+                        }
+                        a / b
+                    }
+                    BinaryOp::Mod => {
+                        if b == 0 {
+                            return Err(ParseError::Semantic {
+                                detail: "modulo by zero in constant expression".to_owned(),
+                                span: *span,
+                            });
+                        }
+                        a % b
+                    }
+                    BinaryOp::Shl => a.wrapping_shl(b as u32),
+                    BinaryOp::Shr => a.wrapping_shr(b as u32),
+                    BinaryOp::And => a & b,
+                    BinaryOp::Or => a | b,
+                    BinaryOp::Xor => a ^ b,
+                    _ => {
+                        return Err(ParseError::Unsupported {
+                            detail: format!("operator `{}` in constant expression", op.symbol()),
+                            span: *span,
+                        });
+                    }
+                })
+            }
+            other => Err(ParseError::Semantic {
+                detail: "expected a constant expression".to_owned(),
+                span: other.span(),
+            }),
+        }
+    }
+}
+
+/// Post-parse semantic checks: unique declarations, all referenced signals
+/// declared, LHS storage classes consistent with assignment kinds.
+fn validate(unit: &SourceUnit) -> Result<(), ParseError> {
+    for module in &unit.modules {
+        let mut names: HashMap<&str, Span> = HashMap::new();
+        for p in &module.ports {
+            if let Some(prev) = names.insert(p.name.as_str(), p.span) {
+                return Err(ParseError::Semantic {
+                    detail: format!("duplicate declaration of `{}` (first at {prev})", p.name),
+                    span: p.span,
+                });
+            }
+        }
+        for d in &module.decls {
+            // A `reg`/`wire` re-declaration of a port (non-ANSI style) is
+            // legal Verilog; only flag duplicates among internals.
+            if module.ports.iter().any(|p| p.name == d.name) {
+                continue;
+            }
+            if let Some(prev) = names.insert(d.name.as_str(), d.span) {
+                return Err(ParseError::Semantic {
+                    detail: format!("duplicate declaration of `{}` (first at {prev})", d.name),
+                    span: d.span,
+                });
+            }
+        }
+        let declared = |n: &str| {
+            module.ports.iter().any(|p| p.name == n) || module.decls.iter().any(|d| d.name == n)
+        };
+        for a in module.assignments() {
+            if !declared(&a.lhs.base) {
+                return Err(ParseError::Semantic {
+                    detail: format!("assignment to undeclared signal `{}`", a.lhs.base),
+                    span: a.lhs.span,
+                });
+            }
+            for s in a.rhs.referenced_signals() {
+                if !declared(s) {
+                    return Err(ParseError::Semantic {
+                        detail: format!("reference to undeclared signal `{s}`"),
+                        span: a.span,
+                    });
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const ARBITER: &str = "\
+module arb(input clk, input req1, input req2, output reg gnt1, output reg gnt2);
+  reg [1:0] state;
+  always @(posedge clk) begin
+    state <= {req2, req1};
+  end
+  always @(*) begin
+    gnt1 = req1 & ~req2;
+    gnt2 = req2;
+  end
+endmodule
+";
+
+    #[test]
+    fn parses_arbiter() {
+        let unit = parse(ARBITER).unwrap();
+        let m = unit.top();
+        assert_eq!(m.name, "arb");
+        assert_eq!(m.ports.len(), 5);
+        assert_eq!(m.width_of("state"), Some(2));
+        let assigns = m.assignments();
+        assert_eq!(assigns.len(), 3);
+        assert_eq!(assigns[0].kind, AssignKind::NonBlocking);
+        assert_eq!(assigns[1].kind, AssignKind::Blocking);
+        // Stable source-order ids.
+        assert_eq!(assigns[0].id, StmtId(0));
+        assert_eq!(assigns[1].id, StmtId(1));
+        assert_eq!(assigns[2].id, StmtId(2));
+    }
+
+    #[test]
+    fn parses_non_ansi_ports() {
+        let src = "\
+module m(a, y);
+  input a;
+  output y;
+  assign y = ~a;
+endmodule
+";
+        let unit = parse(src).unwrap();
+        let m = unit.top();
+        assert_eq!(m.ports[0].dir, PortDir::Input);
+        assert_eq!(m.ports[1].dir, PortDir::Output);
+    }
+
+    #[test]
+    fn folds_parameters() {
+        let src = "\
+module m #(parameter W = 4) (input [W-1:0] a, output [W-1:0] y);
+  localparam ZERO = 0;
+  assign y = a + ZERO;
+endmodule
+";
+        let unit = parse(src).unwrap();
+        let m = unit.top();
+        assert_eq!(m.ports[0].width, 4);
+        match &m.assignments()[0].rhs {
+            Expr::Binary { rhs, .. } => {
+                assert!(matches!(**rhs, Expr::Literal { value: 0, .. }));
+            }
+            other => panic!("expected binary add, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn precedence_and_over_or() {
+        let unit = parse("module m(input a, input b, input c, output y);\nassign y = a | b & c;\nendmodule").unwrap();
+        match &unit.top().assignments()[0].rhs {
+            Expr::Binary { op, rhs, .. } => {
+                assert_eq!(*op, BinaryOp::Or);
+                assert!(matches!(
+                    **rhs,
+                    Expr::Binary {
+                        op: BinaryOp::And,
+                        ..
+                    }
+                ));
+            }
+            other => panic!("expected or at root, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn ternary_parses_right_associative() {
+        let unit = parse(
+            "module m(input a, input b, input c, output y);\nassign y = a ? b : c ? a : b;\nendmodule",
+        )
+        .unwrap();
+        match &unit.top().assignments()[0].rhs {
+            Expr::Ternary { else_expr, .. } => {
+                assert!(matches!(**else_expr, Expr::Ternary { .. }));
+            }
+            other => panic!("expected ternary, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn case_statement() {
+        let src = "\
+module m(input [1:0] sel, input a, input b, output reg y);
+  always @(*) begin
+    case (sel)
+      2'b00: y = a;
+      2'b01, 2'b10: y = b;
+      default: y = 1'b0;
+    endcase
+  end
+endmodule
+";
+        let unit = parse(src).unwrap();
+        let m = unit.top();
+        let Item::Always(blk) = &m.items[0] else {
+            panic!("expected always");
+        };
+        let Stmt::Case(c) = &blk.body[0] else {
+            panic!("expected case");
+        };
+        assert_eq!(c.arms.len(), 2);
+        assert_eq!(c.arms[1].labels.len(), 2);
+        assert_eq!(c.default.len(), 1);
+    }
+
+    #[test]
+    fn rejects_undeclared_signal() {
+        let err = parse("module m(input a, output y);\nassign y = a & ghost;\nendmodule")
+            .unwrap_err();
+        assert!(matches!(err, ParseError::Semantic { .. }), "{err}");
+    }
+
+    #[test]
+    fn rejects_duplicate_declaration() {
+        let err = parse("module m(input a, output y);\nwire t;\nwire t;\nassign y = a;\nendmodule")
+            .unwrap_err();
+        assert!(matches!(err, ParseError::Semantic { .. }), "{err}");
+    }
+
+    #[test]
+    fn concat_and_repeat() {
+        let src = "module m(input a, input b, output [3:0] y);\nassign y = {a, {3{b}}};\nendmodule";
+        let unit = parse(src).unwrap();
+        match &unit.top().assignments()[0].rhs {
+            Expr::Concat { parts, .. } => {
+                assert_eq!(parts.len(), 2);
+                assert!(matches!(parts[1], Expr::Repeat { count: 3, .. }));
+            }
+            other => panic!("expected concat, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn bit_and_part_select() {
+        let src = "module m(input [3:0] a, output y, output [1:0] z);\nassign y = a[2];\nassign z = a[1:0];\nendmodule";
+        let unit = parse(src).unwrap();
+        let assigns = unit.top().assignments();
+        assert!(matches!(assigns[0].rhs, Expr::Index { .. }));
+        assert!(matches!(
+            assigns[1].rhs,
+            Expr::Part { msb: 1, lsb: 0, .. }
+        ));
+    }
+
+    #[test]
+    fn always_level_sensitivity() {
+        let src = "module m(input a, input b, output reg y);\nalways @(a or b) y = a & b;\nendmodule";
+        let unit = parse(src).unwrap();
+        let Item::Always(blk) = &unit.top().items[0] else {
+            panic!();
+        };
+        assert!(matches!(&blk.sensitivity, Sensitivity::Level(v) if v.len() == 2));
+        assert!(blk.sensitivity.is_combinational());
+    }
+
+    #[test]
+    fn negedge_reset_sensitivity() {
+        let src = "module m(input clk, input rst_n, output reg q);\nalways @(posedge clk or negedge rst_n) begin\nif (!rst_n) q <= 1'b0; else q <= 1'b1;\nend\nendmodule";
+        let unit = parse(src).unwrap();
+        let Item::Always(blk) = &unit.top().items[0] else {
+            panic!();
+        };
+        let Sensitivity::Edges(edges) = &blk.sensitivity else {
+            panic!();
+        };
+        assert_eq!(edges.len(), 2);
+        assert_eq!(edges[1], (EdgeKind::Neg, "rst_n".to_owned()));
+    }
+}

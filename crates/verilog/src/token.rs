@@ -1,0 +1,288 @@
+//! Token definitions for the Verilog subset lexer.
+
+use std::fmt;
+
+/// A source location: 1-based line and column.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize)]
+pub struct Span {
+    /// 1-based source line.
+    pub line: u32,
+    /// 1-based source column.
+    pub col: u32,
+}
+
+impl Span {
+    /// Creates a span at the given line/column.
+    pub fn new(line: u32, col: u32) -> Self {
+        Span { line, col }
+    }
+
+    /// A synthetic span for generated code (line 0).
+    pub fn synthetic() -> Self {
+        Span { line: 0, col: 0 }
+    }
+}
+
+impl Default for Span {
+    fn default() -> Self {
+        Span::synthetic()
+    }
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.line, self.col)
+    }
+}
+
+/// Reserved words recognized by the lexer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)] // variants spell themselves
+pub enum Keyword {
+    Module,
+    Endmodule,
+    Input,
+    Output,
+    Inout,
+    Wire,
+    Reg,
+    Assign,
+    Always,
+    Begin,
+    End,
+    If,
+    Else,
+    Case,
+    Casez,
+    Endcase,
+    Default,
+    Posedge,
+    Negedge,
+    Or,
+    Parameter,
+    Localparam,
+    Integer,
+}
+
+impl Keyword {
+    /// Looks up a keyword from its source spelling.
+    pub fn from_str(s: &str) -> Option<Keyword> {
+        Some(match s {
+            "module" => Keyword::Module,
+            "endmodule" => Keyword::Endmodule,
+            "input" => Keyword::Input,
+            "output" => Keyword::Output,
+            "inout" => Keyword::Inout,
+            "wire" => Keyword::Wire,
+            "reg" => Keyword::Reg,
+            "assign" => Keyword::Assign,
+            "always" => Keyword::Always,
+            "begin" => Keyword::Begin,
+            "end" => Keyword::End,
+            "if" => Keyword::If,
+            "else" => Keyword::Else,
+            "case" => Keyword::Case,
+            "casez" => Keyword::Casez,
+            "endcase" => Keyword::Endcase,
+            "default" => Keyword::Default,
+            "posedge" => Keyword::Posedge,
+            "negedge" => Keyword::Negedge,
+            "or" => Keyword::Or,
+            "parameter" => Keyword::Parameter,
+            "localparam" => Keyword::Localparam,
+            "integer" => Keyword::Integer,
+            _ => return None,
+        })
+    }
+
+    /// The canonical source spelling.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Keyword::Module => "module",
+            Keyword::Endmodule => "endmodule",
+            Keyword::Input => "input",
+            Keyword::Output => "output",
+            Keyword::Inout => "inout",
+            Keyword::Wire => "wire",
+            Keyword::Reg => "reg",
+            Keyword::Assign => "assign",
+            Keyword::Always => "always",
+            Keyword::Begin => "begin",
+            Keyword::End => "end",
+            Keyword::If => "if",
+            Keyword::Else => "else",
+            Keyword::Case => "case",
+            Keyword::Casez => "casez",
+            Keyword::Endcase => "endcase",
+            Keyword::Default => "default",
+            Keyword::Posedge => "posedge",
+            Keyword::Negedge => "negedge",
+            Keyword::Or => "or",
+            Keyword::Parameter => "parameter",
+            Keyword::Localparam => "localparam",
+            Keyword::Integer => "integer",
+        }
+    }
+}
+
+impl fmt::Display for Keyword {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// The lexical token kinds of the Verilog subset.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokenKind {
+    /// A reserved word.
+    Keyword(Keyword),
+    /// An identifier (simple or escaped).
+    Ident(String),
+    /// A number literal, possibly sized/based (e.g. `4'b1010`).
+    Number {
+        /// Bit width when the literal is sized (e.g. the `4` in `4'b1010`).
+        width: Option<u32>,
+        /// The literal's value, truncated to 64 bits.
+        value: u64,
+    },
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `;`
+    Semi,
+    /// `,`
+    Comma,
+    /// `:`
+    Colon,
+    /// `@`
+    At,
+    /// `#`
+    Hash,
+    /// `=`
+    Eq,
+    /// `<=` in statement position (non-blocking assign) or expression (`<=`).
+    LtEq,
+    /// `==`
+    EqEq,
+    /// `!=`
+    BangEq,
+    /// `===`
+    EqEqEq,
+    /// `!==`
+    BangEqEq,
+    /// `<`
+    Lt,
+    /// `>`
+    Gt,
+    /// `>=`
+    GtEq,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*`
+    Star,
+    /// `/`
+    Slash,
+    /// `%`
+    Percent,
+    /// `&`
+    Amp,
+    /// `&&`
+    AmpAmp,
+    /// `|`
+    Pipe,
+    /// `||`
+    PipePipe,
+    /// `^`
+    Caret,
+    /// `~^` or `^~`
+    TildeCaret,
+    /// `~`
+    Tilde,
+    /// `!`
+    Bang,
+    /// `?`
+    Question,
+    /// `<<`
+    Shl,
+    /// `>>`
+    Shr,
+    /// End of input.
+    Eof,
+}
+
+impl fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TokenKind::Keyword(k) => write!(f, "`{k}`"),
+            TokenKind::Ident(s) => write!(f, "identifier `{s}`"),
+            TokenKind::Number { width, value } => match width {
+                Some(w) => write!(f, "number `{w}'d{value}`"),
+                None => write!(f, "number `{value}`"),
+            },
+            TokenKind::LParen => f.write_str("`(`"),
+            TokenKind::RParen => f.write_str("`)`"),
+            TokenKind::LBracket => f.write_str("`[`"),
+            TokenKind::RBracket => f.write_str("`]`"),
+            TokenKind::LBrace => f.write_str("`{`"),
+            TokenKind::RBrace => f.write_str("`}`"),
+            TokenKind::Semi => f.write_str("`;`"),
+            TokenKind::Comma => f.write_str("`,`"),
+            TokenKind::Colon => f.write_str("`:`"),
+            TokenKind::At => f.write_str("`@`"),
+            TokenKind::Hash => f.write_str("`#`"),
+            TokenKind::Eq => f.write_str("`=`"),
+            TokenKind::LtEq => f.write_str("`<=`"),
+            TokenKind::EqEq => f.write_str("`==`"),
+            TokenKind::BangEq => f.write_str("`!=`"),
+            TokenKind::EqEqEq => f.write_str("`===`"),
+            TokenKind::BangEqEq => f.write_str("`!==`"),
+            TokenKind::Lt => f.write_str("`<`"),
+            TokenKind::Gt => f.write_str("`>`"),
+            TokenKind::GtEq => f.write_str("`>=`"),
+            TokenKind::Plus => f.write_str("`+`"),
+            TokenKind::Minus => f.write_str("`-`"),
+            TokenKind::Star => f.write_str("`*`"),
+            TokenKind::Slash => f.write_str("`/`"),
+            TokenKind::Percent => f.write_str("`%`"),
+            TokenKind::Amp => f.write_str("`&`"),
+            TokenKind::AmpAmp => f.write_str("`&&`"),
+            TokenKind::Pipe => f.write_str("`|`"),
+            TokenKind::PipePipe => f.write_str("`||`"),
+            TokenKind::Caret => f.write_str("`^`"),
+            TokenKind::TildeCaret => f.write_str("`~^`"),
+            TokenKind::Tilde => f.write_str("`~`"),
+            TokenKind::Bang => f.write_str("`!`"),
+            TokenKind::Question => f.write_str("`?`"),
+            TokenKind::Shl => f.write_str("`<<`"),
+            TokenKind::Shr => f.write_str("`>>`"),
+            TokenKind::Eof => f.write_str("end of input"),
+        }
+    }
+}
+
+/// A lexed token with its source location.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// What kind of token this is.
+    pub kind: TokenKind,
+    /// Where in the source the token starts.
+    pub span: Span,
+}
+
+impl Token {
+    /// Creates a token.
+    pub fn new(kind: TokenKind, span: Span) -> Self {
+        Token { kind, span }
+    }
+}

@@ -1,0 +1,65 @@
+//! Diagnostic: how value-sensitive are the trained attention weights?
+//! Trains quickly, then prints attention for one statement under every
+//! operand-value combination, plus the suspiciousness between arbitrary
+//! pairs of value regimes.
+
+use veribug_suite::rvdg::{Generator, RvdgConfig};
+use veribug_suite::veribug::{
+    model::{ModelConfig, VeriBugModel},
+    suspiciousness,
+    train::{self, Dataset, TrainConfig},
+    StatementFeatures,
+};
+use veribug_suite::verilog;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let alpha: f32 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0.10);
+    let corpus: Vec<_> = Generator::new(RvdgConfig::default(), 101)
+        .generate_corpus(24)?
+        .into_iter()
+        .map(|d| d.module)
+        .collect();
+    let ds = Dataset::from_designs(&corpus, 1, 64, 3)?;
+    let mut model = VeriBugModel::new(ModelConfig::default());
+    train::train(
+        &mut model,
+        &ds,
+        &TrainConfig {
+            epochs: 60,
+            alpha,
+            ..TrainConfig::default()
+        },
+    )?;
+
+    let unit = verilog::parse(
+        "module m(input req1, input req2, output reg gnt1);\n\
+         always @(*) begin\ngnt1 = req1 & ~req2;\nend\nendmodule",
+    )?;
+    let module = unit.top().clone();
+    let f = StatementFeatures::extract(&module.assignments()[0].clone()).unwrap();
+    println!("alpha = {alpha}: attention for gnt1 = req1 & ~req2");
+    let mut atts = Vec::new();
+    for v1 in [false, true] {
+        for v2 in [false, true] {
+            let (pred, att) = model.predict(&f, &[v1, v2]);
+            println!(
+                "  req1={} req2={} -> pred {}  attention {:?}",
+                u8::from(v1),
+                u8::from(v2),
+                u8::from(pred),
+                att
+            );
+            atts.push(att);
+        }
+    }
+    println!(
+        "max pairwise suspiciousness: {:.4}",
+        atts.iter()
+            .flat_map(|a| atts.iter().map(move |b| suspiciousness(a, b)))
+            .fold(0.0f32, f32::max)
+    );
+    Ok(())
+}

@@ -1,0 +1,16 @@
+//! Umbrella crate for the VeriBug reproduction workspace.
+//!
+//! This crate re-exports every workspace member so that the repository-level
+//! examples (`examples/`) and integration tests (`tests/`) can exercise the
+//! whole pipeline through one dependency. Library users should depend on the
+//! individual crates (most importantly [`veribug`]) directly.
+
+pub use baseline;
+pub use cdfg;
+pub use designs;
+pub use mutate;
+pub use neuro;
+pub use rvdg;
+pub use sim;
+pub use veribug;
+pub use verilog;
