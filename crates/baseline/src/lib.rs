@@ -150,10 +150,7 @@ pub fn rank(
 
 /// Top-1 localization with an SBFL formula: the highest-ranked statement
 /// (first under the deterministic tie-break).
-pub fn top1(
-    spectra: &BTreeMap<StmtId, StmtSpectrum>,
-    formula: SpectrumFormula,
-) -> Option<StmtId> {
+pub fn top1(spectra: &BTreeMap<StmtId, StmtSpectrum>, formula: SpectrumFormula) -> Option<StmtId> {
     rank(spectra, formula).first().map(|(id, _)| *id)
 }
 
@@ -228,10 +225,7 @@ mod tests {
         let fail = mk_trace(&[0, 1]);
         let pass = mk_trace(&[0]);
         let slice: BTreeSet<StmtId> = [StmtId(0), StmtId(1)].into_iter().collect();
-        let runs = vec![
-            (TraceLabel::Failing, &fail),
-            (TraceLabel::Correct, &pass),
-        ];
+        let runs = vec![(TraceLabel::Failing, &fail), (TraceLabel::Correct, &pass)];
         let spectra = collect_spectra(&runs, &slice);
         assert_eq!(
             spectra[&StmtId(0)],

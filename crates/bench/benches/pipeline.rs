@@ -117,6 +117,67 @@ fn bench_explainer(c: &mut Criterion) {
     });
 }
 
+/// Campaign wall-clock at explicit worker counts. On a single-core host all
+/// rows should be flat (the layer adds only spawn overhead); on multi-core
+/// hosts the speedup shows up here first because co-simulation dominates.
+fn bench_campaign_parallel(c: &mut Criterion) {
+    let module = designs::WB_MUX_2.module().expect("parses");
+    let budget = mutate::BugBudget {
+        negation: 2,
+        operation: 2,
+        misuse: 2,
+    };
+    let mut g = c.benchmark_group("campaign_parallel");
+    for threads in [1usize, 2, 4] {
+        g.bench_function(&format!("threads-{threads}"), |b| {
+            b.iter(|| {
+                par::with_threads(threads, || {
+                    mutate::Campaign::new(7)
+                        .with_runs_per_mutant(8)
+                        .run(black_box(&module), "wbs0_we_o", &budget)
+                        .expect("campaign runs")
+                })
+            });
+        });
+    }
+    g.finish();
+}
+
+/// One training epoch at explicit worker counts (data-parallel minibatch
+/// shards). Results are bit-identical across rows; only the clock moves.
+fn bench_train_epoch_parallel(c: &mut Criterion) {
+    let corpus: Vec<_> = rvdg::Generator::new(rvdg::RvdgConfig::default(), 3)
+        .generate_corpus(2)
+        .expect("generates")
+        .into_iter()
+        .map(|d| d.module)
+        .collect();
+    let dataset = Dataset::from_designs(&corpus, 1, 24, 1).expect("builds");
+    let mut g = c.benchmark_group("train_epoch_parallel");
+    for threads in [1usize, 2, 4] {
+        g.bench_function(&format!("threads-{threads}"), |b| {
+            b.iter_batched(
+                || VeriBugModel::new(ModelConfig::default()),
+                |mut model| {
+                    par::with_threads(threads, || {
+                        veribug::train::train(
+                            &mut model,
+                            &dataset,
+                            &TrainConfig {
+                                epochs: 1,
+                                ..TrainConfig::default()
+                            },
+                        )
+                        .expect("trains")
+                    })
+                },
+                BatchSize::LargeInput,
+            );
+        });
+    }
+    g.finish();
+}
+
 fn bench_mutation(c: &mut Criterion) {
     let module = designs::USBF_IDMA.module().expect("parses");
     c.bench_function("mutation/enumerate-sites/usbf_idma", |b| {
@@ -144,6 +205,8 @@ criterion_group!(
         bench_inference,
         bench_train_step,
         bench_explainer,
+        bench_campaign_parallel,
+        bench_train_epoch_parallel,
         bench_mutation
 );
 criterion_main!(benches);

@@ -1,0 +1,219 @@
+//! Wall-clock benchmark of the parallel execution layer, written to
+//! `BENCH_pipeline.json`.
+//!
+//! For each pipeline stage (mutation campaign, dataset build, one training
+//! epoch, holdout evaluation) the runner times the stage at 1/2/4/8 worker
+//! threads (via `par::with_threads`), reports the speedup relative to the
+//! single-thread row, and cross-checks that every stage's *result* is
+//! identical at every thread count — the determinism guarantee the layer is
+//! built around.
+//!
+//! Speedups are honest numbers for the current host: on a single-core
+//! machine every row is flat (the JSON records `host_cores` so readers can
+//! tell). Timings take the minimum over `--reps N` repetitions (default 3).
+//!
+//! Run with: `cargo run --release -p veribug-bench --bin bench_pipeline`
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use rvdg::{Generator, RvdgConfig};
+use veribug::model::{ModelConfig, VeriBugModel};
+use veribug::train::{self, Dataset, TrainConfig};
+use verilog::Module;
+
+/// Worker counts benchmarked for every stage.
+const THREADS: [usize; 4] = [1, 2, 4, 8];
+
+/// One stage's timings (seconds per thread count) plus the cross-thread
+/// determinism verdict.
+struct StageResult {
+    name: &'static str,
+    secs: Vec<f64>,
+    deterministic: bool,
+}
+
+/// Times `f` at each worker count, keeping the fastest of `reps` runs and a
+/// per-thread-count fingerprint for the determinism check.
+fn run_stage<R, K: PartialEq>(
+    name: &'static str,
+    reps: usize,
+    mut f: impl FnMut() -> R,
+    fingerprint: impl Fn(&R) -> K,
+) -> StageResult {
+    let mut secs = Vec::with_capacity(THREADS.len());
+    let mut prints: Vec<K> = Vec::with_capacity(THREADS.len());
+    for &threads in &THREADS {
+        par::with_threads(threads, || {
+            let mut best = f64::INFINITY;
+            let mut last = None;
+            for _ in 0..reps {
+                let start = Instant::now();
+                let r = f();
+                best = best.min(start.elapsed().as_secs_f64());
+                last = Some(r);
+            }
+            secs.push(best);
+            prints.push(fingerprint(&last.expect("reps >= 1")));
+        });
+    }
+    let deterministic = prints.iter().all(|p| *p == prints[0]);
+    eprintln!(
+        "{name:<14} {} deterministic={deterministic}",
+        THREADS
+            .iter()
+            .zip(&secs)
+            .map(|(t, s)| format!("t{t}={s:.3}s"))
+            .collect::<Vec<_>>()
+            .join(" "),
+    );
+    StageResult {
+        name,
+        secs,
+        deterministic,
+    }
+}
+
+fn corpus(n: usize) -> Vec<Module> {
+    Generator::new(RvdgConfig::default(), 5)
+        .generate_corpus(n)
+        .expect("rvdg generates")
+        .into_iter()
+        .map(|d| d.module)
+        .collect()
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let args: Vec<String> = std::env::args().collect();
+    let reps: usize = args
+        .iter()
+        .position(|a| a == "--reps")
+        .and_then(|i| args.get(i + 1))
+        .map(|v| v.parse().expect("--reps takes a number"))
+        .unwrap_or(3)
+        .max(1);
+    let host_cores = std::thread::available_parallelism().map_or(1, usize::from);
+
+    let campaign_module = designs::WB_MUX_2.module().expect("parses");
+    let budget = mutate::BugBudget {
+        negation: 2,
+        operation: 2,
+        misuse: 2,
+    };
+    let modules = corpus(3);
+    let dataset = Dataset::from_designs(&modules, 1, 24, 2)?;
+    let cfg = TrainConfig {
+        epochs: 1,
+        ..TrainConfig::default()
+    };
+
+    let stages = vec![
+        run_stage(
+            "campaign",
+            reps,
+            || {
+                mutate::Campaign::new(7)
+                    .with_runs_per_mutant(8)
+                    .run(&campaign_module, "wbs0_we_o", &budget)
+                    .expect("campaign runs")
+            },
+            |mutants| {
+                mutants
+                    .iter()
+                    .map(|m| (m.source.clone(), m.observable))
+                    .collect::<Vec<_>>()
+            },
+        ),
+        run_stage(
+            "dataset_build",
+            reps,
+            || Dataset::from_designs(&modules, 1, 24, 2).expect("builds"),
+            |ds| ds.clone(),
+        ),
+        run_stage(
+            "train_epoch",
+            reps,
+            || {
+                let mut model = VeriBugModel::new(ModelConfig::default());
+                train::train(&mut model, &dataset, &cfg).expect("trains")
+            },
+            |report| {
+                // Bit-exact: compare the f32 losses by bits, not by value.
+                report
+                    .epoch_losses
+                    .iter()
+                    .map(|l| l.to_bits())
+                    .collect::<Vec<_>>()
+            },
+        ),
+        run_stage(
+            "evaluate",
+            reps,
+            || {
+                let model = VeriBugModel::new(ModelConfig::default());
+                train::evaluate(&model, &dataset)
+            },
+            |m| (m.accuracy.to_bits(), m.count),
+        ),
+    ];
+
+    let json = render_json(host_cores, reps, &stages);
+    std::fs::write("BENCH_pipeline.json", &json)?;
+    println!("{json}");
+    eprintln!("wrote BENCH_pipeline.json");
+    Ok(())
+}
+
+/// Hand-rolled JSON (the vendored serde is a compile-surface stub and does
+/// not serialize).
+fn render_json(host_cores: usize, reps: usize, stages: &[StageResult]) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    let _ = writeln!(out, "  \"host_cores\": {host_cores},");
+    let _ = writeln!(out, "  \"reps\": {reps},");
+    let _ = writeln!(
+        out,
+        "  \"thread_counts\": [{}],",
+        THREADS
+            .iter()
+            .map(|t| t.to_string())
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+    out.push_str("  \"stages\": [\n");
+    for (si, s) in stages.iter().enumerate() {
+        out.push_str("    {\n");
+        let _ = writeln!(out, "      \"name\": \"{}\",", s.name);
+        let wall: Vec<String> = THREADS
+            .iter()
+            .zip(&s.secs)
+            .map(|(t, sec)| format!("\"{t}\": {sec:.6}"))
+            .collect();
+        let _ = writeln!(out, "      \"wall_clock_s\": {{ {} }},", wall.join(", "));
+        let serial = s.secs[0];
+        let speed: Vec<String> = THREADS
+            .iter()
+            .zip(&s.secs)
+            .map(|(t, sec)| format!("\"{t}\": {:.3}", serial / sec.max(1e-12)))
+            .collect();
+        let _ = writeln!(
+            out,
+            "      \"speedup_vs_serial\": {{ {} }},",
+            speed.join(", ")
+        );
+        let _ = writeln!(
+            out,
+            "      \"deterministic_across_threads\": {}",
+            s.deterministic
+        );
+        out.push_str("    }");
+        out.push_str(if si + 1 < stages.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("  ],\n");
+    out.push_str(
+        "  \"note\": \"speedup_vs_serial is measured on this host; with host_cores = 1 \
+         all rows are flat and only the determinism column is meaningful\"\n",
+    );
+    out.push_str("}\n");
+    out
+}

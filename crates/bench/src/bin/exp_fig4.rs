@@ -32,7 +32,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             operation: 2,
             misuse: 2,
         };
-        let mutants = Campaign::new(0xF16_4)
+        let mutants = Campaign::new(0xF164)
             .with_runs_per_mutant(scale.runs_per_mutant)
             .run(&golden, target, &budget)?;
         // Prefer a mutant whose heatmap actually contains the bug.

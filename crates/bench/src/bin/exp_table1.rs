@@ -10,8 +10,8 @@ use cdfg::{dependencies_of, Slice, Vdg};
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("TABLE I: Details of modules in our localization test set.");
     println!(
-        "{:<17} {:>9} {:>11}  {:<34} {}",
-        "Module Name", "LoC(ours)", "LoC(paper)", "Short Description", "Targets (|Dep_t| / slice stmts)"
+        "{:<17} {:>9} {:>11}  {:<34} Targets (|Dep_t| / slice stmts)",
+        "Module Name", "LoC(ours)", "LoC(paper)", "Short Description"
     );
     println!("{}", "-".repeat(110));
     for d in designs::catalog() {

@@ -35,8 +35,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .into_iter()
         .map(|d| d.module)
         .collect();
-    let paper_holdout =
-        Dataset::from_designs(&paper_holdout_modules, 99, scale.cycles, scale.runs_per_design)?;
+    let paper_holdout = Dataset::from_designs(
+        &paper_holdout_modules,
+        99,
+        scale.cycles,
+        scale.runs_per_design,
+    )?;
 
     println!("TABLE II: Results on test-set obtained for different weighting alpha factors.");
     println!(
@@ -122,10 +126,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     if ablate_ctx {
         println!("\nABLATION: context aggregation (sum vs mean of path embeddings)");
         let (train_modules, holdout_modules) = corpora(&scale, 1234)?;
-        let train_set =
-            Dataset::from_designs(&train_modules, 1234 ^ 1, scale.cycles, scale.runs_per_design)?;
-        let holdout_set =
-            Dataset::from_designs(&holdout_modules, 1234 ^ 2, scale.cycles, scale.runs_per_design)?;
+        let train_set = Dataset::from_designs(
+            &train_modules,
+            1234 ^ 1,
+            scale.cycles,
+            scale.runs_per_design,
+        )?;
+        let holdout_set = Dataset::from_designs(
+            &holdout_modules,
+            1234 ^ 2,
+            scale.cycles,
+            scale.runs_per_design,
+        )?;
         for (label, agg) in [
             ("sum (paper)", veribug::ContextAggregation::Sum),
             ("mean", veribug::ContextAggregation::Mean),
@@ -151,8 +163,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     if ablate_eps {
         println!("\nABLATION: aggregation skip-connection (epsilon)");
         let (train_modules, holdout_modules) = corpora(&scale, 1234)?;
-        let train_set = Dataset::from_designs(&train_modules, 1234 ^ 1, scale.cycles, scale.runs_per_design)?;
-        let holdout_set = Dataset::from_designs(&holdout_modules, 1234 ^ 2, scale.cycles, scale.runs_per_design)?;
+        let train_set = Dataset::from_designs(
+            &train_modules,
+            1234 ^ 1,
+            scale.cycles,
+            scale.runs_per_design,
+        )?;
+        let holdout_set = Dataset::from_designs(
+            &holdout_modules,
+            1234 ^ 2,
+            scale.cycles,
+            scale.runs_per_design,
+        )?;
         for (label, eps) in [("init 0.5", 0.5f32), ("init 0.0", 0.0)] {
             let mut model = VeriBugModel::new(ModelConfig {
                 epsilon_init: eps,

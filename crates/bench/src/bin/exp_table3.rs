@@ -14,12 +14,12 @@
 use baseline::{collect_spectra, top1, SpectrumFormula};
 use mutate::{BugBudget, Campaign, Mutant, MutationKind};
 use sim::TraceLabel;
+use veribug::coverage::labelled_traces;
 use veribug::coverage::{localize_mutant_with, Coverage};
 use veribug::explain::DEFAULT_FAILURE_WINDOW;
 use veribug::model::VeriBugModel;
-use veribug::DEFAULT_THRESHOLD;
-use veribug::coverage::labelled_traces;
 use veribug::Explainer;
+use veribug::DEFAULT_THRESHOLD;
 use veribug_bench::{ratio, train_model, ExperimentScale};
 
 /// One Table III row: design, target, and the paper's per-kind bug budget.
@@ -30,14 +30,78 @@ struct Row {
 }
 
 const ROWS: [Row; 8] = [
-    Row { design: "wb_mux_2", target: "wbs0_we_o", budget: BugBudget { negation: 2, operation: 2, misuse: 4 } },
-    Row { design: "wb_mux_2", target: "wbs0_stb_o", budget: BugBudget { negation: 2, operation: 2, misuse: 4 } },
-    Row { design: "usbf_pl", target: "match_o", budget: BugBudget { negation: 5, operation: 8, misuse: 9 } },
-    Row { design: "usbf_pl", target: "frame_no_we", budget: BugBudget { negation: 3, operation: 4, misuse: 9 } },
-    Row { design: "usbf_idma", target: "mreq", budget: BugBudget { negation: 3, operation: 4, misuse: 6 } },
-    Row { design: "usbf_idma", target: "adr_incw", budget: BugBudget { negation: 2, operation: 2, misuse: 8 } },
-    Row { design: "ibex_controller", target: "stall", budget: BugBudget { negation: 4, operation: 6, misuse: 12 } },
-    Row { design: "ibex_controller", target: "instr_valid_clear_o", budget: BugBudget { negation: 3, operation: 4, misuse: 12 } },
+    Row {
+        design: "wb_mux_2",
+        target: "wbs0_we_o",
+        budget: BugBudget {
+            negation: 2,
+            operation: 2,
+            misuse: 4,
+        },
+    },
+    Row {
+        design: "wb_mux_2",
+        target: "wbs0_stb_o",
+        budget: BugBudget {
+            negation: 2,
+            operation: 2,
+            misuse: 4,
+        },
+    },
+    Row {
+        design: "usbf_pl",
+        target: "match_o",
+        budget: BugBudget {
+            negation: 5,
+            operation: 8,
+            misuse: 9,
+        },
+    },
+    Row {
+        design: "usbf_pl",
+        target: "frame_no_we",
+        budget: BugBudget {
+            negation: 3,
+            operation: 4,
+            misuse: 9,
+        },
+    },
+    Row {
+        design: "usbf_idma",
+        target: "mreq",
+        budget: BugBudget {
+            negation: 3,
+            operation: 4,
+            misuse: 6,
+        },
+    },
+    Row {
+        design: "usbf_idma",
+        target: "adr_incw",
+        budget: BugBudget {
+            negation: 2,
+            operation: 2,
+            misuse: 8,
+        },
+    },
+    Row {
+        design: "ibex_controller",
+        target: "stall",
+        budget: BugBudget {
+            negation: 4,
+            operation: 6,
+            misuse: 12,
+        },
+    },
+    Row {
+        design: "ibex_controller",
+        target: "instr_valid_clear_o",
+        budget: BugBudget {
+            negation: 3,
+            operation: 4,
+            misuse: 12,
+        },
+    },
 ];
 
 struct RowResult {
@@ -135,8 +199,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         }
         if detail {
             for m in mutants.iter().filter(|m| m.observable) {
-                let mut ex = Explainer::new(&model, &m.module, row.target)
-                    .with_failure_window(window);
+                let mut ex =
+                    Explainer::new(&model, &m.module, row.target).with_failure_window(window);
                 let runs = labelled_traces(m);
                 let (h, f_map, c_map) = ex.explain(&runs, DEFAULT_THRESHOLD);
                 let ranked = h.ranked();
@@ -168,7 +232,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("\nTABLE III: Bug coverage for bug-localization on realistic designs.");
     println!(
         "{:<17} {:<20} {:>4} {:>4} {:>4}  {:>18}  {:>16}  {:>16}",
-        "Design Name", "Target", "Neg", "Op", "Mis", "Total (Observable)", "top-1 Coverage", "Ochiai baseline"
+        "Design Name",
+        "Target",
+        "Neg",
+        "Op",
+        "Mis",
+        "Total (Observable)",
+        "top-1 Coverage",
+        "Ochiai baseline"
     );
     println!("{}", "-".repeat(110));
     let mut per_design: std::collections::BTreeMap<&str, Coverage> = Default::default();
@@ -256,29 +327,7 @@ fn localize_all(
     threshold: f32,
     window: u32,
 ) -> Vec<bool> {
-    let n_threads = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(4)
-        .min(mutants.len().max(1));
-    let results: Vec<std::sync::Mutex<bool>> =
-        (0..mutants.len()).map(|_| std::sync::Mutex::new(false)).collect();
-    let next = std::sync::atomic::AtomicUsize::new(0);
-    crossbeam::thread::scope(|s| {
-        for _ in 0..n_threads {
-            s.spawn(|_| loop {
-                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                if i >= mutants.len() {
-                    break;
-                }
-                let m = &mutants[i];
-                if !m.observable {
-                    continue;
-                }
-                let out = localize_mutant_with(model, m, target, threshold, window);
-                *results[i].lock().expect("poisoned") = out.localized;
-            });
-        }
+    par::par_map(mutants, |m| {
+        m.observable && localize_mutant_with(model, m, target, threshold, window).localized
     })
-    .expect("worker panicked");
-    results.into_iter().map(|m| m.into_inner().expect("poisoned")).collect()
 }

@@ -80,7 +80,10 @@ impl ExperimentScale {
 /// # Errors
 ///
 /// Propagates generator/parse failures.
-pub fn corpora(scale: &ExperimentScale, seed: u64) -> Result<(Vec<Module>, Vec<Module>), verilog::ParseError> {
+pub fn corpora(
+    scale: &ExperimentScale,
+    seed: u64,
+) -> Result<(Vec<Module>, Vec<Module>), verilog::ParseError> {
     let generator = Generator::new(RvdgConfig::default(), seed);
     let all = generator.generate_corpus(scale.train_designs + scale.holdout_designs)?;
     let (train, hold) = all.split_at(scale.train_designs);
@@ -101,9 +104,18 @@ pub fn train_model(
     seed: u64,
 ) -> Result<(VeriBugModel, Dataset, Dataset), VeriBugError> {
     let (train_modules, holdout_modules) = corpora(scale, seed)?;
-    let train_set = Dataset::from_designs(&train_modules, seed ^ 1, scale.cycles, scale.runs_per_design)?;
-    let holdout_set =
-        Dataset::from_designs(&holdout_modules, seed ^ 2, scale.cycles, scale.runs_per_design)?;
+    let train_set = Dataset::from_designs(
+        &train_modules,
+        seed ^ 1,
+        scale.cycles,
+        scale.runs_per_design,
+    )?;
+    let holdout_set = Dataset::from_designs(
+        &holdout_modules,
+        seed ^ 2,
+        scale.cycles,
+        scale.runs_per_design,
+    )?;
     let mut model = VeriBugModel::new(ModelConfig::default());
     train::train(
         &mut model,

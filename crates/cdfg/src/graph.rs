@@ -102,14 +102,14 @@ impl Cdfg {
         let mut edges = Vec::new();
         for (from, def) in nodes.iter().enumerate() {
             for (to, usenode) in nodes.iter().enumerate() {
-                if usenode.rhs_vars.iter().any(|v| *v == def.lhs) {
+                if usenode.rhs_vars.contains(&def.lhs) {
                     edges.push(CdfgEdge {
                         from,
                         to,
                         kind: DepKind::Data,
                     });
                 }
-                if usenode.guard_vars.iter().any(|v| *v == def.lhs) {
+                if usenode.guard_vars.contains(&def.lhs) {
                     edges.push(CdfgEdge {
                         from,
                         to,
@@ -163,7 +163,10 @@ fn rhs_reads(a: &verilog::Assignment) -> Vec<String> {
 }
 
 fn expr_vars(e: &Expr) -> Vec<String> {
-    e.referenced_signals().into_iter().map(str::to_owned).collect()
+    e.referenced_signals()
+        .into_iter()
+        .map(str::to_owned)
+        .collect()
 }
 
 fn collect_nodes(stmts: &[Stmt], guards: &mut Vec<String>, nodes: &mut Vec<CdfgNode>) {
@@ -214,7 +217,9 @@ fn collect_nodes(stmts: &[Stmt], guards: &mut Vec<String>, nodes: &mut Vec<CdfgN
 
 fn dedup(vars: Vec<String>) -> Vec<String> {
     let mut seen = std::collections::HashSet::new();
-    vars.into_iter().filter(|v| seen.insert(v.clone())).collect()
+    vars.into_iter()
+        .filter(|v| seen.insert(v.clone()))
+        .collect()
 }
 
 #[cfg(test)]

@@ -179,10 +179,8 @@ mod tests {
 
     #[test]
     fn chains_are_transitive() {
-        let g = vdg(
-            "module m(input a, output y);\nwire t1, t2;\n\
-             assign t1 = ~a;\nassign t2 = ~t1;\nassign y = ~t2;\nendmodule",
-        );
+        let g = vdg("module m(input a, output y);\nwire t1, t2;\n\
+             assign t1 = ~a;\nassign t2 = ~t1;\nassign y = ~t2;\nendmodule");
         assert!(g.influences("a", "y"));
         assert!(g.influences("t1", "y"));
         assert!(!g.influences("y", "t1"));
@@ -190,23 +188,18 @@ mod tests {
 
     #[test]
     fn control_dependencies_are_edges() {
-        let g = vdg(
-            "module m(input c, input a, output reg y);\n\
-             always @(*) begin\nif (c) y = a; else y = 1'b0;\nend\nendmodule",
-        );
-        let yc = g
-            .edges()
-            .iter()
-            .any(|e| g.signals()[e.from] == "c" && g.signals()[e.to] == "y" && e.kind == DepKind::Control);
+        let g = vdg("module m(input c, input a, output reg y);\n\
+             always @(*) begin\nif (c) y = a; else y = 1'b0;\nend\nendmodule");
+        let yc = g.edges().iter().any(|e| {
+            g.signals()[e.from] == "c" && g.signals()[e.to] == "y" && e.kind == DepKind::Control
+        });
         assert!(yc, "expected control edge c -> y");
     }
 
     #[test]
     fn sequential_flag_on_nonblocking_defs() {
-        let g = vdg(
-            "module m(input clk, input d, output reg q);\n\
-             always @(posedge clk) q <= d;\nendmodule",
-        );
+        let g = vdg("module m(input clk, input d, output reg q);\n\
+             always @(posedge clk) q <= d;\nendmodule");
         let e = g
             .edges()
             .iter()

@@ -112,8 +112,7 @@ where
 }
 
 fn load_module(path: &str) -> Result<verilog::Module, Box<dyn std::error::Error>> {
-    let source = std::fs::read_to_string(path)
-        .map_err(|e| format!("cannot read `{path}`: {e}"))?;
+    let source = std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
     Ok(verilog::parse(&source)
         .map_err(|e| format!("{path}: {e}"))?
         .top()
@@ -172,7 +171,10 @@ fn cmd_localize(opts: &HashMap<String, String>) -> CmdResult {
         .iter()
         .filter(|r| r.label == TraceLabel::Failing)
         .count();
-    eprintln!("{failing}/{} runs expose a failure at {target}", labelled.len());
+    eprintln!(
+        "{failing}/{} runs expose a failure at {target}",
+        labelled.len()
+    );
     if failing == 0 {
         return Err("no failing runs: nothing to localize".into());
     }

@@ -144,10 +144,7 @@ pub fn grouped_heatmap(
             .map(|(_, r)| r.clone())
             .collect();
         // A group with no failing runs carries no localization signal.
-        if !subset
-            .iter()
-            .any(|r| r.label == sim::TraceLabel::Failing)
-        {
+        if !subset.iter().any(|r| r.label == sim::TraceLabel::Failing) {
             continue;
         }
         let (heatmap, _, _) = explainer.explain(&subset, threshold);

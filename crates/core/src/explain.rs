@@ -508,11 +508,7 @@ mod tests {
             (1, vec![0.9, 0.1]),
             (2, vec![0.3, 0.7]),
         ]);
-        let c = mk(&[
-            (0, vec![0.5, 0.5]),
-            (1, vec![0.1, 0.9]),
-            (3, vec![1.0]),
-        ]);
+        let c = mk(&[(0, vec![0.5, 0.5]), (1, vec![0.1, 0.9]), (3, vec![1.0])]);
         let h = Explainer::heatmap(&f, &c, DEFAULT_THRESHOLD);
         assert_eq!(h.len(), 2);
         assert!(!h.entries.contains_key(&StmtId(0)));

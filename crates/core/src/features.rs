@@ -173,9 +173,7 @@ fn expr_tree(e: &Expr) -> PathTree {
         Expr::Concat { parts, .. } => {
             PathTree::Interior(NodeKind::Concat, parts.iter().map(expr_tree).collect())
         }
-        Expr::Repeat { inner, .. } => {
-            PathTree::Interior(NodeKind::Repeat, vec![expr_tree(inner)])
-        }
+        Expr::Repeat { inner, .. } => PathTree::Interior(NodeKind::Repeat, vec![expr_tree(inner)]),
     }
 }
 
@@ -268,10 +266,7 @@ mod tests {
 
     #[test]
     fn continuous_assign_uses_its_root_kind() {
-        let f = features(
-            "module m(input a, output y);\nassign y = ~a;\nendmodule",
-            0,
-        );
+        let f = features("module m(input a, output y);\nassign y = ~a;\nendmodule", 0);
         assert_eq!(f.operands[0].paths.len(), 1);
         assert_eq!(
             f.operands[0].paths[0],
@@ -307,10 +302,7 @@ mod tests {
         assert_eq!(f.operand_count(), 1);
         // a → y and a → literal.
         assert_eq!(f.operands[0].paths.len(), 2);
-        assert!(f
-            .operands[0]
-            .paths
-            .contains(&vec![NodeKind::Xor]));
+        assert!(f.operands[0].paths.contains(&vec![NodeKind::Xor]));
     }
 
     #[test]

@@ -74,8 +74,8 @@ pub mod train;
 pub use coverage::{coverage_for_mutants, localize_mutant, Coverage, LocalizationOutcome};
 pub use error::VeriBugError;
 pub use explain::{
-    suspiciousness, AttentionMap, Explainer, Heatmap, HeatmapEntry, StmtAttention,
-    SuspicionReason, DEFAULT_THRESHOLD,
+    suspiciousness, AttentionMap, Explainer, Heatmap, HeatmapEntry, StmtAttention, SuspicionReason,
+    DEFAULT_THRESHOLD,
 };
 pub use features::{OperandContext, Path, StatementFeatures};
 pub use model::{ContextAggregation, Forward, ModelConfig, Sample, VeriBugModel};

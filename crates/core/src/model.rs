@@ -174,12 +174,7 @@ impl VeriBugModel {
     /// # Panics
     ///
     /// Panics when `sample.values` is not aligned with `features.operands`.
-    pub fn forward(
-        &self,
-        g: &mut Graph,
-        features: &StatementFeatures,
-        sample: &Sample,
-    ) -> Forward {
+    pub fn forward(&self, g: &mut Graph, features: &StatementFeatures, sample: &Sample) -> Forward {
         assert_eq!(
             features.operand_count(),
             sample.values.len(),
@@ -241,8 +236,21 @@ impl VeriBugModel {
     /// Convenience inference: predicted output bit and attention weights.
     pub fn predict(&self, features: &StatementFeatures, values: &[bool]) -> (bool, Vec<f32>) {
         let mut g = Graph::new();
+        self.predict_with(&mut g, features, values)
+    }
+
+    /// Like [`VeriBugModel::predict`], but reuses `graph` (cleared first) so
+    /// batched inference over many samples keeps one tape allocation alive
+    /// instead of re-allocating per call.
+    pub fn predict_with(
+        &self,
+        g: &mut Graph,
+        features: &StatementFeatures,
+        values: &[bool],
+    ) -> (bool, Vec<f32>) {
+        g.clear();
         let fwd = self.forward(
-            &mut g,
+            g,
             features,
             &Sample {
                 values: values.to_vec(),

@@ -161,7 +161,10 @@ pub fn from_str(text: &str) -> Result<VeriBugModel, LoadError> {
         }
         let parts: Vec<&str> = line.split_whitespace().collect();
         if parts.len() != 4 || parts[0] != "param" {
-            return Err(format_err(ln + 1, format!("expected `param`, got `{line}`")));
+            return Err(format_err(
+                ln + 1,
+                format!("expected `param`, got `{line}`"),
+            ));
         }
         let name = parts[1];
         let rows = parse_usize(parts[2], ln)?;
@@ -187,8 +190,7 @@ pub fn from_str(text: &str) -> Result<VeriBugModel, LoadError> {
                 .split_whitespace()
                 .map(|v| v.parse::<f32>())
                 .collect();
-            let values =
-                values.map_err(|e| format_err(ln + 1, format!("bad float: {e}")))?;
+            let values = values.map_err(|e| format_err(ln + 1, format!("bad float: {e}")))?;
             if values.len() != cols {
                 return Err(format_err(
                     ln + 1,
@@ -228,10 +230,9 @@ mod tests {
     use crate::features::StatementFeatures;
 
     fn sample_features() -> StatementFeatures {
-        let unit = verilog::parse(
-            "module m(input a, input b, output y);\nassign y = a & ~b;\nendmodule",
-        )
-        .unwrap();
+        let unit =
+            verilog::parse("module m(input a, input b, output y);\nassign y = a & ~b;\nendmodule")
+                .unwrap();
         let module = unit.top().clone();
         StatementFeatures::extract(&module.assignments()[0].clone()).unwrap()
     }
@@ -294,7 +295,10 @@ mod tests {
         let loaded = load(&path).unwrap();
         assert_eq!(loaded.config(), model.config());
         let f = sample_features();
-        assert_eq!(model.predict(&f, &[true, false]), loaded.predict(&f, &[true, false]));
+        assert_eq!(
+            model.predict(&f, &[true, false]),
+            loaded.predict(&f, &[true, false])
+        );
         std::fs::remove_file(&path).ok();
     }
 }

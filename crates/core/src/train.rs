@@ -13,7 +13,7 @@ use std::collections::BTreeSet;
 use crate::error::VeriBugError;
 use crate::features::StatementFeatures;
 use crate::model::{Sample, VeriBugModel};
-use neuro::Graph;
+use neuro::{GradBuffer, Graph};
 use sim::{Simulator, TestbenchGen};
 use verilog::Module;
 
@@ -41,6 +41,11 @@ impl Dataset {
     /// stimuli and collecting every *distinct* `(statement, operand values)`
     /// execution observed.
     ///
+    /// Designs are simulated and harvested in parallel; results are merged
+    /// in design order, so the dataset is identical at any thread count (see
+    /// [`par::max_threads`] for the thread knobs). Each design's stimuli
+    /// depend only on `seed` and the design's position, never on scheduling.
+    ///
     /// # Errors
     ///
     /// Propagates elaboration/simulation failures, and reports a
@@ -51,46 +56,19 @@ impl Dataset {
         cycles: usize,
         runs_per_design: usize,
     ) -> Result<Self, VeriBugError> {
+        let harvests = par::par_run(modules.len(), |di| {
+            harvest_design(&modules[di], seed, di, cycles, runs_per_design)
+        });
         let mut stmts: Vec<StatementFeatures> = Vec::new();
         let mut entries: Vec<DatasetEntry> = Vec::new();
-        let mut seen: BTreeSet<(usize, Vec<bool>)> = BTreeSet::new();
-        for (di, module) in modules.iter().enumerate() {
-            let features = StatementFeatures::extract_all(module);
-            let mut sim = Simulator::new(module)?;
+        for harvest in harvests {
+            let (design_stmts, design_entries) = harvest?;
             let base = stmts.len();
-            // Map stmt id -> feature-table index for this design.
-            let mut local: std::collections::BTreeMap<verilog::StmtId, usize> =
-                std::collections::BTreeMap::new();
-            for (id, f) in &features {
-                local.insert(*id, base + local.len());
-                let _ = f; // pushed below in the same order
-            }
-            stmts.extend(features.values().cloned());
-            let tb = TestbenchGen::new(seed.wrapping_add(di as u64 * 7919));
-            for stim in tb.generate_many(sim.netlist(), cycles, runs_per_design) {
-                let trace = sim.run(&stim)?;
-                for cyc in &trace.cycles {
-                    for exec in &cyc.execs {
-                        let Some(&idx) = local.get(&exec.stmt) else {
-                            continue;
-                        };
-                        let f = &stmts[idx];
-                        let Some(values) = operand_values(f, exec) else {
-                            continue;
-                        };
-                        if !seen.insert((idx, values.clone())) {
-                            continue;
-                        }
-                        entries.push(DatasetEntry {
-                            stmt_idx: idx,
-                            sample: Sample {
-                                values,
-                                target: exec.result.is_truthy(),
-                            },
-                        });
-                    }
-                }
-            }
+            stmts.extend(design_stmts);
+            entries.extend(design_entries.into_iter().map(|mut e| {
+                e.stmt_idx += base;
+                e
+            }));
         }
         if entries.is_empty() {
             return Err(VeriBugError::BadDataset {
@@ -144,6 +122,59 @@ impl Dataset {
     pub fn is_empty(&self) -> bool {
         self.entries.is_empty()
     }
+}
+
+/// Simulates one design and harvests its distinct statement executions.
+///
+/// Returns the design's feature table and entries with *design-local*
+/// statement indices; [`Dataset::from_designs`] offsets them into the global
+/// table. Deduplication is per design, which is equivalent to the global
+/// dedup of a serial pass because `(stmt_idx, values)` keys never collide
+/// across designs (each design owns a disjoint index range).
+fn harvest_design(
+    module: &Module,
+    seed: u64,
+    di: usize,
+    cycles: usize,
+    runs_per_design: usize,
+) -> Result<(Vec<StatementFeatures>, Vec<DatasetEntry>), VeriBugError> {
+    let features = StatementFeatures::extract_all(module);
+    let mut sim = Simulator::new(module)?;
+    // Map stmt id -> design-local feature-table index.
+    let mut local: std::collections::BTreeMap<verilog::StmtId, usize> =
+        std::collections::BTreeMap::new();
+    for id in features.keys() {
+        local.insert(*id, local.len());
+    }
+    let stmts: Vec<StatementFeatures> = features.into_values().collect();
+    let mut entries: Vec<DatasetEntry> = Vec::new();
+    let mut seen: BTreeSet<(usize, Vec<bool>)> = BTreeSet::new();
+    let tb = TestbenchGen::new(seed.wrapping_add(di as u64 * 7919));
+    for stim in tb.generate_many(sim.netlist(), cycles, runs_per_design) {
+        let trace = sim.run(&stim)?;
+        for cyc in &trace.cycles {
+            for exec in &cyc.execs {
+                let Some(&idx) = local.get(&exec.stmt) else {
+                    continue;
+                };
+                let f = &stmts[idx];
+                let Some(values) = operand_values(f, exec) else {
+                    continue;
+                };
+                if !seen.insert((idx, values.clone())) {
+                    continue;
+                }
+                entries.push(DatasetEntry {
+                    stmt_idx: idx,
+                    sample: Sample {
+                        values,
+                        target: exec.result.is_truthy(),
+                    },
+                });
+            }
+        }
+    }
+    Ok((stmts, entries))
 }
 
 /// Reads the recorded operand values for a statement's feature operands.
@@ -210,6 +241,13 @@ pub struct TrainReport {
 
 /// Trains a model in place.
 ///
+/// Each minibatch is data-parallel over fixed-size shards (see
+/// [`train_batch`]'s internals): shard gradients are accumulated into
+/// per-worker buffers and merged in shard order before the optimizer step.
+/// Because no reduction order ever depends on the worker count, the final
+/// parameters — and every reported epoch loss — are bit-identical whether
+/// training runs on one thread or many.
+///
 /// # Errors
 ///
 /// Fails on unusable datasets (empty or single-class).
@@ -243,6 +281,18 @@ pub fn train(
     })
 }
 
+/// Samples per data-parallel shard of a minibatch. A fixed constant: shard
+/// boundaries (and therefore every f32 reduction order) depend only on the
+/// batch itself, never on how many workers happen to run, so training is
+/// bit-reproducible at any thread count.
+const SHARD: usize = 8;
+
+/// One optimizer step on a minibatch; returns the batch loss.
+///
+/// The batch is split into fixed-size shards. Each shard runs its forward
+/// and backward pass on its own tape into a private [`GradBuffer`]; buffers
+/// and shard losses are then merged in shard order before a single Adam
+/// step, so the result is independent of the worker count.
 fn train_batch(
     model: &mut VeriBugModel,
     dataset: &Dataset,
@@ -252,28 +302,51 @@ fn train_batch(
     alpha: f32,
     adam: &mut neuro::Adam,
 ) -> f32 {
-    let mut g = Graph::new();
-    let mut ce_terms = Vec::with_capacity(batch.len());
-    let mut reg_terms = Vec::with_capacity(batch.len());
-    let mut weight_sum = 0.0f32;
-    for &i in batch {
-        let entry = &dataset.entries[i];
-        let f = &dataset.stmts[entry.stmt_idx];
-        let fwd = model.forward(&mut g, f, &entry.sample);
-        let target = usize::from(entry.sample.target);
-        let w = if entry.sample.target { w1 } else { w0 };
-        weight_sum += w;
-        let ce = g.cross_entropy_logits(fwd.logits, target);
-        ce_terms.push(g.scale(ce, w));
-        reg_terms.push(g.recip_frob_norm(fwd.x_star));
+    // The normalizers depend on the whole batch, so compute them before
+    // sharding: each shard contributes `Σ w_i·ce_i / weight_sum` and
+    // `(α/N) Σ reg_i` directly.
+    let weight_sum: f32 = batch
+        .iter()
+        .map(|&i| {
+            if dataset.entries[i].sample.target {
+                w1
+            } else {
+                w0
+            }
+        })
+        .sum();
+    let shard_model: &VeriBugModel = model;
+    let shards = par::par_chunk_map(batch, SHARD, |_, shard| {
+        let mut g = Graph::new();
+        let mut ce_terms = Vec::with_capacity(shard.len());
+        let mut reg_terms = Vec::with_capacity(shard.len());
+        for &i in shard {
+            let entry = &dataset.entries[i];
+            let f = &dataset.stmts[entry.stmt_idx];
+            let fwd = shard_model.forward(&mut g, f, &entry.sample);
+            let target = usize::from(entry.sample.target);
+            let w = if entry.sample.target { w1 } else { w0 };
+            let ce = g.cross_entropy_logits(fwd.logits, target);
+            ce_terms.push(g.scale(ce, w));
+            reg_terms.push(g.recip_frob_norm(fwd.x_star));
+        }
+        let ce_sum = sum_nodes(&mut g, &ce_terms);
+        let ce_part = g.scale(ce_sum, 1.0 / weight_sum);
+        let reg_sum = sum_nodes(&mut g, &reg_terms);
+        let reg_part = g.scale(reg_sum, alpha / batch.len() as f32);
+        let loss = g.add(ce_part, reg_part);
+        let loss_value = g.value(loss).item();
+        let mut grads = GradBuffer::zeros_like(shard_model.params());
+        g.backward_to(loss, &mut grads);
+        (loss_value, grads)
+    });
+    let mut total = GradBuffer::zeros_like(model.params());
+    let mut loss_value = 0.0f32;
+    for (shard_loss, grads) in &shards {
+        loss_value += shard_loss;
+        total.merge(grads);
     }
-    let ce_sum = sum_nodes(&mut g, &ce_terms);
-    let ce_mean = g.scale(ce_sum, 1.0 / weight_sum);
-    let reg_sum = sum_nodes(&mut g, &reg_terms);
-    let reg_mean = g.scale(reg_sum, alpha / batch.len() as f32);
-    let loss = g.add(ce_mean, reg_mean);
-    let loss_value = g.value(loss).item();
-    g.backward(loss, model.params_mut());
+    total.apply_to(model.params_mut());
     adam.step(model.params_mut(), 1.0);
     loss_value
 }
@@ -305,13 +378,29 @@ pub struct EvalMetrics {
 }
 
 /// Evaluates a model on a dataset.
+///
+/// Entries are scored in parallel chunks, each reusing one cleared tape
+/// ([`VeriBugModel::predict_with`]); the per-chunk confusion counts are
+/// integer sums, so the metrics are identical at any thread count.
 pub fn evaluate(model: &VeriBugModel, dataset: &Dataset) -> EvalMetrics {
     // Confusion counts: [actual][predicted].
+    let chunks = par::par_chunk_map(&dataset.entries, 64, |_, chunk| {
+        let mut m = [[0usize; 2]; 2];
+        let mut g = Graph::new();
+        for entry in chunk {
+            let f = &dataset.stmts[entry.stmt_idx];
+            let (pred, _) = model.predict_with(&mut g, f, &entry.sample.values);
+            m[usize::from(entry.sample.target)][usize::from(pred)] += 1;
+        }
+        m
+    });
     let mut m = [[0usize; 2]; 2];
-    for entry in &dataset.entries {
-        let f = &dataset.stmts[entry.stmt_idx];
-        let (pred, _) = model.predict(f, &entry.sample.values);
-        m[usize::from(entry.sample.target)][usize::from(pred)] += 1;
+    for c in &chunks {
+        for (row, crow) in m.iter_mut().zip(c) {
+            for (cell, v) in row.iter_mut().zip(crow) {
+                *cell += v;
+            }
+        }
     }
     let total = dataset.len().max(1);
     let div = |a: usize, b: usize| {
@@ -402,6 +491,49 @@ mod tests {
             before.accuracy,
             after.accuracy
         );
+    }
+
+    #[test]
+    fn dataset_is_thread_count_invariant() {
+        let corpus = small_corpus(3);
+        let single = par::with_threads(1, || Dataset::from_designs(&corpus, 1, 24, 2).unwrap());
+        for threads in [2usize, 8] {
+            let multi = par::with_threads(threads, || {
+                Dataset::from_designs(&corpus, 1, 24, 2).unwrap()
+            });
+            assert_eq!(single, multi, "{threads} threads");
+        }
+    }
+
+    #[test]
+    fn training_is_thread_count_invariant() {
+        let ds = Dataset::from_designs(&small_corpus(2), 5, 24, 2).unwrap();
+        let cfg = TrainConfig {
+            epochs: 3,
+            ..TrainConfig::default()
+        };
+        let run = |threads: usize| {
+            par::with_threads(threads, || {
+                let mut model = VeriBugModel::new(ModelConfig::default());
+                let report = train(&mut model, &ds, &cfg).unwrap();
+                (report, evaluate(&model, &ds))
+            })
+        };
+        let (report1, eval1) = run(1);
+        for threads in [2usize, 8] {
+            let (report_n, eval_n) = run(threads);
+            // Exact f32 equality: sharded reductions are merged in a fixed
+            // order, so thread count must not perturb a single bit.
+            assert_eq!(
+                report1.epoch_losses, report_n.epoch_losses,
+                "{threads} threads"
+            );
+            assert_eq!(
+                report1.final_epsilon, report_n.final_epsilon,
+                "{threads} threads"
+            );
+            assert_eq!(eval1, eval_n, "{threads} threads");
+        }
     }
 
     #[test]

@@ -121,7 +121,9 @@ mod tests {
     #[test]
     fn all_designs_parse() {
         for d in catalog() {
-            let m = d.module().unwrap_or_else(|e| panic!("{} fails: {e}", d.name));
+            let m = d
+                .module()
+                .unwrap_or_else(|e| panic!("{} fails: {e}", d.name));
             assert_eq!(m.name, d.name);
         }
     }
@@ -168,11 +170,7 @@ mod tests {
                     d.name
                 );
                 let slice = Slice::of_target(&m, t);
-                assert!(
-                    !slice.is_empty(),
-                    "{}: target {t} slice empty",
-                    d.name
-                );
+                assert!(!slice.is_empty(), "{}: target {t} slice empty", d.name);
             }
         }
     }

@@ -108,6 +108,13 @@ impl Campaign {
     /// Runs the campaign: inject up to `budget` bugs per kind into `golden`
     /// and co-simulate each against the target output.
     ///
+    /// Candidate mutants are built and co-simulated in parallel, in
+    /// fixed-size waves of shuffled sites. The wave partitioning and the
+    /// in-order merge depend only on the seed — never on the worker count —
+    /// so the returned mutant list is identical at any thread count (and to
+    /// a fully serial pass). Thread count follows `VERIBUG_THREADS` /
+    /// `RAYON_NUM_THREADS` (see [`par::max_threads`]).
+    ///
     /// # Errors
     ///
     /// Propagates simulation errors. Mutants that fail to elaborate or
@@ -119,6 +126,11 @@ impl Campaign {
         target: &str,
         budget: &BugBudget,
     ) -> Result<Vec<Mutant>, SimError> {
+        /// Sites co-simulated per parallel wave. A fixed constant: waves
+        /// bound the work wasted past the budget without letting the worker
+        /// count influence which sites get considered.
+        const WAVE: usize = 8;
+
         let mut rng = StdRng::seed_from_u64(self.seed);
         let restrict: Option<BTreeSet<_>> = if self.restrict_to_slice {
             Some(Slice::of_target(golden, target).stmts)
@@ -130,40 +142,53 @@ impl Campaign {
         let stimuli: Vec<Stimulus> = TestbenchGen::new(self.seed ^ 0xD1CE_F00D)
             .with_hold_probability(self.hold_probability)
             .generate_many(golden_sim.netlist(), self.cycles, self.runs_per_mutant);
+        let golden_source = verilog::print_module(golden);
 
         let mut out = Vec::new();
         for kind in MutationKind::ALL {
             let mut sites: Vec<&MutationSite> =
                 all_sites.iter().filter(|s| s.kind == kind).collect();
             shuffle(&mut sites, &mut rng);
+            let want = budget.for_kind(kind);
             let mut produced = 0;
             let mut seen_sources: BTreeSet<String> = BTreeSet::new();
-            for site in sites {
-                if produced >= budget.for_kind(kind) {
+            for wave in sites.chunks(WAVE) {
+                if produced >= want {
                     break;
                 }
-                let Some(module) = apply(golden, site) else {
-                    continue;
-                };
-                let source = verilog::print_module(&module);
-                if source == verilog::print_module(golden) {
-                    continue; // mutation was a semantic no-op at source level
-                }
-                if !seen_sources.insert(source.clone()) {
-                    continue; // duplicate mutant
-                }
-                let Ok(runs) = cosimulate(golden, &module, target, &stimuli) else {
-                    continue; // e.g. mutation created a combinational loop
-                };
-                let observable = is_observable(&runs);
-                out.push(Mutant {
-                    module,
-                    source,
-                    site: site.clone(),
-                    runs,
-                    observable,
+                // Parallel part: everything that depends only on the site.
+                let candidates = par::par_map(wave, |site| {
+                    let module = apply(golden, site)?;
+                    let source = verilog::print_module(&module);
+                    if source == golden_source {
+                        return None; // mutation was a source-level no-op
+                    }
+                    // A mutation may e.g. create a combinational loop; skip.
+                    let runs = cosimulate(golden, &module, target, &stimuli).ok()?;
+                    let observable = is_observable(&runs);
+                    Some((module, source, runs, observable))
                 });
-                produced += 1;
+                // Sequential merge in site order: duplicate and budget
+                // decisions replay exactly as a serial pass would.
+                for (site, cand) in wave.iter().zip(candidates) {
+                    if produced >= want {
+                        break;
+                    }
+                    let Some((module, source, runs, observable)) = cand else {
+                        continue;
+                    };
+                    if !seen_sources.insert(source.clone()) {
+                        continue; // duplicate mutant
+                    }
+                    out.push(Mutant {
+                        module,
+                        source,
+                        site: (*site).clone(),
+                        runs,
+                        observable,
+                    });
+                    produced += 1;
+                }
             }
         }
         Ok(out)
@@ -231,6 +256,38 @@ endmodule
     }
 
     #[test]
+    fn campaign_is_thread_count_invariant() {
+        let budget = BugBudget {
+            negation: 3,
+            operation: 2,
+            misuse: 3,
+        };
+        let runs: Vec<Vec<Mutant>> = [1usize, 2, 8]
+            .iter()
+            .map(|&threads| {
+                par::with_threads(threads, || {
+                    Campaign::new(23).run(&golden(), "gnt1", &budget).unwrap()
+                })
+            })
+            .collect();
+        let single = &runs[0];
+        assert!(!single.is_empty());
+        for (threads, r) in [2usize, 8].iter().zip(&runs[1..]) {
+            assert_eq!(r.len(), single.len(), "{threads} threads");
+            for (a, b) in single.iter().zip(r) {
+                assert_eq!(a.source, b.source, "{threads} threads");
+                assert_eq!(a.site, b.site, "{threads} threads");
+                assert_eq!(a.observable, b.observable, "{threads} threads");
+                assert_eq!(a.runs.len(), b.runs.len(), "{threads} threads");
+                for (ra, rb) in a.runs.iter().zip(&b.runs) {
+                    assert_eq!(ra.label, rb.label, "{threads} threads");
+                    assert_eq!(ra.trace, rb.trace, "{threads} threads");
+                }
+            }
+        }
+    }
+
+    #[test]
     fn mutated_statement_is_inside_target_slice() {
         let budget = BugBudget {
             negation: 3,
@@ -259,10 +316,7 @@ endmodule
         let observable = mutants.iter().filter(|m| m.observable).count();
         assert!(observable > 0, "campaign found no observable bugs");
         for m in mutants.iter().filter(|m| m.observable) {
-            assert!(m
-                .runs
-                .iter()
-                .any(|r| r.label == sim::TraceLabel::Failing));
+            assert!(m.runs.iter().any(|r| r.label == sim::TraceLabel::Failing));
         }
     }
 }

@@ -194,7 +194,10 @@ fn substitutions_for(op: BinaryOp) -> Vec<BinaryOp> {
 
 /// Calls `f` on every assignment of the module (mutably). `f` returning
 /// `Some(())` is ignored; it exists so callers can use `?` internally.
-pub fn for_each_assignment_mut(module: &mut Module, mut f: impl FnMut(&mut Assignment) -> Option<()>) {
+pub fn for_each_assignment_mut(
+    module: &mut Module,
+    mut f: impl FnMut(&mut Assignment) -> Option<()>,
+) {
     fn walk(stmts: &mut [Stmt], f: &mut impl FnMut(&mut Assignment) -> Option<()>) {
         for s in stmts {
             match s {
@@ -492,7 +495,8 @@ mod tests {
         verilog::parse(src).unwrap().top().clone()
     }
 
-    const SRC: &str = "module m(input a, input b, input ab, output y);\nassign y = a & ~b;\nendmodule";
+    const SRC: &str =
+        "module m(input a, input b, input ab, output y);\nassign y = a & ~b;\nendmodule";
 
     #[test]
     fn negation_insert_and_remove() {

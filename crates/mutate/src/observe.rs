@@ -50,12 +50,13 @@ pub fn cosimulate(
 ) -> Result<Vec<LabelledRun>, SimError> {
     let mut golden_sim = Simulator::new(golden)?;
     let mut mutant_sim = Simulator::new(mutant)?;
-    let target_id = golden_sim
-        .netlist()
-        .signal_id(target)
-        .ok_or_else(|| SimError::UnknownSignal {
-            name: target.to_owned(),
-        })?;
+    let target_id =
+        golden_sim
+            .netlist()
+            .signal_id(target)
+            .ok_or_else(|| SimError::UnknownSignal {
+                name: target.to_owned(),
+            })?;
     let mut out = Vec::with_capacity(stimuli.len());
     for stim in stimuli {
         let gt = golden_sim.run(stim)?;

@@ -37,12 +37,16 @@ mod tests {
     fn weights_are_a_distribution() {
         let mut g = Graph::new();
         let q = g.input(Tensor::from_vec(1, 3, vec![1., 0., -1.]));
-        let k = g.input(Tensor::from_vec(4, 3, vec![
-            0.2, 0.1, 0.0, //
-            1.0, 0.0, -1.0, //
-            -1.0, 0.0, 1.0, //
-            0.0, 0.0, 0.0,
-        ]));
+        let k = g.input(Tensor::from_vec(
+            4,
+            3,
+            vec![
+                0.2, 0.1, 0.0, //
+                1.0, 0.0, -1.0, //
+                -1.0, 0.0, 1.0, //
+                0.0, 0.0, 0.0,
+            ],
+        ));
         let v = g.input(Tensor::from_vec(4, 2, vec![1., 0., 0., 1., 1., 1., 0., 0.]));
         let (w, ctx) = dot_product_attention(&mut g, q, k, v);
         let wv = g.value(w);

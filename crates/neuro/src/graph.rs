@@ -8,7 +8,7 @@
 //! The op set is exactly what the VeriBug model (LSTM + aggregation +
 //! attention + MLPs + regularized weighted cross-entropy) requires.
 
-use crate::params::{ParamId, Params};
+use crate::params::{GradBuffer, ParamId, Params};
 use crate::tensor::Tensor;
 use std::collections::HashMap;
 
@@ -70,6 +70,15 @@ impl Graph {
     /// The forward value of a node.
     pub fn value(&self, n: NodeId) -> &Tensor {
         &self.nodes[n.0].value
+    }
+
+    /// Empties the tape while keeping its allocation, so one `Graph` can be
+    /// reused across forward passes without reallocating the node vector.
+    ///
+    /// All previously returned [`NodeId`]s are invalidated.
+    pub fn clear(&mut self) {
+        self.nodes.clear();
+        self.param_nodes.clear();
     }
 
     /// Number of nodes on the tape.
@@ -303,6 +312,26 @@ impl Graph {
     ///
     /// Panics when `loss` is not a `1×1` scalar.
     pub fn backward(&self, loss: NodeId, params: &mut Params) {
+        self.backward_with(loss, &mut |pid, g| params.accumulate_grad(pid, g));
+    }
+
+    /// Runs backpropagation from a `1×1` loss node, accumulating parameter
+    /// gradients into a detached [`GradBuffer`].
+    ///
+    /// This is the data-parallel entry point: each worker backpropagates
+    /// into its own buffer against a shared immutable `Params`, and the
+    /// buffers are merged in a fixed order afterwards.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `loss` is not a `1×1` scalar.
+    pub fn backward_to(&self, loss: NodeId, buf: &mut GradBuffer) {
+        self.backward_with(loss, &mut |pid, g| buf.accumulate(pid, g));
+    }
+
+    /// Backpropagation core: walks the tape in reverse and hands each leaf
+    /// parameter gradient to `sink`.
+    fn backward_with(&self, loss: NodeId, sink: &mut dyn FnMut(ParamId, &Tensor)) {
         assert_eq!(
             self.value(loss).shape(),
             (1, 1),
@@ -317,12 +346,13 @@ impl Graph {
             match &node.op {
                 Op::Leaf => {
                     if let Some(pid) = node.param {
-                        params.accumulate_grad(pid, &g);
+                        sink(pid, &g);
                     }
                 }
                 Op::MatMul(a, b) => {
-                    let da = g.matmul(&self.nodes[b.0].value.transposed());
-                    let db = self.nodes[a.0].value.transposed().matmul(&g);
+                    // da = g·bᵀ and db = aᵀ·g via the transpose-free kernels.
+                    let da = g.matmul_nt(&self.nodes[b.0].value);
+                    let db = self.nodes[a.0].value.matmul_tn(&g);
                     accumulate(&mut grads, *a, da);
                     accumulate(&mut grads, *b, db);
                 }
@@ -352,9 +382,7 @@ impl Graph {
                 Op::ScaleByScalar(a, s) => {
                     let k = self.nodes[s.0].value.item();
                     let da = g.map(|x| x * k);
-                    let ds = g
-                        .zip(&self.nodes[a.0].value, |gx, ax| gx * ax)
-                        .sum();
+                    let ds = g.zip(&self.nodes[a.0].value, |gx, ax| gx * ax).sum();
                     accumulate(&mut grads, *a, da);
                     accumulate(&mut grads, *s, Tensor::scalar(ds));
                 }
@@ -367,7 +395,10 @@ impl Graph {
                     accumulate(&mut grads, *a, da);
                 }
                 Op::Relu(a) => {
-                    let da = g.zip(&self.nodes[a.0].value, |gx, x| if x > 0.0 { gx } else { 0.0 });
+                    let da = g.zip(
+                        &self.nodes[a.0].value,
+                        |gx, x| if x > 0.0 { gx } else { 0.0 },
+                    );
                     accumulate(&mut grads, *a, da);
                 }
                 Op::SoftmaxRow(a) => {
@@ -520,7 +551,11 @@ mod tests {
         let stacked = g.concat_rows(&[ctx, r0]); // 2x5
         let summed = g.sum_rows(stacked); // 1x5
         let all = g.concat_cols(&[both, summed]); // 1x15
-        let w2 = g.input(Tensor::from_vec(15, 2, (0..30).map(|i| (i as f32) * 0.01 - 0.15).collect()));
+        let w2 = g.input(Tensor::from_vec(
+            15,
+            2,
+            (0..30).map(|i| (i as f32) * 0.01 - 0.15).collect(),
+        ));
         let logits = g.matmul(all, w2);
         let ce = g.cross_entropy_logits(logits, 1);
         let reg = g.recip_frob_norm(gated);
@@ -560,6 +595,48 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn backward_to_buffer_matches_backward_into_params() {
+        let mut init = Initializer::new(1234);
+        let mut params = Params::new();
+        params.register("w", init.sample(4, 5));
+        params.register("b", init.sample(1, 5));
+        params.register("att", init.sample(1, 5));
+        params.register("eps", Tensor::scalar(0.3));
+
+        let (g, loss) = forward(&params);
+        let mut buf = GradBuffer::zeros_like(&params);
+        g.backward_to(loss, &mut buf);
+
+        let mut direct = params.clone();
+        g.backward(loss, &mut direct);
+        for pid in direct.ids() {
+            assert_eq!(buf.grad(pid), direct.grad(pid), "{}", direct.name(pid));
+        }
+    }
+
+    #[test]
+    fn cleared_graph_reproduces_the_same_forward_pass() {
+        let mut init = Initializer::new(1234);
+        let mut params = Params::new();
+        params.register("w", init.sample(4, 5));
+        params.register("b", init.sample(1, 5));
+        params.register("att", init.sample(1, 5));
+        params.register("eps", Tensor::scalar(0.3));
+
+        let (fresh, loss) = forward(&params);
+        let expected = fresh.value(loss).item();
+
+        let mut g = Graph::new();
+        let junk = g.input(Tensor::scalar(42.0));
+        let _ = g.mul(junk, junk);
+        g.clear();
+        assert!(g.is_empty());
+        // Rebuild the same network on the cleared tape via the param cache.
+        let (rebuilt, loss2) = forward(&params);
+        assert_eq!(rebuilt.value(loss2).item(), expected);
     }
 
     #[test]

@@ -62,5 +62,5 @@ pub use graph::{Graph, NodeId};
 pub use init::Initializer;
 pub use lstm::Lstm;
 pub use mlp::{Embedding, Linear, Mlp};
-pub use params::{ParamId, Params};
+pub use params::{GradBuffer, ParamId, Params};
 pub use tensor::Tensor;

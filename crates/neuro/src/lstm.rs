@@ -132,9 +132,7 @@ mod tests {
     fn final_state_shape_and_boundedness() {
         let (params, lstm) = setup();
         let mut g = Graph::new();
-        let xs: Vec<NodeId> = (0..5)
-            .map(|i| g.input(Tensor::one_hot(4, i % 4)))
-            .collect();
+        let xs: Vec<NodeId> = (0..5).map(|i| g.input(Tensor::one_hot(4, i % 4))).collect();
         let h = lstm.run(&mut g, &params, &xs);
         assert_eq!(g.value(h).shape(), (1, 8));
         // h = o * tanh(c) is bounded in (-1, 1).
@@ -170,9 +168,7 @@ mod tests {
     fn gradients_flow_to_all_gates() {
         let (mut params, lstm) = setup();
         let mut g = Graph::new();
-        let xs: Vec<NodeId> = (0..3)
-            .map(|i| g.input(Tensor::one_hot(4, i)))
-            .collect();
+        let xs: Vec<NodeId> = (0..3).map(|i| g.input(Tensor::one_hot(4, i))).collect();
         let h = lstm.run(&mut g, &params, &xs);
         let ht = g.transpose(h);
         let sq = g.matmul(h, ht); // scalar ||h||^2

@@ -132,7 +132,11 @@ impl Embedding {
     ///
     /// Panics when `token >= vocab`.
     pub fn lookup(&self, g: &mut Graph, params: &Params, token: usize) -> NodeId {
-        assert!(token < self.vocab, "token {token} out of vocab {}", self.vocab);
+        assert!(
+            token < self.vocab,
+            "token {token} out of vocab {}",
+            self.vocab
+        );
         let t = g.param(params, self.table);
         g.row(t, token)
     }
@@ -172,7 +176,10 @@ mod tests {
         let emb = Embedding::register(&mut params, "tok", 10, 5, &mut init);
         let mut g = Graph::new();
         let e3 = emb.lookup(&mut g, &params, 3);
-        let expected = params.value(params.id_of("tok.table").unwrap()).row(3).to_vec();
+        let expected = params
+            .value(params.id_of("tok.table").unwrap())
+            .row(3)
+            .to_vec();
         assert_eq!(g.value(e3).data(), &expected[..]);
     }
 

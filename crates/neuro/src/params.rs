@@ -38,8 +38,7 @@ impl Params {
             "duplicate parameter `{name}`"
         );
         let id = ParamId(self.tensors.len());
-        self.grads
-            .push(Tensor::zeros(value.rows(), value.cols()));
+        self.grads.push(Tensor::zeros(value.rows(), value.cols()));
         self.tensors.push(value);
         self.names.push(name.to_owned());
         id
@@ -121,6 +120,78 @@ impl Default for Params {
     }
 }
 
+/// A detached gradient accumulator shaped like a [`Params`] store.
+///
+/// Data-parallel training backpropagates each shard into its own
+/// `GradBuffer` (the shared `Params` stays immutable, so workers need no
+/// locks), then merges the buffers **in a fixed shard order** before the
+/// optimizer step. Because merge order never depends on the worker count,
+/// the summed gradients — and everything downstream — are bit-identical at
+/// any thread count.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GradBuffer {
+    grads: Vec<Tensor>,
+}
+
+impl GradBuffer {
+    /// A zeroed buffer with one accumulator per parameter in `params`.
+    pub fn zeros_like(params: &Params) -> Self {
+        GradBuffer {
+            grads: params
+                .tensors
+                .iter()
+                .map(|t| Tensor::zeros(t.rows(), t.cols()))
+                .collect(),
+        }
+    }
+
+    /// Adds `delta` into the accumulator for `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `id` is out of range or shapes mismatch.
+    pub fn accumulate(&mut self, id: ParamId, delta: &Tensor) {
+        self.grads[id.0].add_assign(delta);
+    }
+
+    /// The accumulated gradient for `id`.
+    pub fn grad(&self, id: ParamId) -> &Tensor {
+        &self.grads[id.0]
+    }
+
+    /// Adds every accumulator of `other` into this buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the buffers come from differently-shaped stores.
+    pub fn merge(&mut self, other: &GradBuffer) {
+        assert_eq!(
+            self.grads.len(),
+            other.grads.len(),
+            "merging gradient buffers of different stores"
+        );
+        for (mine, theirs) in self.grads.iter_mut().zip(&other.grads) {
+            mine.add_assign(theirs);
+        }
+    }
+
+    /// Flushes the buffer into the gradient accumulators of `params`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `params` has a different parameter count or shapes.
+    pub fn apply_to(&self, params: &mut Params) {
+        assert_eq!(
+            self.grads.len(),
+            params.grads.len(),
+            "applying a gradient buffer to a different store"
+        );
+        for (id, grad) in self.grads.iter().enumerate() {
+            params.accumulate_grad(ParamId(id), grad);
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -151,5 +222,43 @@ mod tests {
         assert_eq!(p.grad(w).data(), &[1.5, 2.5]);
         p.zero_grads();
         assert_eq!(p.grad(w).data(), &[0., 0.]);
+    }
+
+    #[test]
+    fn grad_buffer_merge_and_apply_match_direct_accumulation() {
+        let mut p = Params::new();
+        let w = p.register("w", Tensor::zeros(1, 2));
+        let b = p.register("b", Tensor::zeros(1, 1));
+
+        let mut direct = p.clone();
+        direct.accumulate_grad(w, &Tensor::from_vec(1, 2, vec![1., 2.]));
+        direct.accumulate_grad(b, &Tensor::scalar(3.0));
+        direct.accumulate_grad(w, &Tensor::from_vec(1, 2, vec![0.25, 0.5]));
+
+        let mut shard0 = GradBuffer::zeros_like(&p);
+        shard0.accumulate(w, &Tensor::from_vec(1, 2, vec![1., 2.]));
+        shard0.accumulate(b, &Tensor::scalar(3.0));
+        let mut shard1 = GradBuffer::zeros_like(&p);
+        shard1.accumulate(w, &Tensor::from_vec(1, 2, vec![0.25, 0.5]));
+
+        let mut merged = GradBuffer::zeros_like(&p);
+        merged.merge(&shard0);
+        merged.merge(&shard1);
+        assert_eq!(merged.grad(w).data(), &[1.25, 2.5]);
+        merged.apply_to(&mut p);
+
+        assert_eq!(p.grad(w), direct.grad(w));
+        assert_eq!(p.grad(b), direct.grad(b));
+    }
+
+    #[test]
+    #[should_panic(expected = "different stores")]
+    fn mismatched_buffer_merge_panics() {
+        let mut p1 = Params::new();
+        p1.register("w", Tensor::zeros(1, 1));
+        let p2 = Params::new();
+        let mut b1 = GradBuffer::zeros_like(&p1);
+        let b2 = GradBuffer::zeros_like(&p2);
+        b1.merge(&b2);
     }
 }

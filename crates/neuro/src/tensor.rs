@@ -129,6 +129,67 @@ impl Tensor {
         out
     }
 
+    /// Matrix multiply against a transposed right operand without
+    /// materializing the transpose: `self (m×k) · otherᵀ (k×n) -> (m×n)`
+    /// where `other` is `n×k`.
+    ///
+    /// Each output element is a dot product of two row slices, so the inner
+    /// loop is contiguous in both operands.
+    ///
+    /// # Panics
+    ///
+    /// Panics on inner-dimension mismatch.
+    pub fn matmul_nt(&self, other: &Tensor) -> Tensor {
+        assert_eq!(
+            self.cols, other.cols,
+            "matmul_nt {}x{} by ({}x{})ᵀ",
+            self.rows, self.cols, other.rows, other.cols
+        );
+        let mut out = Tensor::zeros(self.rows, other.rows);
+        for i in 0..self.rows {
+            let arow = self.row(i);
+            let orow = &mut out.data[i * other.rows..(i + 1) * other.rows];
+            for (d, j) in orow.iter_mut().zip(0..other.rows) {
+                let brow = other.row(j);
+                *d = arow.iter().zip(brow).map(|(&a, &b)| a * b).sum();
+            }
+        }
+        out
+    }
+
+    /// Matrix multiply with a transposed left operand without materializing
+    /// the transpose: `selfᵀ (m×k) · other (k×n) -> (m×n)` where `self` is
+    /// `k×m`.
+    ///
+    /// Computed as a sum of rank-1 updates over the shared `k` dimension;
+    /// the inner loop streams rows of both `other` and the output.
+    ///
+    /// # Panics
+    ///
+    /// Panics on inner-dimension mismatch.
+    pub fn matmul_tn(&self, other: &Tensor) -> Tensor {
+        assert_eq!(
+            self.rows, other.rows,
+            "matmul_tn ({}x{})ᵀ by {}x{}",
+            self.rows, self.cols, other.rows, other.cols
+        );
+        let mut out = Tensor::zeros(self.cols, other.cols);
+        for t in 0..self.rows {
+            let arow = self.row(t);
+            let brow = &other.data[t * other.cols..(t + 1) * other.cols];
+            for (i, &a) in arow.iter().enumerate() {
+                if a == 0.0 {
+                    continue;
+                }
+                let dst = &mut out.data[i * other.cols..(i + 1) * other.cols];
+                for (d, &b) in dst.iter_mut().zip(brow) {
+                    *d += a * b;
+                }
+            }
+        }
+        out
+    }
+
     /// Transposed copy.
     pub fn transposed(&self) -> Tensor {
         let mut out = Tensor::zeros(self.cols, self.rows);
@@ -250,6 +311,25 @@ mod tests {
         let c = a.matmul(&b);
         assert_eq!(c.shape(), (2, 2));
         assert_eq!(c.data(), &[58., 64., 139., 154.]);
+    }
+
+    #[test]
+    fn transpose_free_matmuls_match_explicit_transposes() {
+        let a = Tensor::from_vec(2, 3, vec![1., -2., 3., 0., 5., -6.]);
+        let b = Tensor::from_vec(
+            4,
+            3,
+            vec![7., 8., 9., 10., 0., 12., 13., 14., 15., 16., 17., 18.],
+        );
+        assert_eq!(a.matmul_nt(&b), a.matmul(&b.transposed()));
+        let c = Tensor::from_vec(2, 4, vec![1., 2., 0., 4., 5., 6., 7., 8.]);
+        assert_eq!(a.matmul_tn(&c), a.transposed().matmul(&c));
+    }
+
+    #[test]
+    #[should_panic(expected = "matmul_nt")]
+    fn matmul_nt_shape_mismatch_panics() {
+        let _ = Tensor::zeros(2, 3).matmul_nt(&Tensor::zeros(2, 4));
     }
 
     #[test]

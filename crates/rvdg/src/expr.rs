@@ -108,7 +108,10 @@ mod tests {
         for _ in 0..50 {
             let e = random_expr(&mut r, &names(), &cfg);
             let ops = e.matches(['&', '|', '^']).count();
-            assert!((1..=3).contains(&ops), "operator count out of range in `{e}`");
+            assert!(
+                (1..=3).contains(&ops),
+                "operator count out of range in `{e}`"
+            );
         }
     }
 

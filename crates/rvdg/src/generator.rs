@@ -342,8 +342,7 @@ mod tests {
                 entry.insert(r.to_owned());
             }
         }
-        let is_state =
-            |n: &str| n == "ws" || (n.starts_with('s') && n[1..].parse::<u32>().is_ok());
+        let is_state = |n: &str| n == "ws" || (n.starts_with('s') && n[1..].parse::<u32>().is_ok());
         for o in m.output_names() {
             let mut seen = BTreeSet::new();
             let mut stack = vec![o.to_owned()];

@@ -31,5 +31,5 @@ pub mod generator;
 pub mod template;
 
 pub use expr::{random_expr, ExprConfig};
-pub use template::{random_bool_expr, random_wide_expr, SignalPool, TemplateMix};
 pub use generator::{GeneratedDesign, Generator, RvdgConfig};
+pub use template::{random_bool_expr, random_wide_expr, SignalPool, TemplateMix};

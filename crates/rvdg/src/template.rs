@@ -110,8 +110,7 @@ pub fn random_bool_expr(
 /// Generates a wide-valued expression of the given width: arithmetic,
 /// ternary select, concatenation, or a shifted/registered move.
 pub fn random_wide_expr(rng: &mut StdRng, pool: &SignalPool, width: u32) -> String {
-    let same_width: Vec<&(String, u32)> =
-        pool.wide.iter().filter(|(_, w)| *w == width).collect();
+    let same_width: Vec<&(String, u32)> = pool.wide.iter().filter(|(_, w)| *w == width).collect();
     if same_width.is_empty() {
         // Fall back to a literal of the right width.
         let v = rng.random_range(0..(1u64 << width.min(16)));
@@ -151,7 +150,15 @@ fn compare_expr(rng: &mut StdRng, pool: &SignalPool, cfg: &ExprConfig) -> String
     };
     let core = format!("({a} {op} {rhs})");
     if rng.random_bool(0.5) {
-        let extra = random_expr(rng, &pool.bits, &ExprConfig { min_operands: 1, max_operands: 1, ..*cfg });
+        let extra = random_expr(
+            rng,
+            &pool.bits,
+            &ExprConfig {
+                min_operands: 1,
+                max_operands: 1,
+                ..*cfg
+            },
+        );
         let join = if rng.random_bool(0.5) { "&" } else { "|" };
         format!("{core} {join} {extra}")
     } else {
@@ -185,7 +192,7 @@ fn bit_select_expr(rng: &mut StdRng, pool: &SignalPool, cfg: &ExprConfig) -> Str
                 ..*cfg
             },
         );
-        let join = ["&", "|", "^"][rng.random_range(0..3)];
+        let join = ["&", "|", "^"][rng.random_range(0..3usize)];
         format!("{core} {join} {extra}")
     } else {
         core
@@ -194,7 +201,7 @@ fn bit_select_expr(rng: &mut StdRng, pool: &SignalPool, cfg: &ExprConfig) -> Str
 
 fn reduction_expr(rng: &mut StdRng, pool: &SignalPool) -> String {
     let (a, _) = pool.random_wide(rng);
-    let op = ["|", "&", "^"][rng.random_range(0..3)];
+    let op = ["|", "&", "^"][rng.random_range(0..3usize)];
     let bit = pool.random_bit(rng);
     format!("({op}{a}) ^ {bit}")
 }

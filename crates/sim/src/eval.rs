@@ -9,9 +9,8 @@ use crate::error::SimError;
 use crate::netlist::{Netlist, SignalId};
 use crate::trace::StmtExec;
 use crate::value::Value;
-use verilog::{
-    Assignment, BinaryOp, CaseStmt, Expr, IfStmt, LValue, Select, Stmt, UnaryOp,
-};
+use std::sync::Arc;
+use verilog::{Assignment, BinaryOp, CaseStmt, Expr, IfStmt, LValue, Select, Stmt, UnaryOp};
 
 /// A pending (possibly partial) write to a signal.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -121,14 +120,8 @@ impl<'n> EvalCtx<'n> {
                     BinaryOp::Add => Value::new(a.bits().wrapping_add(b.bits()), w),
                     BinaryOp::Sub => Value::new(a.bits().wrapping_sub(b.bits()), w),
                     BinaryOp::Mul => Value::new(a.bits().wrapping_mul(b.bits()), w),
-                    BinaryOp::Div => {
-                        let d = b.bits();
-                        Value::new(if d == 0 { 0 } else { a.bits() / d }, w)
-                    }
-                    BinaryOp::Mod => {
-                        let d = b.bits();
-                        Value::new(if d == 0 { 0 } else { a.bits() % d }, w)
-                    }
+                    BinaryOp::Div => Value::new(a.bits().checked_div(b.bits()).unwrap_or(0), w),
+                    BinaryOp::Mod => Value::new(a.bits().checked_rem(b.bits()).unwrap_or(0), w),
                     BinaryOp::Shl => {
                         let sh = b.bits().min(64) as u32;
                         Value::new(a.bits().checked_shl(sh).unwrap_or(0), a.width())
@@ -158,7 +151,9 @@ impl<'n> EvalCtx<'n> {
             Expr::Index { base, index, .. } => {
                 let v = self.value_of(base)?;
                 let i = self.eval(index)?.bits();
-                Ok(Value::bit(i < u64::from(v.width()) && (v.bits() >> i) & 1 == 1))
+                Ok(Value::bit(
+                    i < u64::from(v.width()) && (v.bits() >> i) & 1 == 1,
+                ))
             }
             Expr::Part { base, msb, lsb, .. } => {
                 let v = self.value_of(base)?;
@@ -199,14 +194,14 @@ impl<'n> EvalCtx<'n> {
         }
     }
 
-    /// Resolves an l-value into a [`Write`] carrying `value`.
-    fn resolve_write(&self, lhs: &LValue, value: Value) -> Result<Write, SimError> {
-        let target = self
-            .netlist
-            .signal_id(&lhs.base)
-            .ok_or_else(|| SimError::UnknownSignal {
-                name: lhs.base.clone(),
-            })?;
+    /// Resolves an l-value with a pre-resolved base signal into a [`Write`]
+    /// carrying `value`.
+    fn resolve_write(
+        &self,
+        target: SignalId,
+        lhs: &LValue,
+        value: Value,
+    ) -> Result<Write, SimError> {
         let full = self.netlist.signal(target).width;
         Ok(match &lhs.select {
             None => Write {
@@ -238,7 +233,11 @@ impl<'n> EvalCtx<'n> {
 
     /// Executes one assignment: evaluates the RHS, optionally records the
     /// execution, and either applies the write immediately or defers it.
-    fn exec_assign(
+    ///
+    /// The recorder path reads the netlist's precomputed [`AssignInfo`] when
+    /// available, so per-execution work is a value copy per operand — no
+    /// expression-tree walks, name hashing, or string allocation.
+    pub(crate) fn exec_assign(
         &mut self,
         a: &Assignment,
         cycle: u32,
@@ -246,21 +245,43 @@ impl<'n> EvalCtx<'n> {
         recorder: Option<&mut Vec<StmtExec>>,
     ) -> Result<(), SimError> {
         let value = self.eval(&a.rhs)?;
-        let write = self.resolve_write(&a.lhs, value)?;
+        let info = self.netlist.assign_info(a.id);
+        let target = match info.and_then(|i| i.target) {
+            Some(t) => t,
+            None => self
+                .netlist
+                .signal_id(&a.lhs.base)
+                .ok_or_else(|| SimError::UnknownSignal {
+                    name: a.lhs.base.clone(),
+                })?,
+        };
+        let write = self.resolve_write(target, &a.lhs, value)?;
         if let Some(rec) = recorder {
-            let mut operands: Vec<(String, Value)> = Vec::new();
-            for name in a.rhs.referenced_signals() {
-                if operands.iter().all(|(n, _)| n != name) {
-                    operands.push((name.to_owned(), self.value_of(name)?));
-                }
-            }
-            if let Some(Select::Bit(idx)) = &a.lhs.select {
-                for name in idx.referenced_signals() {
-                    if operands.iter().all(|(n, _)| n != name) {
-                        operands.push((name.to_owned(), self.value_of(name)?));
+            let operands: Vec<(Arc<str>, Value)> = match info {
+                Some(i) => i
+                    .reads
+                    .iter()
+                    .map(|(n, id)| (n.clone(), self.values[id.0 as usize]))
+                    .collect(),
+                // Statement not elaborated with this netlist (foreign id):
+                // fall back to walking the expression tree.
+                None => {
+                    let mut operands: Vec<(Arc<str>, Value)> = Vec::new();
+                    for name in a.rhs.referenced_signals() {
+                        if operands.iter().all(|(n, _)| n.as_ref() != name) {
+                            operands.push((Arc::from(name), self.value_of(name)?));
+                        }
                     }
+                    if let Some(Select::Bit(idx)) = &a.lhs.select {
+                        for name in idx.referenced_signals() {
+                            if operands.iter().all(|(n, _)| n.as_ref() != name) {
+                                operands.push((Arc::from(name), self.value_of(name)?));
+                            }
+                        }
+                    }
+                    operands
                 }
-            }
+            };
             rec.push(StmtExec {
                 stmt: a.id,
                 cycle,
@@ -416,8 +437,14 @@ mod tests {
     fn ternary_selects_branch() {
         let src = "module m(input c, input [1:0] a, input [1:0] b, output [1:0] y);\n\
                    assign y = c ? a : b;\nendmodule";
-        assert_eq!(eval_with(src, &[("c", 1), ("a", 2), ("b", 1)], "y").bits(), 2);
-        assert_eq!(eval_with(src, &[("c", 0), ("a", 2), ("b", 1)], "y").bits(), 1);
+        assert_eq!(
+            eval_with(src, &[("c", 1), ("a", 2), ("b", 1)], "y").bits(),
+            2
+        );
+        assert_eq!(
+            eval_with(src, &[("c", 0), ("a", 2), ("b", 1)], "y").bits(),
+            1
+        );
     }
 
     #[test]
@@ -439,8 +466,14 @@ mod tests {
     fn shifts_keep_lhs_width() {
         let src = "module m(input [3:0] a, input [2:0] n, output [3:0] y, output [3:0] z);\n\
                    assign y = a << n;\nassign z = a >> n;\nendmodule";
-        assert_eq!(eval_with(src, &[("a", 0b0011), ("n", 2)], "y").bits(), 0b1100);
-        assert_eq!(eval_with(src, &[("a", 0b1100), ("n", 2)], "z").bits(), 0b0011);
+        assert_eq!(
+            eval_with(src, &[("a", 0b0011), ("n", 2)], "y").bits(),
+            0b1100
+        );
+        assert_eq!(
+            eval_with(src, &[("a", 0b1100), ("n", 2)], "z").bits(),
+            0b0011
+        );
     }
 
     #[test]

@@ -1,9 +1,10 @@
 //! Elaboration: from a parsed [`Module`] to a simulatable [`Netlist`].
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use crate::error::SimError;
-use verilog::{EdgeKind, Item, Module, NetKind, PortDir, Sensitivity};
+use verilog::{EdgeKind, Item, Module, NetKind, PortDir, Select, Sensitivity, StmtId};
 
 /// Index of a signal in the elaborated design.
 #[derive(
@@ -47,6 +48,20 @@ pub enum Process {
     Seq(verilog::AlwaysBlock),
 }
 
+/// Precomputed execution info for one assignment statement — resolved at
+/// elaboration so the simulator's hot loop never re-walks expression trees
+/// or re-hashes signal names.
+#[derive(Debug, Clone)]
+pub struct AssignInfo {
+    /// Distinct declared signals the statement reads (RHS references first,
+    /// then LHS bit-select index references), with interned names, in the
+    /// order execution records report them.
+    pub reads: Vec<(Arc<str>, SignalId)>,
+    /// The LHS base signal, when it resolves to a declared signal.
+    /// `None` surfaces as [`SimError::UnknownSignal`] at execution time.
+    pub target: Option<SignalId>,
+}
+
 /// A simulatable, flattened design.
 #[derive(Debug, Clone)]
 pub struct Netlist {
@@ -54,6 +69,7 @@ pub struct Netlist {
     pub module: Module,
     signals: Vec<Signal>,
     index: HashMap<String, SignalId>,
+    assign_info: HashMap<StmtId, AssignInfo>,
     /// Combinational processes (continuous assigns + comb always) in source order.
     pub comb: Vec<Process>,
     /// Sequential processes in source order.
@@ -130,9 +146,9 @@ impl Netlist {
                         // is an async reset.
                         let mut block_clock: Option<&str> = None;
                         for (kind, name) in edges {
-                            let id = *index.get(name).ok_or_else(|| SimError::UnknownSignal {
-                                name: name.clone(),
-                            })?;
+                            let id = *index
+                                .get(name)
+                                .ok_or_else(|| SimError::UnknownSignal { name: name.clone() })?;
                             if *kind == EdgeKind::Pos && block_clock.is_none() {
                                 block_clock = Some(name);
                                 match clock {
@@ -173,15 +189,49 @@ impl Netlist {
                 },
             }
         }
+        // Intern names once and resolve every assignment's read set and
+        // write target up front. Undeclared RHS names are omitted: execution
+        // fails during RHS evaluation before any recording happens, so the
+        // cache is only consulted on paths where all reads resolved.
+        let mut interned: HashMap<&str, Arc<str>> = HashMap::new();
+        let mut assign_info = HashMap::new();
+        for a in module.assignments() {
+            let mut names = a.rhs.referenced_signals();
+            if let Some(Select::Bit(idx)) = &a.lhs.select {
+                names.extend(idx.referenced_signals());
+            }
+            let mut reads: Vec<(Arc<str>, SignalId)> = Vec::new();
+            for name in names {
+                let Some(&id) = index.get(name) else { continue };
+                if reads.iter().any(|(n, _)| n.as_ref() == name) {
+                    continue;
+                }
+                let arc = interned
+                    .entry(name)
+                    .or_insert_with(|| Arc::from(name))
+                    .clone();
+                reads.push((arc, id));
+            }
+            let target = index.get(&a.lhs.base).copied();
+            assign_info.insert(a.id, AssignInfo { reads, target });
+        }
+
         Ok(Netlist {
             module: module.clone(),
             signals,
             index,
+            assign_info,
             comb,
             seq,
             clock,
             resets,
         })
+    }
+
+    /// Precomputed execution info for an assignment, when the statement id
+    /// belongs to this design.
+    pub fn assign_info(&self, id: StmtId) -> Option<&AssignInfo> {
+        self.assign_info.get(&id)
     }
 
     /// All signals, indexed by [`SignalId`].
@@ -294,6 +344,35 @@ mod tests {
         let n = netlist("module m(input a, output y);\nassign y = ~a;\nendmodule");
         assert!(n.clock.is_none());
         assert!(n.seq.is_empty());
+    }
+
+    #[test]
+    fn assign_info_resolves_reads_and_target() {
+        let n = netlist(
+            "module m(input [3:0] a, input [1:0] i, output reg [3:0] y, output w);\n\
+             assign w = a[0] & a[1];\n\
+             always @(*) y[i] = a[i] ^ a[0];\n\
+             endmodule",
+        );
+        let assigns = n.module.assignments();
+        let cont = n.assign_info(assigns[0].id).expect("continuous assign");
+        assert_eq!(cont.target, n.signal_id("w"));
+        assert_eq!(
+            cont.reads
+                .iter()
+                .map(|(s, _)| s.as_ref())
+                .collect::<Vec<_>>(),
+            vec!["a"],
+            "reads are deduped"
+        );
+        let proc = n.assign_info(assigns[1].id).expect("procedural assign");
+        assert_eq!(proc.target, n.signal_id("y"));
+        // RHS reads first (a, then its index i), deduped against the
+        // LHS bit-select index (i again).
+        let names: Vec<&str> = proc.reads.iter().map(|(s, _)| s.as_ref()).collect();
+        assert_eq!(names, vec!["a", "i"]);
+        assert_eq!(proc.reads[1].1, n.signal_id("i").unwrap());
+        assert!(n.assign_info(verilog::StmtId(999)).is_none());
     }
 
     #[test]

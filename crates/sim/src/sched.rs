@@ -125,10 +125,7 @@ impl Simulator {
         recorder: Option<&mut Vec<StmtExec>>,
     ) -> Result<(), SimError> {
         match p {
-            Process::Assign(a) => {
-                let stmts = [verilog::Stmt::Assign(a.clone())];
-                ctx.exec_stmts(&stmts, cycle, None, recorder)
-            }
+            Process::Assign(a) => ctx.exec_assign(a, cycle, None, recorder),
             Process::Comb(blk) => ctx.exec_stmts(&blk.body, cycle, None, recorder),
             Process::Seq(_) => Ok(()),
         }
@@ -137,8 +134,11 @@ impl Simulator {
     /// Iterates the combinational processes until no signal changes.
     fn settle_comb(&self, ctx: &mut EvalCtx<'_>) -> Result<(), SimError> {
         let max_iters = (self.netlist.comb.len() as u32 + 4) * 4;
+        // One scratch snapshot reused across iterations: `clone_from` keeps
+        // the allocation instead of reallocating the value vector each pass.
+        let mut before = Vec::new();
         for _ in 0..max_iters {
-            let before = ctx.values.clone();
+            before.clone_from(&ctx.values);
             for p in &self.netlist.comb {
                 self.run_comb_process(ctx, p, 0, None)?;
             }
@@ -171,10 +171,7 @@ mod tests {
             vectors: vectors
                 .into_iter()
                 .map(|v| InputVector {
-                    assigns: v
-                        .into_iter()
-                        .map(|(n, b)| (n.to_owned(), b))
-                        .collect(),
+                    assigns: v.into_iter().map(|(n, b)| (n.to_owned(), b)).collect(),
                 })
                 .collect(),
         }
@@ -201,10 +198,7 @@ mod tests {
     fn register_delays_by_one_cycle() {
         let src = "module m(input clk, input d, output reg q);\n\
                    always @(posedge clk) q <= d;\nendmodule";
-        let (sim, t) = run(
-            src,
-            vec![vec![("d", 1)], vec![("d", 0)], vec![("d", 1)]],
-        );
+        let (sim, t) = run(src, vec![vec![("d", 1)], vec![("d", 0)], vec![("d", 1)]]);
         let q = sim.netlist().signal_id("q").unwrap();
         // Pre-edge snapshot: q holds the previous cycle's d.
         assert_eq!(t.cycles[0].value(q).bits(), 0);

@@ -167,7 +167,9 @@ impl TestbenchGen {
         (0..count)
             .map(|i| {
                 TestbenchGen {
-                    seed: self.seed.wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(i as u64 + 1)),
+                    seed: self
+                        .seed
+                        .wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(i as u64 + 1)),
                     ..self.clone()
                 }
                 .generate(netlist, cycles)
@@ -223,7 +225,9 @@ mod tests {
             "module m(input clk, input [2:0] a, output reg [2:0] q);\n\
              always @(posedge clk) q <= a;\nendmodule",
         );
-        let s = TestbenchGen::new(9).with_hold_probability(0.0).generate(&n, 64);
+        let s = TestbenchGen::new(9)
+            .with_hold_probability(0.0)
+            .generate(&n, 64);
         for v in &s.vectors {
             let a = v.value_of("a").unwrap();
             assert!(a < 8, "3-bit input out of range: {a}");
@@ -238,8 +242,16 @@ mod tests {
         );
         let s = TestbenchGen::new(5).with_reset_cycles(3).generate(&n, 6);
         for c in 0..3 {
-            assert_eq!(s.vectors[c].value_of("rst"), Some(1), "active-high asserted");
-            assert_eq!(s.vectors[c].value_of("rst_n"), Some(0), "active-low asserted");
+            assert_eq!(
+                s.vectors[c].value_of("rst"),
+                Some(1),
+                "active-high asserted"
+            );
+            assert_eq!(
+                s.vectors[c].value_of("rst_n"),
+                Some(0),
+                "active-low asserted"
+            );
         }
         for c in 3..6 {
             assert_eq!(s.vectors[c].value_of("rst"), Some(0));
@@ -265,7 +277,9 @@ mod tests {
             "module m(input clk, input [7:0] a, output reg [7:0] q);\n\
              always @(posedge clk) q <= a;\nendmodule",
         );
-        let s = TestbenchGen::new(2).with_hold_probability(1.0).generate(&n, 8);
+        let s = TestbenchGen::new(2)
+            .with_hold_probability(1.0)
+            .generate(&n, 8);
         let first = s.vectors[0].value_of("a").unwrap();
         for v in &s.vectors {
             assert_eq!(v.value_of("a"), Some(first));

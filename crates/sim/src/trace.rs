@@ -2,6 +2,7 @@
 //! records — the free supervision VeriBug trains on.
 
 use std::collections::BTreeSet;
+use std::sync::Arc;
 
 use crate::netlist::{Netlist, SignalId};
 use crate::value::Value;
@@ -16,7 +17,10 @@ pub struct StmtExec {
     pub cycle: u32,
     /// Values of the distinct signals read by the right-hand side (and any
     /// LHS index expression), keyed by name, at execution time.
-    pub operands: Vec<(String, Value)>,
+    ///
+    /// Names are interned `Arc<str>`s shared with the netlist's per-statement
+    /// read sets, so recording an execution never allocates string storage.
+    pub operands: Vec<(Arc<str>, Value)>,
     /// The value assigned to the left-hand side.
     pub result: Value,
 }
@@ -26,7 +30,7 @@ impl StmtExec {
     pub fn operand(&self, name: &str) -> Option<Value> {
         self.operands
             .iter()
-            .find(|(n, _)| n == name)
+            .find(|(n, _)| n.as_ref() == name)
             .map(|(_, v)| *v)
     }
 }
@@ -120,7 +124,7 @@ mod tests {
         StmtExec {
             stmt: StmtId(stmt),
             cycle,
-            operands: vec![("a".to_owned(), Value::bit(true))],
+            operands: vec![(Arc::from("a"), Value::bit(true))],
             result: Value::new(result, 1),
         }
     }

@@ -42,11 +42,7 @@ pub fn to_vcd(netlist: &Netlist, trace: &Trace, timescale_ns: u32) -> String {
     let _ = writeln!(out, "$scope module {} $end", netlist.module.name);
     let ids: Vec<String> = (0..netlist.signal_count()).map(vcd_id).collect();
     for (i, sig) in netlist.signals().iter().enumerate() {
-        let _ = writeln!(
-            out,
-            "$var wire {} {} {} $end",
-            sig.width, ids[i], sig.name
-        );
+        let _ = writeln!(out, "$var wire {} {} {} $end", sig.width, ids[i], sig.name);
     }
     out.push_str("$upscope $end\n$enddefinitions $end\n");
 
@@ -131,10 +127,7 @@ mod tests {
         );
         let vcd = to_vcd(sim.netlist(), &t, 10);
         // `a` is dumped at #0 and again only when it changes at #20.
-        let a_changes = vcd
-            .lines()
-            .filter(|l| *l == "0!" || *l == "1!")
-            .count();
+        let a_changes = vcd.lines().filter(|l| *l == "0!" || *l == "1!").count();
         assert_eq!(a_changes, 2, "{vcd}");
         assert!(vcd.contains("#20"));
     }

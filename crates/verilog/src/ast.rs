@@ -137,12 +137,7 @@ impl Module {
             .iter()
             .find(|p| p.name == name)
             .map(|p| p.width)
-            .or_else(|| {
-                self.decls
-                    .iter()
-                    .find(|d| d.name == name)
-                    .map(|d| d.width)
-            })
+            .or_else(|| self.decls.iter().find(|d| d.name == name).map(|d| d.width))
     }
 
     /// Iterates over every assignment in the module, in source order,

@@ -316,7 +316,7 @@ impl<'s> Lexer<'s> {
             return Ok(TokenKind::Number { width: None, value });
         }
         self.bump(); // apostrophe
-        // Optional signed marker, then base char.
+                     // Optional signed marker, then base char.
         if matches!(self.peek(), Some('s' | 'S')) {
             self.bump();
         }
@@ -361,10 +361,11 @@ impl<'s> Lexer<'s> {
                 span,
             });
         }
-        let value = u64::from_str_radix(&digits, radix).map_err(|e| ParseError::MalformedNumber {
-            detail: format!("base-{radix} literal `{digits}`: {e}"),
-            span,
-        })?;
+        let value =
+            u64::from_str_radix(&digits, radix).map_err(|e| ParseError::MalformedNumber {
+                detail: format!("base-{radix} literal `{digits}`: {e}"),
+                span,
+            })?;
         let width = if lead.is_empty() {
             None
         } else {

@@ -40,9 +40,9 @@ pub mod pretty;
 pub mod token;
 
 pub use ast::{
-    AlwaysBlock, AssignKind, Assignment, BinaryOp, CaseArm, CaseStmt, Decl, EdgeKind, Expr,
-    IfStmt, Item, LValue, Module, NetKind, NodeKind, Param, Port, PortDir, Select, Sensitivity,
-    SourceUnit, Stmt, StmtId, UnaryOp,
+    AlwaysBlock, AssignKind, Assignment, BinaryOp, CaseArm, CaseStmt, Decl, EdgeKind, Expr, IfStmt,
+    Item, LValue, Module, NetKind, NodeKind, Param, Port, PortDir, Select, Sensitivity, SourceUnit,
+    Stmt, StmtId, UnaryOp,
 };
 pub use error::ParseError;
 pub use lexer::lex;

@@ -166,31 +166,29 @@ impl Parser {
         let mut ports: Vec<Port> = Vec::new();
         // Port list: either ANSI declarations or a bare name list.
         let mut bare_port_names: Vec<(String, Span)> = Vec::new();
-        if self.eat(&TokenKind::LParen) {
-            if !self.eat(&TokenKind::RParen) {
-                if matches!(
-                    self.peek_kind(),
-                    TokenKind::Keyword(Keyword::Input | Keyword::Output | Keyword::Inout)
-                ) {
-                    // ANSI style.
-                    loop {
-                        let mut group = self.parse_ansi_port_group()?;
-                        ports.append(&mut group);
-                        if !self.eat(&TokenKind::Comma) {
-                            break;
-                        }
-                    }
-                } else {
-                    // Non-ANSI: bare names now, directions in the body.
-                    loop {
-                        bare_port_names.push(self.expect_ident()?);
-                        if !self.eat(&TokenKind::Comma) {
-                            break;
-                        }
+        if self.eat(&TokenKind::LParen) && !self.eat(&TokenKind::RParen) {
+            if matches!(
+                self.peek_kind(),
+                TokenKind::Keyword(Keyword::Input | Keyword::Output | Keyword::Inout)
+            ) {
+                // ANSI style.
+                loop {
+                    let mut group = self.parse_ansi_port_group()?;
+                    ports.append(&mut group);
+                    if !self.eat(&TokenKind::Comma) {
+                        break;
                     }
                 }
-                self.expect(TokenKind::RParen)?;
+            } else {
+                // Non-ANSI: bare names now, directions in the body.
+                loop {
+                    bare_port_names.push(self.expect_ident()?);
+                    if !self.eat(&TokenKind::Comma) {
+                        break;
+                    }
+                }
             }
+            self.expect(TokenKind::RParen)?;
         }
         self.expect(TokenKind::Semi)?;
 
@@ -359,11 +357,7 @@ impl Parser {
         Ok(out)
     }
 
-    fn parse_decl_group(
-        &mut self,
-        kind: NetKind,
-        decls: &mut Vec<Decl>,
-    ) -> Result<(), ParseError> {
+    fn parse_decl_group(&mut self, kind: NetKind, decls: &mut Vec<Decl>) -> Result<(), ParseError> {
         let width = if self.peek_kind() == &TokenKind::LBracket {
             self.parse_range()?.1
         } else {
@@ -933,7 +927,10 @@ endmodule
 
     #[test]
     fn precedence_and_over_or() {
-        let unit = parse("module m(input a, input b, input c, output y);\nassign y = a | b & c;\nendmodule").unwrap();
+        let unit = parse(
+            "module m(input a, input b, input c, output y);\nassign y = a | b & c;\nendmodule",
+        )
+        .unwrap();
         match &unit.top().assignments()[0].rhs {
             Expr::Binary { op, rhs, .. } => {
                 assert_eq!(*op, BinaryOp::Or);
@@ -991,8 +988,8 @@ endmodule
 
     #[test]
     fn rejects_undeclared_signal() {
-        let err = parse("module m(input a, output y);\nassign y = a & ghost;\nendmodule")
-            .unwrap_err();
+        let err =
+            parse("module m(input a, output y);\nassign y = a & ghost;\nendmodule").unwrap_err();
         assert!(matches!(err, ParseError::Semantic { .. }), "{err}");
     }
 
@@ -1022,15 +1019,13 @@ endmodule
         let unit = parse(src).unwrap();
         let assigns = unit.top().assignments();
         assert!(matches!(assigns[0].rhs, Expr::Index { .. }));
-        assert!(matches!(
-            assigns[1].rhs,
-            Expr::Part { msb: 1, lsb: 0, .. }
-        ));
+        assert!(matches!(assigns[1].rhs, Expr::Part { msb: 1, lsb: 0, .. }));
     }
 
     #[test]
     fn always_level_sensitivity() {
-        let src = "module m(input a, input b, output reg y);\nalways @(a or b) y = a & b;\nendmodule";
+        let src =
+            "module m(input a, input b, output reg y);\nalways @(a or b) y = a & b;\nendmodule";
         let unit = parse(src).unwrap();
         let Item::Always(blk) = &unit.top().items[0] else {
             panic!();

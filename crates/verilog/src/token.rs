@@ -3,7 +3,9 @@
 use std::fmt;
 
 /// A source location: 1-based line and column.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize,
+)]
 pub struct Span {
     /// 1-based source line.
     pub line: u32,
@@ -66,6 +68,7 @@ pub enum Keyword {
 
 impl Keyword {
     /// Looks up a keyword from its source spelling.
+    #[allow(clippy::should_implement_trait)] // fallible lookup, not a parse
     pub fn from_str(s: &str) -> Option<Keyword> {
         Some(match s {
             "module" => Keyword::Module,

@@ -19,9 +19,11 @@ use veribug_suite::veribug::{
 };
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let design_name = std::env::args().nth(1).unwrap_or_else(|| "usbf_idma".into());
-    let design = designs::by_name(&design_name)
-        .ok_or_else(|| format!("unknown design `{design_name}`"))?;
+    let design_name = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "usbf_idma".into());
+    let design =
+        designs::by_name(&design_name).ok_or_else(|| format!("unknown design `{design_name}`"))?;
     let target = std::env::args()
         .nth(2)
         .unwrap_or_else(|| design.targets[0].to_owned());

@@ -38,7 +38,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .collect();
     let dataset = Dataset::from_designs(&corpus, 1, 64, 3)?;
     let mut model = VeriBugModel::new(ModelConfig::default());
-    train::train(&mut model, &dataset, &TrainConfig { epochs: 100, ..TrainConfig::default() })?;
+    train::train(
+        &mut model,
+        &dataset,
+        &TrainConfig {
+            epochs: 100,
+            ..TrainConfig::default()
+        },
+    )?;
 
     let design = designs::WB_MUX_2;
     let golden = design.module()?;
@@ -51,7 +58,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     };
     let mut total = Coverage::default();
     for target in design.targets {
-        println!("\n== {} / target {target} (window {window}) ==", design.name);
+        println!(
+            "\n== {} / target {target} (window {window}) ==",
+            design.name
+        );
         let mutants = Campaign::new(0xC0FFEE)
             .with_runs_per_mutant(runs)
             .run(&golden, target, &budget)?;
@@ -79,11 +89,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                     .unwrap_or_default(),
             );
             if !shown && out.localized {
-                let mut ex = Explainer::new(&model, &m.module, target)
-                    .with_failure_window(window);
+                let mut ex = Explainer::new(&model, &m.module, target).with_failure_window(window);
                 let runs = labelled_traces(m);
                 let (h, _f, c) = ex.explain(&runs, DEFAULT_THRESHOLD);
-                println!("\n-- heatmap --\n{}", render_comparison(&m.module, &h, &c, false));
+                println!(
+                    "\n-- heatmap --\n{}",
+                    render_comparison(&m.module, &h, &c, false)
+                );
                 shown = true;
             }
         }

@@ -75,7 +75,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             m.site.kind,
             m.site.stmt,
             outcome.top1,
-            if outcome.localized { "LOCALIZED" } else { "missed" },
+            if outcome.localized {
+                "LOCALIZED"
+            } else {
+                "missed"
+            },
         );
         if !shown {
             let mut explainer = Explainer::new(&model, &m.module, "gnt1");

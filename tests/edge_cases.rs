@@ -46,10 +46,22 @@ fn parser_rejects_unsupported_constructs() {
 fn parser_rejects_malformed_modules() {
     for (src, what) in [
         ("", "empty file"),
-        ("module m(input a, output y)\nassign y = a;\nendmodule", "missing semicolon"),
-        ("module m(input a, output y);\nassign y = a &;\nendmodule", "dangling operator"),
-        ("module m(input a, output y);\nassign y = a;\n", "missing endmodule"),
-        ("module m(input a, output y);\nassign = a;\nendmodule", "missing lvalue"),
+        (
+            "module m(input a, output y)\nassign y = a;\nendmodule",
+            "missing semicolon",
+        ),
+        (
+            "module m(input a, output y);\nassign y = a &;\nendmodule",
+            "dangling operator",
+        ),
+        (
+            "module m(input a, output y);\nassign y = a;\n",
+            "missing endmodule",
+        ),
+        (
+            "module m(input a, output y);\nassign = a;\nendmodule",
+            "missing lvalue",
+        ),
     ] {
         assert!(verilog::parse(src).is_err(), "accepted {what}");
     }
@@ -57,10 +69,9 @@ fn parser_rejects_malformed_modules() {
 
 #[test]
 fn parser_rejects_non_constant_parameter() {
-    let err = verilog::parse(
-        "module m(input a, output y);\nparameter P = a;\nassign y = a;\nendmodule",
-    )
-    .unwrap_err();
+    let err =
+        verilog::parse("module m(input a, output y);\nparameter P = a;\nassign y = a;\nendmodule")
+            .unwrap_err();
     assert!(matches!(err, ParseError::Semantic { .. }), "{err}");
 }
 
@@ -77,7 +88,8 @@ fn division_by_zero_in_constant_expression_is_semantic_error() {
 
 #[test]
 fn sixty_four_bit_arithmetic_wraps() {
-    let src = "module m(input [63:0] a, input [63:0] b, output [63:0] s);\nassign s = a + b;\nendmodule";
+    let src =
+        "module m(input [63:0] a, input [63:0] b, output [63:0] s);\nassign s = a + b;\nendmodule";
     let unit = verilog::parse(src).unwrap();
     let mut sim = Simulator::new(unit.top()).unwrap();
     let t = sim
@@ -89,7 +101,8 @@ fn sixty_four_bit_arithmetic_wraps() {
 
 #[test]
 fn shift_by_full_width_clears() {
-    let src = "module m(input [7:0] a, input [6:0] n, output [7:0] y);\nassign y = a << n;\nendmodule";
+    let src =
+        "module m(input [7:0] a, input [6:0] n, output [7:0] y);\nassign y = a << n;\nendmodule";
     let unit = verilog::parse(src).unwrap();
     let mut sim = Simulator::new(unit.top()).unwrap();
     let t = sim.run(&stim(vec![vec![("a", 0xFF), ("n", 64)]])).unwrap();
@@ -163,10 +176,11 @@ fn vcd_export_of_benchmark_design_is_wellformed() {
 
 #[test]
 fn explainer_with_no_runs_yields_empty_heatmap() {
-    let module = verilog::parse("module m(input a, input b, output y);\nassign y = a & b;\nendmodule")
-        .unwrap()
-        .top()
-        .clone();
+    let module =
+        verilog::parse("module m(input a, input b, output y);\nassign y = a & b;\nendmodule")
+            .unwrap()
+            .top()
+            .clone();
     let model = VeriBugModel::new(ModelConfig::default());
     let mut ex = Explainer::new(&model, &module, "y");
     let (heatmap, f_map, c_map) = ex.explain(&[], DEFAULT_THRESHOLD);
@@ -177,10 +191,11 @@ fn explainer_with_no_runs_yields_empty_heatmap() {
 
 #[test]
 fn grouped_heatmap_with_more_groups_than_runs_is_safe() {
-    let module = verilog::parse("module m(input a, input b, output y);\nassign y = a ^ b;\nendmodule")
-        .unwrap()
-        .top()
-        .clone();
+    let module =
+        verilog::parse("module m(input a, input b, output y);\nassign y = a ^ b;\nendmodule")
+            .unwrap()
+            .top()
+            .clone();
     let model = VeriBugModel::new(ModelConfig::default());
     let mut sim = Simulator::new(&module).unwrap();
     let tb = TestbenchGen::new(2).generate(sim.netlist(), 8);

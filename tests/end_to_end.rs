@@ -136,7 +136,10 @@ fn explainer_maps_are_distributions_and_respect_slice() {
             },
         )
         .expect("campaign runs");
-    let m = mutants.iter().find(|m| m.observable).expect("observable bug");
+    let m = mutants
+        .iter()
+        .find(|m| m.observable)
+        .expect("observable bug");
     let mut ex = Explainer::new(&model, &m.module, "gnt1");
     let runs = labelled_traces(m);
     let (heatmap, f_map, c_map) = ex.explain(&runs, DEFAULT_THRESHOLD);

@@ -1,0 +1,321 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Implements the strategy/assertion subset `tests/properties.rs` uses:
+//! integer-range strategies, tuple composition, `prop_map`, the `proptest!`
+//! macro with `#![proptest_config(..)]`, and the `prop_assert*` /
+//! `prop_assume!` macros. Sampling is seeded per test name, so failures
+//! reproduce exactly; there is no shrinking — a failing case reports its
+//! inputs via the panic message instead.
+
+#![warn(missing_docs)]
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use std::ops::Range;
+
+/// Per-block configuration (mirrors `proptest::test_runner::Config`).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases each property runs.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` random cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 32 }
+    }
+}
+
+/// The RNG handed to strategies (seeded per property from the test name).
+#[derive(Debug)]
+pub struct TestRng {
+    rng: StdRng,
+}
+
+impl TestRng {
+    /// Creates an RNG deterministically seeded from a test name.
+    pub fn deterministic(name: &str) -> Self {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        TestRng {
+            rng: StdRng::seed_from_u64(h),
+        }
+    }
+}
+
+/// A value generator (the sampling core of proptest's `Strategy`).
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Draws one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<T, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> T,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// The strategy returned by [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, F, T> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> T,
+{
+    type Value = T;
+
+    fn sample(&self, rng: &mut TestRng) -> T {
+        (self.f)(self.inner.sample(rng))
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                rng.rng.random_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u32, u64, usize, i32, i64);
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.sample(rng),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A);
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+impl_tuple_strategy!(A, B, C, D, E);
+impl_tuple_strategy!(A, B, C, D, E, F);
+impl_tuple_strategy!(A, B, C, D, E, F, G);
+impl_tuple_strategy!(A, B, C, D, E, F, G, H);
+
+/// A strategy that always yields a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn sample(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Everything the property tests import.
+pub mod prelude {
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, Just, ProptestConfig,
+        Strategy,
+    };
+}
+
+/// Defines seeded property tests over strategies.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns! { cfg = $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns! { cfg = $crate::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+/// Internal expansion of [`proptest!`] — one wrapper fn per property.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    (cfg = $cfg:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:pat_param in $strat:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let cfg: $crate::ProptestConfig = $cfg;
+            let mut rng = $crate::TestRng::deterministic(concat!(
+                module_path!(), "::", stringify!($name)
+            ));
+            for case in 0..cfg.cases {
+                // Render inputs up front: the body may consume the args.
+                // (Sample into a temporary first — the binding may be a
+                // pattern, not a single identifier.)
+                let mut inputs = ::std::string::String::new();
+                $(
+                    let sampled = $crate::Strategy::sample(&($strat), &mut rng);
+                    if !inputs.is_empty() {
+                        inputs.push_str(", ");
+                    }
+                    inputs.push_str(&format!(
+                        "{} = {:?}", stringify!($arg), &sampled
+                    ));
+                    let $arg = sampled;
+                )+
+                let result: ::std::result::Result<(), ::std::string::String> = (|| {
+                    $body
+                    ::std::result::Result::Ok(())
+                })();
+                if let ::std::result::Result::Err(msg) = result {
+                    panic!(
+                        "property `{}` failed at case {case}: {msg}\n  inputs: {inputs}",
+                        stringify!($name),
+                    );
+                }
+            }
+        }
+    )*};
+}
+
+/// Fails the property with a message unless the condition holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err(format!(
+                "assertion failed: {}", stringify!($cond)
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err(format!($($fmt)+));
+        }
+    };
+}
+
+/// Fails the property unless the two values are equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {{
+        let (a, b) = (&$a, &$b);
+        if a != b {
+            return ::std::result::Result::Err(format!(
+                "assertion failed: {} == {}\n  left: {a:?}\n right: {b:?}",
+                stringify!($a), stringify!($b)
+            ));
+        }
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let (a, b) = (&$a, &$b);
+        if a != b {
+            return ::std::result::Result::Err(format!($($fmt)+));
+        }
+    }};
+}
+
+/// Fails the property unless the two values differ.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => {{
+        let (a, b) = (&$a, &$b);
+        if a == b {
+            return ::std::result::Result::Err(format!(
+                "assertion failed: {} != {}\n  both: {a:?}",
+                stringify!($a), stringify!($b)
+            ));
+        }
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let (a, b) = (&$a, &$b);
+        if a == b {
+            return ::std::result::Result::Err(format!($($fmt)+));
+        }
+    }};
+}
+
+/// Discards the current case (treated as a vacuous pass) unless the
+/// assumption holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Ok(());
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    fn pair() -> impl Strategy<Value = (u64, u64)> {
+        (0u64..10, 0u64..10).prop_map(|(a, b)| (a, a + b))
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// Doc comments and extra attributes pass through the macro.
+        #[test]
+        fn ranges_are_in_bounds(x in 3u64..9, y in 0usize..4) {
+            prop_assert!((3..9).contains(&x), "x out of range: {}", x);
+            prop_assert!(y < 4);
+        }
+
+        #[test]
+        fn mapped_tuples_keep_their_invariant((a, sum) in pair()) {
+            prop_assert!(sum >= a);
+            prop_assert_ne!(sum + 1, a);
+            if a > 100 {
+                // Exercise early Ok returns the way real bodies do.
+                return Ok(());
+            }
+            prop_assert_eq!(a, a);
+        }
+
+        #[test]
+        fn assume_discards_cases(x in 0u64..10) {
+            prop_assume!(x % 2 == 0);
+            prop_assert_eq!(x % 2, 0);
+        }
+    }
+
+    #[test]
+    fn sampling_is_deterministic_per_name() {
+        let strat = (0u64..1000, 0u64..1000);
+        let mut r1 = TestRng::deterministic("a");
+        let mut r2 = TestRng::deterministic("a");
+        let mut r3 = TestRng::deterministic("b");
+        let s1: Vec<_> = (0..16).map(|_| strat.sample(&mut r1)).collect();
+        let s2: Vec<_> = (0..16).map(|_| strat.sample(&mut r2)).collect();
+        let s3: Vec<_> = (0..16).map(|_| strat.sample(&mut r3)).collect();
+        assert_eq!(s1, s2);
+        assert_ne!(s1, s3);
+    }
+
+    use crate::{Strategy, TestRng};
+}

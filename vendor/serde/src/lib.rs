@@ -1,0 +1,20 @@
+//! Offline stand-in for `serde`.
+//!
+//! The workspace derives `Serialize`/`Deserialize` as forward-looking API
+//! surface but persists models through its own line-oriented text format
+//! (`veribug::persist`) — no serde serializer is ever instantiated. Since
+//! the build environment has no crates.io access, this vendored crate
+//! provides the two trait names as markers plus derive macros that emit
+//! empty impls, which keeps every `#[derive(serde::Serialize)]` in the tree
+//! compiling unchanged. If a future PR adds a real wire format, swap this
+//! stub for the real crate (the API surface is a strict subset).
+
+#![warn(missing_docs)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker for types that declare themselves serializable.
+pub trait Serialize {}
+
+/// Marker for types that declare themselves deserializable.
+pub trait Deserialize<'de>: Sized {}

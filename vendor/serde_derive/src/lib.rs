@@ -1,0 +1,55 @@
+//! Derive macros for the vendored serde stub.
+//!
+//! Emits empty marker-trait impls. Parsing is done directly on the token
+//! stream (no `syn`/`quote` available offline): skip attributes and
+//! visibility, find the `struct`/`enum` keyword, take the following ident
+//! as the type name. Generic types are rejected loudly rather than
+//! silently miscompiled — nothing in this workspace derives serde on a
+//! generic type.
+
+use proc_macro::{TokenStream, TokenTree};
+
+/// Derives the `serde::Serialize` marker impl.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let name = type_name(input);
+    format!("impl ::serde::Serialize for {name} {{}}")
+        .parse()
+        .expect("generated impl parses")
+}
+
+/// Derives the `serde::Deserialize` marker impl.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let name = type_name(input);
+    format!("impl<'de> ::serde::Deserialize<'de> for {name} {{}}")
+        .parse()
+        .expect("generated impl parses")
+}
+
+/// Extracts the type name from a struct/enum definition token stream.
+fn type_name(input: TokenStream) -> String {
+    let mut tokens = input.into_iter().peekable();
+    while let Some(tt) = tokens.next() {
+        let TokenTree::Ident(ident) = tt else {
+            continue;
+        };
+        let kw = ident.to_string();
+        if kw != "struct" && kw != "enum" && kw != "union" {
+            continue;
+        }
+        let Some(TokenTree::Ident(name)) = tokens.next() else {
+            panic!("serde stub derive: expected a type name after `{kw}`");
+        };
+        if let Some(TokenTree::Punct(p)) = tokens.peek() {
+            if p.as_char() == '<' {
+                panic!(
+                    "serde stub derive: generic type `{name}` is not supported; \
+                     write the marker impls by hand"
+                );
+            }
+        }
+        return name.to_string();
+    }
+    panic!("serde stub derive: no struct/enum definition found");
+}
