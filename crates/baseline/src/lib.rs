@@ -210,7 +210,7 @@ mod tests {
         let mk_trace = |stmts: &[u32]| Trace {
             cycles: vec![CycleRecord {
                 cycle: 0,
-                signals: vec![Value::bit(false)],
+                signals: vec![Value::bit(false)].into(),
                 execs: stmts
                     .iter()
                     .map(|s| StmtExec {

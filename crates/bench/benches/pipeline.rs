@@ -178,6 +178,26 @@ fn bench_train_epoch_parallel(c: &mut Criterion) {
     g.finish();
 }
 
+/// Compiled engine vs the retained interpreter on identical stimuli. The
+/// differential tests prove the traces are bit-identical; this group shows
+/// what the compilation buys.
+fn bench_engine_compare(c: &mut Criterion) {
+    let mut g = c.benchmark_group("engine-compare-256-cycles");
+    for d in designs::catalog() {
+        let module = d.module().expect("parses");
+        let mut compiled = Simulator::new(&module).expect("elaborates");
+        let mut interp = Simulator::interpreted(&module).expect("elaborates");
+        let stim = TestbenchGen::new(7).generate(compiled.netlist(), 256);
+        g.bench_function(&format!("{}/compiled", d.name), |b| {
+            b.iter(|| compiled.run(black_box(&stim)).expect("simulates"));
+        });
+        g.bench_function(&format!("{}/interpreted", d.name), |b| {
+            b.iter(|| interp.run(black_box(&stim)).expect("simulates"));
+        });
+    }
+    g.finish();
+}
+
 fn bench_mutation(c: &mut Criterion) {
     let module = designs::USBF_IDMA.module().expect("parses");
     c.bench_function("mutation/enumerate-sites/usbf_idma", |b| {
@@ -207,6 +227,7 @@ criterion_group!(
         bench_explainer,
         bench_campaign_parallel,
         bench_train_epoch_parallel,
+        bench_engine_compare,
         bench_mutation
 );
 criterion_main!(benches);

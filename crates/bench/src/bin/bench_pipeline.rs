@@ -1,23 +1,30 @@
-//! Wall-clock benchmark of the parallel execution layer, written to
-//! `BENCH_pipeline.json`.
+//! Wall-clock benchmark of the parallel execution layer and the compiled
+//! simulation engine, written to `BENCH_pipeline.json`.
 //!
-//! For each pipeline stage (mutation campaign, dataset build, one training
-//! epoch, holdout evaluation) the runner times the stage at 1/2/4/8 worker
-//! threads (via `par::with_threads`), reports the speedup relative to the
-//! single-thread row, and cross-checks that every stage's *result* is
-//! identical at every thread count — the determinism guarantee the layer is
-//! built around.
+//! For each pipeline stage (mutation campaign, co-simulation, dataset build,
+//! one training epoch, holdout evaluation) the runner times the stage at
+//! 1/2/4/8 worker threads (via `par::with_threads`), reports the speedup
+//! relative to the single-thread row, and cross-checks that every stage's
+//! *result* is identical at every thread count — the determinism guarantee
+//! the layer is built around. A separate single-thread comparison times the
+//! compiled engine against the retained interpreter on the campaign
+//! co-simulation workload and records the speedup.
 //!
 //! Speedups are honest numbers for the current host: on a single-core
-//! machine every row is flat (the JSON records `host_cores` so readers can
-//! tell). Timings take the minimum over `--reps N` repetitions (default 3).
+//! machine every threading row is flat (the JSON records `host_cores` so
+//! readers can tell); the engine speedup is thread-independent. Timings take
+//! the minimum over `--reps N` repetitions (default 3).
 //!
 //! Run with: `cargo run --release -p veribug-bench --bin bench_pipeline`
+//!
+//! `--smoke` shrinks the workload for CI and exits non-zero when any stage's
+//! result differs across thread counts (without rewriting the JSON).
 
 use std::fmt::Write as _;
 use std::time::Instant;
 
 use rvdg::{Generator, RvdgConfig};
+use sim::{EngineKind, Simulator, TestbenchGen, Trace};
 use veribug::model::{ModelConfig, VeriBugModel};
 use veribug::train::{self, Dataset, TrainConfig};
 use verilog::Module;
@@ -83,16 +90,79 @@ fn corpus(n: usize) -> Vec<Module> {
         .collect()
 }
 
+/// Compiled-vs-interpreted engine timing on the campaign co-simulation
+/// workload: every Table I design simulated on many short, calm stimuli,
+/// single-threaded, fastest of `reps`. Also cross-checks the traces are
+/// identical — a cheap inline version of the differential test suite.
+struct EngineCompare {
+    compiled_s: f64,
+    interpreted_s: f64,
+    traces_identical: bool,
+}
+
+fn compare_engines(cycles: usize, runs: usize, reps: usize) -> EngineCompare {
+    let workload: Vec<(Module, Vec<sim::Stimulus>)> = designs::catalog()
+        .iter()
+        .map(|d| {
+            let module = d.module().expect("parses");
+            let probe = Simulator::new(&module).expect("elaborates");
+            assert_eq!(probe.engine_kind(), EngineKind::Compiled);
+            let stimuli = TestbenchGen::new(0xD1CE_F00D)
+                .with_hold_probability(0.8)
+                .generate_many(probe.netlist(), cycles, runs);
+            (module, stimuli)
+        })
+        .collect();
+    let time = |interpreted: bool| -> (f64, Vec<Trace>) {
+        let mut best = f64::INFINITY;
+        let mut traces = Vec::new();
+        for _ in 0..reps {
+            traces.clear();
+            let start = Instant::now();
+            for (module, stimuli) in &workload {
+                let mut s = if interpreted {
+                    Simulator::interpreted(module).expect("elaborates")
+                } else {
+                    Simulator::new(module).expect("elaborates")
+                };
+                for stim in stimuli {
+                    traces.push(s.run(stim).expect("simulates"));
+                }
+            }
+            best = best.min(start.elapsed().as_secs_f64());
+        }
+        (best, traces)
+    };
+    let (compiled_s, compiled_traces) = time(false);
+    let (interpreted_s, interpreted_traces) = time(true);
+    let traces_identical = compiled_traces == interpreted_traces;
+    eprintln!(
+        "engine         compiled={compiled_s:.3}s interpreted={interpreted_s:.3}s \
+         speedup={:.2}x identical={traces_identical}",
+        interpreted_s / compiled_s.max(1e-12)
+    );
+    EngineCompare {
+        compiled_s,
+        interpreted_s,
+        traces_identical,
+    }
+}
+
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let args: Vec<String> = std::env::args().collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
     let reps: usize = args
         .iter()
         .position(|a| a == "--reps")
         .and_then(|i| args.get(i + 1))
         .map(|v| v.parse().expect("--reps takes a number"))
-        .unwrap_or(3)
+        .unwrap_or(if smoke { 1 } else { 3 })
         .max(1);
     let host_cores = std::thread::available_parallelism().map_or(1, usize::from);
+
+    // Smoke mode shrinks every workload so CI can run the whole binary in
+    // seconds; the determinism cross-check is identical either way.
+    let (sim_cycles, sim_runs) = if smoke { (16, 4) } else { (16, 24) };
 
     let campaign_module = designs::WB_MUX_2.module().expect("parses");
     let budget = mutate::BugBudget {
@@ -101,6 +171,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         misuse: 2,
     };
     let modules = corpus(3);
+    let sim_modules: Vec<Module> = designs::catalog()
+        .iter()
+        .map(|d| d.module().expect("parses"))
+        .chain(corpus(if smoke { 2 } else { 6 }))
+        .collect();
     let dataset = Dataset::from_designs(&modules, 1, 24, 2)?;
     let cfg = TrainConfig {
         epochs: 1,
@@ -123,6 +198,23 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                     .map(|m| (m.source.clone(), m.observable))
                     .collect::<Vec<_>>()
             },
+        ),
+        run_stage(
+            "simulate",
+            reps,
+            || {
+                par::par_map(&sim_modules, |module| {
+                    let mut s = Simulator::new(module).expect("elaborates");
+                    let stimuli = TestbenchGen::new(0xBEEF)
+                        .with_hold_probability(0.8)
+                        .generate_many(s.netlist(), sim_cycles, sim_runs);
+                    stimuli
+                        .iter()
+                        .map(|stim| s.run(stim).expect("simulates"))
+                        .collect::<Vec<Trace>>()
+                })
+            },
+            |traces| traces.clone(),
         ),
         run_stage(
             "dataset_build",
@@ -157,16 +249,39 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ),
     ];
 
-    let json = render_json(host_cores, reps, &stages);
+    let engine = par::with_threads(1, || compare_engines(16, if smoke { 8 } else { 40 }, reps));
+
+    let json = render_json(host_cores, reps, &stages, &engine);
     std::fs::write("BENCH_pipeline.json", &json)?;
     println!("{json}");
     eprintln!("wrote BENCH_pipeline.json");
+
+    if smoke {
+        let bad: Vec<&str> = stages
+            .iter()
+            .filter(|s| !s.deterministic)
+            .map(|s| s.name)
+            .collect();
+        if !bad.is_empty() || !engine.traces_identical {
+            eprintln!(
+                "smoke FAILED: non-deterministic stages {bad:?}, engine traces identical: {}",
+                engine.traces_identical
+            );
+            std::process::exit(1);
+        }
+        eprintln!("smoke OK: all stages deterministic across thread counts");
+    }
     Ok(())
 }
 
 /// Hand-rolled JSON (the vendored serde is a compile-surface stub and does
 /// not serialize).
-fn render_json(host_cores: usize, reps: usize, stages: &[StageResult]) -> String {
+fn render_json(
+    host_cores: usize,
+    reps: usize,
+    stages: &[StageResult],
+    engine: &EngineCompare,
+) -> String {
     let mut out = String::new();
     out.push_str("{\n");
     let _ = writeln!(out, "  \"host_cores\": {host_cores},");
@@ -210,9 +325,22 @@ fn render_json(host_cores: usize, reps: usize, stages: &[StageResult]) -> String
         out.push_str(if si + 1 < stages.len() { ",\n" } else { "\n" });
     }
     out.push_str("  ],\n");
+    out.push_str("  \"engine\": {\n");
+    out.push_str("    \"workload\": \"designs catalog, campaign-style stimuli, 1 thread\",\n");
+    let _ = writeln!(out, "    \"compiled_s\": {:.6},", engine.compiled_s);
+    let _ = writeln!(out, "    \"interpreted_s\": {:.6},", engine.interpreted_s);
+    let _ = writeln!(
+        out,
+        "    \"speedup\": {:.3},",
+        engine.interpreted_s / engine.compiled_s.max(1e-12)
+    );
+    let _ = writeln!(out, "    \"traces_identical\": {}", engine.traces_identical);
+    out.push_str("  },\n");
     out.push_str(
         "  \"note\": \"speedup_vs_serial is measured on this host; with host_cores = 1 \
-         all rows are flat and only the determinism column is meaningful\"\n",
+         all rows are flat and only the determinism column is meaningful. engine.speedup \
+         compares the compiled levelized/bytecode engine to the retained interpreter on \
+         one thread and is core-count independent\"\n",
     );
     out.push_str("}\n");
     out

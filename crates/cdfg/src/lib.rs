@@ -6,7 +6,10 @@
 //! - [`Vdg`] — variable dependency graph abstracting operation detail,
 //! - [`ConeOfInfluence`] — temporal dependence under `n`-cycle unrolling,
 //! - [`dependencies_of`] — the paper's `Dep_t` reverse-DFS analysis,
-//! - [`Slice`] — static and dynamic design slices for a target output.
+//! - [`Slice`] — static and dynamic design slices for a target output,
+//! - [`levelize`] — exposed-read/write summaries and a topological
+//!   evaluation order for combinational processes (the scheduling layer of
+//!   `veribug-sim`'s compiled engine).
 //!
 //! The paper uses the GOLDMINE framework [Pal et al., TCAD 2020] to produce
 //! these artifacts; this crate computes the same artifacts directly from the
@@ -38,11 +41,13 @@
 pub mod coi;
 pub mod depend;
 pub mod graph;
+pub mod levelize;
 pub mod slice;
 pub mod vdg;
 
 pub use coi::ConeOfInfluence;
 pub use depend::dependencies_of;
 pub use graph::{Cdfg, CdfgEdge, CdfgNode, DepKind};
+pub use levelize::{levelize, CombProcess, Levelization};
 pub use slice::Slice;
 pub use vdg::{Vdg, VdgEdge};

@@ -13,7 +13,7 @@
 use std::collections::HashMap;
 use std::process::ExitCode;
 
-use mutate::{cosimulate, BugBudget, Campaign};
+use mutate::{cosimulate_against, golden_traces, BugBudget, Campaign};
 use rvdg::{Generator, RvdgConfig};
 use sim::{Simulator, TestbenchGen, TraceLabel};
 use veribug::coverage::grouped_heatmap;
@@ -162,11 +162,18 @@ fn cmd_localize(opts: &HashMap<String, String>) -> CmdResult {
     let threshold: f32 = numeric(opts, "threshold", DEFAULT_THRESHOLD)?;
     let ansi = opts.contains_key("ansi");
 
-    let golden_sim = Simulator::new(&golden)?;
+    let mut golden_sim = Simulator::new(&golden)?;
+    let target_id = golden_sim
+        .netlist()
+        .signal_id(target)
+        .ok_or_else(|| format!("unknown target signal {target}"))?;
     let stimuli = TestbenchGen::new(0xD0_17)
         .with_hold_probability(0.8)
         .generate_many(golden_sim.netlist(), cycles, runs);
-    let labelled = cosimulate(&golden, &buggy, target, &stimuli)?;
+    // Reuse the simulator already built for stimulus generation instead of
+    // elaborating the golden design a second time inside cosimulation.
+    let golden_runs = golden_traces(&mut golden_sim, &stimuli)?;
+    let labelled = cosimulate_against(&golden_runs, target_id, &buggy, &stimuli)?;
     let failing = labelled
         .iter()
         .filter(|r| r.label == TraceLabel::Failing)

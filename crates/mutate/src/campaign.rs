@@ -6,7 +6,7 @@ use rand::{RngExt, SeedableRng};
 use std::collections::BTreeSet;
 
 use crate::mutation::{apply, enumerate_sites, MutationKind, MutationSite};
-use crate::observe::{cosimulate, is_observable, LabelledRun};
+use crate::observe::{cosimulate_against, golden_traces, is_observable, LabelledRun};
 use cdfg::Slice;
 use sim::{SimError, Simulator, Stimulus, TestbenchGen};
 use verilog::Module;
@@ -138,10 +138,21 @@ impl Campaign {
             None
         };
         let all_sites = enumerate_sites(golden, restrict.as_ref());
-        let golden_sim = Simulator::new(golden)?;
+        let mut golden_sim = Simulator::new(golden)?;
+        let target_id =
+            golden_sim
+                .netlist()
+                .signal_id(target)
+                .ok_or_else(|| SimError::UnknownSignal {
+                    name: target.to_owned(),
+                })?;
         let stimuli: Vec<Stimulus> = TestbenchGen::new(self.seed ^ 0xD1CE_F00D)
             .with_hold_probability(self.hold_probability)
             .generate_many(golden_sim.netlist(), self.cycles, self.runs_per_mutant);
+        // The golden design is simulated exactly once per stimulus; every
+        // candidate mutant in every wave compares against these shared
+        // traces instead of re-running the golden design.
+        let golden_runs = golden_traces(&mut golden_sim, &stimuli)?;
         let golden_source = verilog::print_module(golden);
 
         let mut out = Vec::new();
@@ -164,7 +175,8 @@ impl Campaign {
                         return None; // mutation was a source-level no-op
                     }
                     // A mutation may e.g. create a combinational loop; skip.
-                    let runs = cosimulate(golden, &module, target, &stimuli).ok()?;
+                    let runs =
+                        cosimulate_against(&golden_runs, target_id, &module, &stimuli).ok()?;
                     let observable = is_observable(&runs);
                     Some((module, source, runs, observable))
                 });

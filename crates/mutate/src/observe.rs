@@ -36,8 +36,66 @@ impl LabelledRun {
     }
 }
 
+/// Runs the golden design once per stimulus, producing the reference traces
+/// that [`cosimulate_against`] compares mutants to.
+///
+/// A mutation campaign evaluates many mutants against the **same** golden
+/// design and stimuli, so the golden traces are computed once up front and
+/// shared across every candidate instead of being re-simulated per mutant.
+///
+/// # Errors
+///
+/// Propagates simulation errors from the golden design.
+pub fn golden_traces(sim: &mut Simulator, stimuli: &[Stimulus]) -> Result<Vec<Trace>, SimError> {
+    stimuli.iter().map(|s| sim.run(s)).collect()
+}
+
+/// Co-simulates a mutant against precomputed golden traces and labels every
+/// run at the target output.
+///
+/// `golden[i]` must be the golden design's trace on `stimuli[i]` (as produced
+/// by [`golden_traces`]); the two slices must have equal length.
+///
+/// # Errors
+///
+/// Propagates elaboration or simulation errors from the mutant.
+pub fn cosimulate_against(
+    golden: &[Trace],
+    target: sim::SignalId,
+    mutant: &Module,
+    stimuli: &[Stimulus],
+) -> Result<Vec<LabelledRun>, SimError> {
+    assert_eq!(
+        golden.len(),
+        stimuli.len(),
+        "one golden trace per stimulus required"
+    );
+    let mut mutant_sim = Simulator::new(mutant)?;
+    let mut out = Vec::with_capacity(stimuli.len());
+    for (stim, gt) in stimuli.iter().zip(golden) {
+        let mt = mutant_sim.run(stim)?;
+        let label = if mt.differs_at(gt, target) {
+            TraceLabel::Failing
+        } else {
+            TraceLabel::Correct
+        };
+        out.push(LabelledRun {
+            trace: mt,
+            golden: gt.clone(),
+            label,
+            target,
+        });
+    }
+    Ok(out)
+}
+
 /// Co-simulates golden and mutant designs on a set of stimuli and labels
 /// every run against the target output.
+///
+/// Convenience wrapper over [`golden_traces`] + [`cosimulate_against`] for
+/// one-off comparisons; campaigns should precompute the golden traces and
+/// call [`cosimulate_against`] directly to avoid re-simulating the golden
+/// design per mutant.
 ///
 /// # Errors
 ///
@@ -49,7 +107,6 @@ pub fn cosimulate(
     stimuli: &[Stimulus],
 ) -> Result<Vec<LabelledRun>, SimError> {
     let mut golden_sim = Simulator::new(golden)?;
-    let mut mutant_sim = Simulator::new(mutant)?;
     let target_id =
         golden_sim
             .netlist()
@@ -57,23 +114,8 @@ pub fn cosimulate(
             .ok_or_else(|| SimError::UnknownSignal {
                 name: target.to_owned(),
             })?;
-    let mut out = Vec::with_capacity(stimuli.len());
-    for stim in stimuli {
-        let gt = golden_sim.run(stim)?;
-        let mt = mutant_sim.run(stim)?;
-        let label = if mt.differs_at(&gt, target_id) {
-            TraceLabel::Failing
-        } else {
-            TraceLabel::Correct
-        };
-        out.push(LabelledRun {
-            trace: mt,
-            golden: gt,
-            label,
-            target: target_id,
-        });
-    }
-    Ok(out)
+    let golden = golden_traces(&mut golden_sim, stimuli)?;
+    cosimulate_against(&golden, target_id, mutant, stimuli)
 }
 
 /// True when any run in `runs` is failing — i.e. the bug is observable at

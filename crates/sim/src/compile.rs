@@ -1,0 +1,768 @@
+//! The compiled execution engine: levelized scheduling over flat bytecode.
+//!
+//! [`Engine::build`] lowers an elaborated netlist into one register-machine
+//! program per process at elaboration time. Expressions and `if`/`case`
+//! control flow become a flat [`Op`] array over a preallocated [`Value`]
+//! slab; evaluation is a tight match-loop with no AST walking and no
+//! per-node `Result` plumbing. Combinational processes run **once** per
+//! cycle in a topological order computed by [`cdfg::levelize`], and only
+//! when one of their fanin signals actually changed (dirty-set scheduling);
+//! skipped processes replay their cached [`StmtExec`] records, so traces
+//! stay bit-identical to the fixpoint interpreter's.
+//!
+//! `build` returns `None` — and the simulator falls back to the AST
+//! interpreter — whenever single-pass equivalence cannot be proven
+//! statically: static combinational cycles (including exposed self-reads),
+//! multiple drivers of one signal, combinational writes to input ports or
+//! overlap with sequential writes, unknown signals, or width corner cases
+//! whose interpreter behavior is an error or a debug panic (over-wide
+//! concats/replications, 64-bit leading concat parts, inverted part-select
+//! bounds, zero-width literals). The fallback reproduces the old engine's
+//! behavior exactly, including `SimError::CombinationalLoop`.
+
+use std::collections::BTreeSet;
+use std::sync::Arc;
+
+use crate::error::SimError;
+use crate::eval::{eval_binary, eval_unary, Write};
+use crate::netlist::{Netlist, Process, SignalId, SignalRole};
+use crate::testbench::Stimulus;
+use crate::trace::{CycleRecord, Snapshot, StmtExec, Trace};
+use crate::value::Value;
+use verilog::{Assignment, BinaryOp, Expr, Select, Stmt, StmtId, UnaryOp};
+
+/// One bytecode instruction. Slots index the value slab; `sig` fields index
+/// the netlist's signal values.
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    /// `slab[dst] = values[sig]`
+    Load { dst: u16, sig: u32 },
+    /// `slab[dst] = val`
+    Const { dst: u16, val: Value },
+    /// `slab[dst] = op slab[a]`
+    Unary { dst: u16, op: UnaryOp, a: u16 },
+    /// `slab[dst] = slab[a] op slab[b]`
+    Binary {
+        dst: u16,
+        op: BinaryOp,
+        a: u16,
+        b: u16,
+    },
+    /// `slab[dst] = slab[cond] ? slab[t] : slab[f]` (both sides evaluated).
+    Ternary { dst: u16, cond: u16, t: u16, f: u16 },
+    /// `slab[dst] = values[sig][slab[idx]]` (out-of-range reads as 0).
+    Index { dst: u16, sig: u32, idx: u16 },
+    /// `slab[dst] = values[sig][lsb + width - 1 : lsb]`
+    Part {
+        dst: u16,
+        sig: u32,
+        lsb: u32,
+        width: u8,
+    },
+    /// `slab[dst] = {slab[hi], slab[lo]}`
+    Concat { dst: u16, hi: u16, lo: u16 },
+    /// Unconditional jump to instruction `to`.
+    Jump { to: u32 },
+    /// Jump to `to` when `slab[cond]` is all-zero.
+    JumpIfFalse { cond: u16, to: u32 },
+    /// Jump to `to` when `slab[a].bits() == slab[b].bits()` (case match).
+    JumpIfEq { a: u16, b: u16, to: u32 },
+    /// Resolve the write described by `metas[meta]` from `slab[rhs]`,
+    /// record a [`StmtExec`], then apply or defer it.
+    Assign { rhs: u16, meta: u32 },
+}
+
+/// How an assignment's target bits are selected.
+#[derive(Debug, Clone, Copy)]
+enum SelKind {
+    /// Whole-signal write at the signal's declared width.
+    Full { width: u8 },
+    /// Dynamic bit select; the index lives in slot `idx`.
+    Bit { width: u8, idx: u16 },
+    /// Constant part select (`lo`/`width` mirror the interpreter's casts).
+    Part { lo: u8, width: u8 },
+}
+
+/// Static description of one lowered assignment statement.
+#[derive(Debug, Clone)]
+struct AssignMeta {
+    stmt: StmtId,
+    target: SignalId,
+    sel: SelKind,
+    nonblocking: bool,
+    /// Interned operand names + ids, shared with the netlist's `AssignInfo`.
+    reads: Vec<(Arc<str>, SignalId)>,
+}
+
+/// Everything immutable after `build`.
+#[derive(Debug)]
+struct Code {
+    /// One program per combinational process, in source order.
+    comb: Vec<Vec<Op>>,
+    /// One program per sequential process, in source order.
+    seq: Vec<Vec<Op>>,
+    /// Topological evaluation order over `comb` indices.
+    order: Vec<u32>,
+    /// Per-comb-process exposed-read signal ids (dirty-set gate).
+    fanin: Vec<Vec<u32>>,
+    metas: Vec<AssignMeta>,
+    /// Slab size: the widest program's slot count.
+    slots: usize,
+}
+
+/// Reusable per-run scratch, kept across runs to avoid reallocation.
+#[derive(Debug)]
+struct State {
+    slab: Vec<Value>,
+    dirty: Vec<bool>,
+    /// Last-run `StmtExec`s per comb process, replayed when a process is
+    /// skipped by the dirty-set gate (the interpreter records every comb
+    /// process every cycle).
+    exec_cache: Vec<Vec<StmtExec>>,
+    deferred: Vec<Write>,
+}
+
+/// A compiled simulator for one netlist.
+#[derive(Debug)]
+pub(crate) struct Engine {
+    code: Code,
+    state: State,
+}
+
+impl Engine {
+    /// Compiles a netlist, or `None` when equivalence with the fixpoint
+    /// interpreter cannot be proven (the caller then falls back).
+    pub(crate) fn build(netlist: &Netlist) -> Option<Engine> {
+        let lev = cdfg::levelize(&netlist.module);
+        if lev.processes.len() != netlist.comb.len() {
+            return None;
+        }
+        let order: Vec<u32> = lev.order.as_ref()?.iter().map(|&i| i as u32).collect();
+
+        // Resolve the name-based summaries to ids. Unknown names, inputs
+        // driven by combinational logic, multi-driver signals, and
+        // comb/seq write overlap all void the single-pass argument.
+        let mut fanin: Vec<Vec<u32>> = Vec::with_capacity(lev.processes.len());
+        let mut comb_written: BTreeSet<u32> = BTreeSet::new();
+        for p in &lev.processes {
+            let mut f = Vec::with_capacity(p.reads.len());
+            for name in &p.reads {
+                f.push(netlist.signal_id(name)?.0);
+            }
+            fanin.push(f);
+            for name in &p.writes {
+                let id = netlist.signal_id(name)?;
+                if netlist.signal(id).role == SignalRole::Input {
+                    return None;
+                }
+                if !comb_written.insert(id.0) {
+                    return None;
+                }
+            }
+        }
+        for p in &netlist.seq {
+            let Process::Seq(blk) = p else { continue };
+            let mut bases = Vec::new();
+            collect_write_bases(&blk.body, &mut bases);
+            for base in bases {
+                let id = netlist.signal_id(base)?;
+                if comb_written.contains(&id.0) {
+                    return None;
+                }
+            }
+        }
+
+        let mut metas = Vec::new();
+        let mut slots = 0usize;
+        let mut compile = |body: &Process| -> Option<Vec<Op>> {
+            let mut c = Compiler {
+                netlist,
+                ops: Vec::new(),
+                metas: &mut metas,
+                next_slot: 0,
+            };
+            match body {
+                Process::Assign(a) => c.assign(a)?,
+                Process::Comb(blk) | Process::Seq(blk) => c.stmts(&blk.body)?,
+            }
+            slots = slots.max(c.next_slot as usize);
+            Some(c.ops)
+        };
+        let comb: Vec<Vec<Op>> = netlist
+            .comb
+            .iter()
+            .map(&mut compile)
+            .collect::<Option<_>>()?;
+        let seq: Vec<Vec<Op>> = netlist
+            .seq
+            .iter()
+            .map(&mut compile)
+            .collect::<Option<_>>()?;
+
+        let ncomb = comb.len();
+        Some(Engine {
+            code: Code {
+                comb,
+                seq,
+                order,
+                fanin,
+                metas,
+                slots,
+            },
+            state: State {
+                slab: Vec::new(),
+                dirty: Vec::new(),
+                exec_cache: vec![Vec::new(); ncomb],
+                deferred: Vec::new(),
+            },
+        })
+    }
+
+    /// Runs a stimulus from the all-zero reset state.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::UnknownSignal`] / [`SimError::NotAnInput`] for bad
+    /// stimulus assignments — the same checks, in the same order, as the
+    /// interpreter. Compiled programs themselves cannot fail.
+    pub(crate) fn run(
+        &mut self,
+        netlist: &Netlist,
+        stimulus: &Stimulus,
+    ) -> Result<Trace, SimError> {
+        let nsig = netlist.signal_count();
+        let code = &self.code;
+        let State {
+            slab,
+            dirty,
+            exec_cache,
+            deferred,
+        } = &mut self.state;
+        let mut values: Vec<Value> = netlist
+            .signals()
+            .iter()
+            .map(|s| Value::zero(s.width))
+            .collect();
+        dirty.clear();
+        dirty.resize(nsig, true);
+        slab.clear();
+        slab.resize(code.slots, Value::bit(false));
+        for cache in exec_cache.iter_mut() {
+            cache.clear();
+        }
+
+        let ncycles = stimulus.vectors.len();
+        let mut arena: Vec<Value> = Vec::with_capacity(ncycles * nsig);
+        let mut cycle_execs: Vec<Vec<StmtExec>> = Vec::with_capacity(ncycles);
+        for (cycle_idx, vector) in stimulus.vectors.iter().enumerate() {
+            let cycle = cycle_idx as u32;
+            // 1. Apply inputs; a changed input seeds the dirty set.
+            for (name, bits) in &vector.assigns {
+                let id = netlist
+                    .signal_id(name)
+                    .ok_or_else(|| SimError::UnknownSignal { name: name.clone() })?;
+                if netlist.signal(id).role != SignalRole::Input {
+                    return Err(SimError::NotAnInput { name: name.clone() });
+                }
+                let v = Value::new(*bits, netlist.signal(id).width);
+                if values[id.0 as usize] != v {
+                    values[id.0 as usize] = v;
+                    dirty[id.0 as usize] = true;
+                }
+            }
+
+            // 2. One levelized combinational pass. A process whose fanin is
+            // clean would recompute exactly what it computed last time, so
+            // it is skipped and its cached records replayed below.
+            for &pi in &code.order {
+                let pi = pi as usize;
+                if cycle_idx != 0 && !code.fanin[pi].iter().any(|&s| dirty[s as usize]) {
+                    continue;
+                }
+                let cache = &mut exec_cache[pi];
+                cache.clear();
+                exec_ops(
+                    &code.comb[pi],
+                    &code.metas,
+                    slab,
+                    &mut values,
+                    dirty,
+                    cache,
+                    cycle,
+                    None,
+                );
+            }
+
+            // Assemble records in source-process order, as the
+            // interpreter's recording pass does.
+            let mut execs: Vec<StmtExec> = Vec::new();
+            for cache in exec_cache.iter() {
+                for e in cache {
+                    let mut e = e.clone();
+                    e.cycle = cycle;
+                    execs.push(e);
+                }
+            }
+
+            // 3. Snapshot pre-edge values into the run-wide arena.
+            arena.extend_from_slice(&values);
+
+            // Changes are consumed; anything the edge writes below seeds
+            // the next cycle's gate.
+            for d in dirty.iter_mut() {
+                *d = false;
+            }
+
+            // 4. Clock edge: sequential programs with deferred commits.
+            deferred.clear();
+            for prog in &code.seq {
+                exec_ops(
+                    prog,
+                    &code.metas,
+                    slab,
+                    &mut values,
+                    dirty,
+                    &mut execs,
+                    cycle,
+                    Some(deferred),
+                );
+            }
+            for w in deferred.drain(..) {
+                let t = w.target.0 as usize;
+                let cur = values[t];
+                let new = w.apply(cur);
+                if new != cur {
+                    values[t] = new;
+                    dirty[t] = true;
+                }
+            }
+            cycle_execs.push(execs);
+        }
+
+        let arena: Arc<[Value]> = arena.into();
+        let cycles = cycle_execs
+            .into_iter()
+            .enumerate()
+            .map(|(i, execs)| CycleRecord {
+                cycle: i as u32,
+                signals: Snapshot::view(arena.clone(), i * nsig, nsig),
+                execs,
+            })
+            .collect();
+        Ok(Trace { cycles })
+    }
+}
+
+/// Executes one program. Infallible by construction: every condition the
+/// interpreter reports as an error (or panics on in debug builds) was
+/// rejected at compile time.
+#[allow(clippy::too_many_arguments)]
+fn exec_ops(
+    ops: &[Op],
+    metas: &[AssignMeta],
+    slab: &mut [Value],
+    values: &mut [Value],
+    dirty: &mut [bool],
+    recorder: &mut Vec<StmtExec>,
+    cycle: u32,
+    mut deferred: Option<&mut Vec<Write>>,
+) {
+    let mut pc = 0usize;
+    while pc < ops.len() {
+        match ops[pc] {
+            Op::Load { dst, sig } => slab[dst as usize] = values[sig as usize],
+            Op::Const { dst, val } => slab[dst as usize] = val,
+            Op::Unary { dst, op, a } => slab[dst as usize] = eval_unary(op, slab[a as usize]),
+            Op::Binary { dst, op, a, b } => {
+                slab[dst as usize] = eval_binary(op, slab[a as usize], slab[b as usize]);
+            }
+            Op::Ternary { dst, cond, t, f } => {
+                let tv = slab[t as usize];
+                let fv = slab[f as usize];
+                let w = tv.width().max(fv.width());
+                slab[dst as usize] = if slab[cond as usize].is_truthy() {
+                    tv.resize(w)
+                } else {
+                    fv.resize(w)
+                };
+            }
+            Op::Index { dst, sig, idx } => {
+                let v = values[sig as usize];
+                let i = slab[idx as usize].bits();
+                slab[dst as usize] =
+                    Value::bit(i < u64::from(v.width()) && (v.bits() >> i) & 1 == 1);
+            }
+            Op::Part {
+                dst,
+                sig,
+                lsb,
+                width,
+            } => {
+                slab[dst as usize] = Value::new(values[sig as usize].bits() >> lsb, width);
+            }
+            Op::Concat { dst, hi, lo } => {
+                let h = slab[hi as usize];
+                let l = slab[lo as usize];
+                slab[dst as usize] =
+                    Value::new((h.bits() << l.width()) | l.bits(), h.width() + l.width());
+            }
+            Op::Jump { to } => {
+                pc = to as usize;
+                continue;
+            }
+            Op::JumpIfFalse { cond, to } => {
+                if !slab[cond as usize].is_truthy() {
+                    pc = to as usize;
+                    continue;
+                }
+            }
+            Op::JumpIfEq { a, b, to } => {
+                if slab[a as usize].bits() == slab[b as usize].bits() {
+                    pc = to as usize;
+                    continue;
+                }
+            }
+            Op::Assign { rhs, meta } => {
+                let m = &metas[meta as usize];
+                let value = slab[rhs as usize];
+                let write = match m.sel {
+                    SelKind::Full { width } => Write {
+                        target: m.target,
+                        lo: 0,
+                        width,
+                        bits: value.resize(width).bits(),
+                    },
+                    SelKind::Bit { width, idx } => {
+                        let i = slab[idx as usize].bits().min(63) as u8;
+                        Write {
+                            target: m.target,
+                            lo: i.min(width - 1),
+                            width: 1,
+                            bits: u64::from(value.lsb()),
+                        }
+                    }
+                    SelKind::Part { lo, width } => Write {
+                        target: m.target,
+                        lo,
+                        width,
+                        bits: value.resize(width).bits(),
+                    },
+                };
+                // Operands are read before the write lands, like the
+                // interpreter's record-then-apply order.
+                recorder.push(StmtExec {
+                    stmt: m.stmt,
+                    cycle,
+                    operands: m
+                        .reads
+                        .iter()
+                        .map(|(n, id)| (n.clone(), values[id.0 as usize]))
+                        .collect(),
+                    result: Value::new(write.bits, write.width),
+                });
+                match (&mut deferred, m.nonblocking) {
+                    (Some(d), true) => d.push(write),
+                    _ => {
+                        let t = write.target.0 as usize;
+                        let cur = values[t];
+                        let new = write.apply(cur);
+                        if new != cur {
+                            values[t] = new;
+                            dirty[t] = true;
+                        }
+                    }
+                }
+            }
+        }
+        pc += 1;
+    }
+}
+
+/// Collects the base names of every assignment target in a statement tree.
+fn collect_write_bases<'s>(stmts: &'s [Stmt], out: &mut Vec<&'s str>) {
+    for s in stmts {
+        match s {
+            Stmt::Assign(a) => out.push(&a.lhs.base),
+            Stmt::If(i) => {
+                collect_write_bases(&i.then_branch, out);
+                collect_write_bases(&i.else_branch, out);
+            }
+            Stmt::Case(c) => {
+                for arm in &c.arms {
+                    collect_write_bases(&arm.body, out);
+                }
+                collect_write_bases(&c.default, out);
+            }
+        }
+    }
+}
+
+/// Lowers one process body into bytecode. Every method returns `None` to
+/// request interpreter fallback.
+struct Compiler<'a> {
+    netlist: &'a Netlist,
+    ops: Vec<Op>,
+    metas: &'a mut Vec<AssignMeta>,
+    next_slot: u32,
+}
+
+impl Compiler<'_> {
+    fn slot(&mut self) -> Option<u16> {
+        let s = self.next_slot;
+        if s > u32::from(u16::MAX) {
+            return None;
+        }
+        self.next_slot += 1;
+        Some(s as u16)
+    }
+
+    fn signal(&self, name: &str) -> Option<(u32, u8)> {
+        let id = self.netlist.signal_id(name)?;
+        Some((id.0, self.netlist.signal(id).width))
+    }
+
+    /// Compiles an expression; returns its result slot and static width
+    /// (widths are fully static in this Verilog subset, so the returned
+    /// width always equals the runtime `Value` width).
+    fn expr(&mut self, e: &Expr) -> Option<(u16, u8)> {
+        match e {
+            Expr::Ident { name, .. } => {
+                let (sig, w) = self.signal(name)?;
+                let dst = self.slot()?;
+                self.ops.push(Op::Load { dst, sig });
+                Some((dst, w))
+            }
+            Expr::Literal { width, value, .. } => {
+                let w = width.unwrap_or(32).min(64) as u8;
+                if w == 0 {
+                    return None; // the interpreter panics at runtime
+                }
+                let dst = self.slot()?;
+                self.ops.push(Op::Const {
+                    dst,
+                    val: Value::new(*value, w),
+                });
+                Some((dst, w))
+            }
+            Expr::Unary { op, operand, .. } => {
+                let (a, wa) = self.expr(operand)?;
+                let dst = self.slot()?;
+                self.ops.push(Op::Unary { dst, op: *op, a });
+                let w = match op {
+                    UnaryOp::Not | UnaryOp::Negate => wa,
+                    _ => 1,
+                };
+                Some((dst, w))
+            }
+            Expr::Binary { op, lhs, rhs, .. } => {
+                let (a, wa) = self.expr(lhs)?;
+                let (b, wb) = self.expr(rhs)?;
+                let dst = self.slot()?;
+                self.ops.push(Op::Binary { dst, op: *op, a, b });
+                let w = match op {
+                    BinaryOp::And
+                    | BinaryOp::Or
+                    | BinaryOp::Xor
+                    | BinaryOp::Xnor
+                    | BinaryOp::Add
+                    | BinaryOp::Sub
+                    | BinaryOp::Mul
+                    | BinaryOp::Div
+                    | BinaryOp::Mod => wa.max(wb),
+                    BinaryOp::Shl | BinaryOp::Shr => wa,
+                    _ => 1,
+                };
+                Some((dst, w))
+            }
+            Expr::Ternary {
+                cond,
+                then_expr,
+                else_expr,
+                ..
+            } => {
+                let (c, _) = self.expr(cond)?;
+                let (t, wt) = self.expr(then_expr)?;
+                let (f, wf) = self.expr(else_expr)?;
+                let dst = self.slot()?;
+                self.ops.push(Op::Ternary { dst, cond: c, t, f });
+                Some((dst, wt.max(wf)))
+            }
+            Expr::Index { base, index, .. } => {
+                let (sig, _) = self.signal(base)?;
+                let (idx, _) = self.expr(index)?;
+                let dst = self.slot()?;
+                self.ops.push(Op::Index { dst, sig, idx });
+                Some((dst, 1))
+            }
+            Expr::Part { base, msb, lsb, .. } => {
+                let (sig, _) = self.signal(base)?;
+                if msb < lsb || *lsb >= 64 {
+                    return None; // interpreter panics (underflow / shift overflow)
+                }
+                let width = (msb - lsb + 1) as u8;
+                if !(1..=64).contains(&width) {
+                    return None;
+                }
+                let dst = self.slot()?;
+                self.ops.push(Op::Part {
+                    dst,
+                    sig,
+                    lsb: *lsb,
+                    width,
+                });
+                Some((dst, width))
+            }
+            Expr::Concat { parts, .. } => {
+                let mut compiled = Vec::with_capacity(parts.len());
+                for p in parts {
+                    compiled.push(self.expr(p)?);
+                }
+                self.concat_chain(&compiled)
+            }
+            Expr::Repeat { count, inner, .. } => {
+                let part = self.expr(inner)?;
+                let total = u32::from(part.1) * count;
+                if total > 64 || total == 0 {
+                    return None; // interpreter errors at runtime
+                }
+                // The inner expression is evaluated once; its slot repeats.
+                let compiled = vec![part; *count as usize];
+                self.concat_chain(&compiled)
+            }
+        }
+    }
+
+    /// Folds already-compiled parts most-significant-first into a chain of
+    /// `Concat` ops, mirroring the interpreter's left fold. Falls back on
+    /// empty part lists and totals over 64 bits (interpreter errors), and
+    /// on a 64-bit leading part (the interpreter's first `0 << width`
+    /// shift debug-panics there).
+    fn concat_chain(&mut self, parts: &[(u16, u8)]) -> Option<(u16, u8)> {
+        let (&(mut acc, mut width), rest) = parts.split_first()?;
+        if width == 64 {
+            return None;
+        }
+        for &(slot, w) in rest {
+            if u32::from(width) + u32::from(w) > 64 {
+                return None;
+            }
+            let dst = self.slot()?;
+            self.ops.push(Op::Concat {
+                dst,
+                hi: acc,
+                lo: slot,
+            });
+            acc = dst;
+            width += w;
+        }
+        Some((acc, width))
+    }
+
+    fn assign(&mut self, a: &Assignment) -> Option<()> {
+        let (rhs, _) = self.expr(&a.rhs)?;
+        let info = self.netlist.assign_info(a.id)?;
+        let target = info.target?;
+        let full = self.netlist.signal(target).width;
+        let sel = match &a.lhs.select {
+            None => SelKind::Full { width: full },
+            Some(Select::Bit(idx_expr)) => {
+                let (idx, _) = self.expr(idx_expr)?;
+                SelKind::Bit { width: full, idx }
+            }
+            Some(Select::Part { msb, lsb }) => {
+                if msb < lsb {
+                    return None; // interpreter panics on the underflow
+                }
+                // Mirror the interpreter's casts exactly; out-of-range
+                // widths panic identically in both engines at runtime.
+                SelKind::Part {
+                    lo: *lsb as u8,
+                    width: (msb - lsb + 1) as u8,
+                }
+            }
+        };
+        let meta = self.metas.len() as u32;
+        self.metas.push(AssignMeta {
+            stmt: a.id,
+            target,
+            sel,
+            nonblocking: a.kind == verilog::AssignKind::NonBlocking,
+            reads: info.reads.clone(),
+        });
+        self.ops.push(Op::Assign { rhs, meta });
+        Some(())
+    }
+
+    fn stmts(&mut self, stmts: &[Stmt]) -> Option<()> {
+        for s in stmts {
+            match s {
+                Stmt::Assign(a) => self.assign(a)?,
+                Stmt::If(i) => {
+                    let (cond, _) = self.expr(&i.cond)?;
+                    let jf = self.ops.len();
+                    self.ops.push(Op::JumpIfFalse { cond, to: 0 });
+                    self.stmts(&i.then_branch)?;
+                    if i.else_branch.is_empty() {
+                        self.patch(jf, self.ops.len());
+                    } else {
+                        let j = self.ops.len();
+                        self.ops.push(Op::Jump { to: 0 });
+                        self.patch(jf, self.ops.len());
+                        self.stmts(&i.else_branch)?;
+                        self.patch(j, self.ops.len());
+                    }
+                }
+                Stmt::Case(c) => {
+                    let (subj, _) = self.expr(&c.subject)?;
+                    // Emit all label tests first (labels are pure, so
+                    // evaluating ones past the interpreter's first match is
+                    // unobservable), then the arm bodies.
+                    let mut arm_tests: Vec<Vec<usize>> = Vec::with_capacity(c.arms.len());
+                    for arm in &c.arms {
+                        let mut tests = Vec::with_capacity(arm.labels.len());
+                        for label in &arm.labels {
+                            let (l, _) = self.expr(label)?;
+                            tests.push(self.ops.len());
+                            self.ops.push(Op::JumpIfEq {
+                                a: subj,
+                                b: l,
+                                to: 0,
+                            });
+                        }
+                        arm_tests.push(tests);
+                    }
+                    let to_default = self.ops.len();
+                    self.ops.push(Op::Jump { to: 0 });
+                    let mut to_end = Vec::with_capacity(c.arms.len());
+                    for (arm, tests) in c.arms.iter().zip(arm_tests) {
+                        let here = self.ops.len();
+                        for t in tests {
+                            self.patch(t, here);
+                        }
+                        self.stmts(&arm.body)?;
+                        to_end.push(self.ops.len());
+                        self.ops.push(Op::Jump { to: 0 });
+                    }
+                    self.patch(to_default, self.ops.len());
+                    self.stmts(&c.default)?;
+                    let end = self.ops.len();
+                    for j in to_end {
+                        self.patch(j, end);
+                    }
+                }
+            }
+        }
+        Some(())
+    }
+
+    /// Redirects the jump at `at` to instruction `to`.
+    fn patch(&mut self, at: usize, to: usize) {
+        let to = to as u32;
+        match &mut self.ops[at] {
+            Op::Jump { to: t } | Op::JumpIfFalse { to: t, .. } | Op::JumpIfEq { to: t, .. } => {
+                *t = to;
+            }
+            _ => unreachable!("patch target is a jump"),
+        }
+    }
+}

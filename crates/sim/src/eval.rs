@@ -34,6 +34,53 @@ impl Write {
     }
 }
 
+/// Applies a unary operator. Shared by the AST interpreter and the bytecode
+/// engine so both produce bit-identical results.
+pub(crate) fn eval_unary(op: UnaryOp, v: Value) -> Value {
+    match op {
+        UnaryOp::Not => Value::new(!v.bits(), v.width()),
+        UnaryOp::LogicalNot => Value::bit(!v.is_truthy()),
+        UnaryOp::Negate => Value::new(v.bits().wrapping_neg(), v.width()),
+        UnaryOp::RedAnd => Value::bit(v.bits() == Value::mask(v.width())),
+        UnaryOp::RedOr => Value::bit(v.is_truthy()),
+        UnaryOp::RedXor => Value::bit(v.bits().count_ones() & 1 == 1),
+        UnaryOp::RedXnor => Value::bit(v.bits().count_ones() & 1 == 0),
+    }
+}
+
+/// Applies a binary operator at the combined width. Shared by the AST
+/// interpreter and the bytecode engine.
+pub(crate) fn eval_binary(op: BinaryOp, a: Value, b: Value) -> Value {
+    let w = a.width().max(b.width());
+    match op {
+        BinaryOp::And => Value::new(a.bits() & b.bits(), w),
+        BinaryOp::Or => Value::new(a.bits() | b.bits(), w),
+        BinaryOp::Xor => Value::new(a.bits() ^ b.bits(), w),
+        BinaryOp::Xnor => Value::new(!(a.bits() ^ b.bits()), w),
+        BinaryOp::LogAnd => Value::bit(a.is_truthy() && b.is_truthy()),
+        BinaryOp::LogOr => Value::bit(a.is_truthy() || b.is_truthy()),
+        BinaryOp::Eq | BinaryOp::CaseEq => Value::bit(a.bits() == b.bits()),
+        BinaryOp::Neq | BinaryOp::CaseNeq => Value::bit(a.bits() != b.bits()),
+        BinaryOp::Lt => Value::bit(a.bits() < b.bits()),
+        BinaryOp::Le => Value::bit(a.bits() <= b.bits()),
+        BinaryOp::Gt => Value::bit(a.bits() > b.bits()),
+        BinaryOp::Ge => Value::bit(a.bits() >= b.bits()),
+        BinaryOp::Add => Value::new(a.bits().wrapping_add(b.bits()), w),
+        BinaryOp::Sub => Value::new(a.bits().wrapping_sub(b.bits()), w),
+        BinaryOp::Mul => Value::new(a.bits().wrapping_mul(b.bits()), w),
+        BinaryOp::Div => Value::new(a.bits().checked_div(b.bits()).unwrap_or(0), w),
+        BinaryOp::Mod => Value::new(a.bits().checked_rem(b.bits()).unwrap_or(0), w),
+        BinaryOp::Shl => {
+            let sh = b.bits().min(64) as u32;
+            Value::new(a.bits().checked_shl(sh).unwrap_or(0), a.width())
+        }
+        BinaryOp::Shr => {
+            let sh = b.bits().min(64) as u32;
+            Value::new(a.bits().checked_shr(sh).unwrap_or(0), a.width())
+        }
+    }
+}
+
 /// Mutable evaluation state over a netlist.
 #[derive(Debug)]
 pub struct EvalCtx<'n> {
@@ -88,49 +135,9 @@ impl<'n> EvalCtx<'n> {
                 let w = width.unwrap_or(32).min(64) as u8;
                 Ok(Value::new(*value, w))
             }
-            Expr::Unary { op, operand, .. } => {
-                let v = self.eval(operand)?;
-                Ok(match op {
-                    UnaryOp::Not => Value::new(!v.bits(), v.width()),
-                    UnaryOp::LogicalNot => Value::bit(!v.is_truthy()),
-                    UnaryOp::Negate => Value::new(v.bits().wrapping_neg(), v.width()),
-                    UnaryOp::RedAnd => Value::bit(v.bits() == Value::mask(v.width())),
-                    UnaryOp::RedOr => Value::bit(v.is_truthy()),
-                    UnaryOp::RedXor => Value::bit(v.bits().count_ones() % 2 == 1),
-                    UnaryOp::RedXnor => Value::bit(v.bits().count_ones() % 2 == 0),
-                })
-            }
+            Expr::Unary { op, operand, .. } => Ok(eval_unary(*op, self.eval(operand)?)),
             Expr::Binary { op, lhs, rhs, .. } => {
-                let a = self.eval(lhs)?;
-                let b = self.eval(rhs)?;
-                let w = a.width().max(b.width());
-                Ok(match op {
-                    BinaryOp::And => Value::new(a.bits() & b.bits(), w),
-                    BinaryOp::Or => Value::new(a.bits() | b.bits(), w),
-                    BinaryOp::Xor => Value::new(a.bits() ^ b.bits(), w),
-                    BinaryOp::Xnor => Value::new(!(a.bits() ^ b.bits()), w),
-                    BinaryOp::LogAnd => Value::bit(a.is_truthy() && b.is_truthy()),
-                    BinaryOp::LogOr => Value::bit(a.is_truthy() || b.is_truthy()),
-                    BinaryOp::Eq | BinaryOp::CaseEq => Value::bit(a.bits() == b.bits()),
-                    BinaryOp::Neq | BinaryOp::CaseNeq => Value::bit(a.bits() != b.bits()),
-                    BinaryOp::Lt => Value::bit(a.bits() < b.bits()),
-                    BinaryOp::Le => Value::bit(a.bits() <= b.bits()),
-                    BinaryOp::Gt => Value::bit(a.bits() > b.bits()),
-                    BinaryOp::Ge => Value::bit(a.bits() >= b.bits()),
-                    BinaryOp::Add => Value::new(a.bits().wrapping_add(b.bits()), w),
-                    BinaryOp::Sub => Value::new(a.bits().wrapping_sub(b.bits()), w),
-                    BinaryOp::Mul => Value::new(a.bits().wrapping_mul(b.bits()), w),
-                    BinaryOp::Div => Value::new(a.bits().checked_div(b.bits()).unwrap_or(0), w),
-                    BinaryOp::Mod => Value::new(a.bits().checked_rem(b.bits()).unwrap_or(0), w),
-                    BinaryOp::Shl => {
-                        let sh = b.bits().min(64) as u32;
-                        Value::new(a.bits().checked_shl(sh).unwrap_or(0), a.width())
-                    }
-                    BinaryOp::Shr => {
-                        let sh = b.bits().min(64) as u32;
-                        Value::new(a.bits().checked_shr(sh).unwrap_or(0), a.width())
-                    }
-                })
+                Ok(eval_binary(*op, self.eval(lhs)?, self.eval(rhs)?))
             }
             Expr::Ternary {
                 cond,
@@ -486,5 +493,94 @@ mod tests {
         };
         let cur = Value::new(0b0001, 4);
         assert_eq!(w.apply(cur).bits(), 0b1101);
+    }
+
+    #[test]
+    fn partial_write_at_top_of_64_bits() {
+        // The mask for a part select touching bit 63 must not overflow.
+        let w = Write {
+            target: SignalId(0),
+            lo: 60,
+            width: 4,
+            bits: 0b1010,
+        };
+        let cur = Value::new(u64::MAX, 64);
+        let out = w.apply(cur);
+        assert_eq!(out.bits() >> 60, 0b1010);
+        assert_eq!(out.bits() & ((1u64 << 60) - 1), (1u64 << 60) - 1);
+    }
+
+    #[test]
+    fn full_width_partial_write_replaces_everything() {
+        let w = Write {
+            target: SignalId(0),
+            lo: 0,
+            width: 64,
+            bits: 0x0123_4567_89AB_CDEF,
+        };
+        let cur = Value::new(u64::MAX, 64);
+        assert_eq!(w.apply(cur).bits(), 0x0123_4567_89AB_CDEF);
+    }
+
+    #[test]
+    fn partial_write_excess_bits_are_masked() {
+        // `bits` wider than `width` must not leak into neighbouring bits.
+        let w = Write {
+            target: SignalId(0),
+            lo: 1,
+            width: 2,
+            bits: 0xFF,
+        };
+        let cur = Value::new(0b0000, 4);
+        assert_eq!(w.apply(cur).bits(), 0b0110);
+    }
+
+    #[test]
+    fn shift_by_width_or_more_is_zero() {
+        // Verilog semantics for a logical shift by ≥ width: all bits fall out.
+        let src = "module m(input [3:0] a, input [2:0] n, output [3:0] y, output [3:0] z);\n\
+                   assign y = a << n;\nassign z = a >> n;\nendmodule";
+        assert_eq!(eval_with(src, &[("a", 0b1111), ("n", 4)], "y").bits(), 0);
+        assert_eq!(eval_with(src, &[("a", 0b1111), ("n", 7)], "z").bits(), 0);
+        // And the free-function path used by the compiled engine agrees,
+        // including a shift amount of exactly 64 on a 64-bit value.
+        let a = Value::new(u64::MAX, 64);
+        let sh = Value::new(64, 7);
+        assert_eq!(eval_binary(BinaryOp::Shl, a, sh).bits(), 0);
+        assert_eq!(eval_binary(BinaryOp::Shr, a, sh).bits(), 0);
+    }
+
+    #[test]
+    fn concat_of_mixed_widths_places_every_part() {
+        let src = "module m(input a, input [2:0] b, input [3:0] c, output [7:0] y);\n\
+                   assign y = {a, b, c};\nendmodule";
+        let v = eval_with(src, &[("a", 1), ("b", 0b010), ("c", 0b1001)], "y");
+        assert_eq!(v.width(), 8);
+        assert_eq!(v.bits(), 0b1010_1001);
+    }
+
+    #[test]
+    fn wide_arithmetic_wraps_at_64_bits() {
+        let max = Value::new(u64::MAX, 64);
+        let one = Value::new(1, 64);
+        assert_eq!(eval_binary(BinaryOp::Add, max, one).bits(), 0);
+        assert_eq!(
+            eval_binary(BinaryOp::Sub, Value::new(0, 64), one).bits(),
+            u64::MAX
+        );
+        assert_eq!(
+            eval_binary(BinaryOp::Mul, max, Value::new(2, 64)).bits(),
+            u64::MAX - 1
+        );
+    }
+
+    #[test]
+    fn binary_ops_extend_narrow_operand_to_wider_width() {
+        // 4-bit + 8-bit happens at 8 bits: 15 + 250 = 265 -> wraps to 9.
+        let a = Value::new(0xF, 4);
+        let b = Value::new(250, 8);
+        let sum = eval_binary(BinaryOp::Add, a, b);
+        assert_eq!(sum.width(), 8);
+        assert_eq!(sum.bits(), 9);
     }
 }

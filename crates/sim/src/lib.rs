@@ -35,6 +35,7 @@
 
 #![warn(missing_docs)]
 
+mod compile;
 pub mod error;
 pub mod eval;
 pub mod netlist;
@@ -47,8 +48,8 @@ pub mod vcd;
 pub use error::SimError;
 pub use eval::{EvalCtx, Write};
 pub use netlist::{Netlist, Process, Signal, SignalId, SignalRole};
-pub use sched::{simulate, Simulator};
+pub use sched::{simulate, EngineKind, Simulator};
 pub use testbench::{InputVector, Stimulus, TestbenchGen};
-pub use trace::{CycleRecord, StmtExec, Trace, TraceLabel};
+pub use trace::{CycleRecord, Snapshot, StmtExec, Trace, TraceLabel};
 pub use value::Value;
 pub use vcd::to_vcd;

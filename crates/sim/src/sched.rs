@@ -13,18 +13,38 @@
 //! every clock edge with the current reset value, which matches the paper's
 //! usage (reset held during the first cycles of each GOLDMINE testbench).
 
+use std::sync::Arc;
+
+use crate::compile::Engine;
 use crate::error::SimError;
 use crate::eval::{EvalCtx, Write};
 use crate::netlist::{Netlist, Process};
 use crate::testbench::Stimulus;
-use crate::trace::{CycleRecord, StmtExec, Trace};
+use crate::trace::{CycleRecord, Snapshot, StmtExec, Trace};
 use crate::value::Value;
 use verilog::Module;
 
+/// Which execution strategy a [`Simulator`] settled on at elaboration time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EngineKind {
+    /// Levelized bytecode with dirty-set re-evaluation (the fast path).
+    Compiled,
+    /// AST-walking fixpoint interpreter (fallback for static combinational
+    /// cycles and constructs whose single-pass equivalence is unprovable).
+    Interpreted,
+}
+
 /// A reusable simulator for one design.
+///
+/// [`Simulator::new`] compiles the design into a levelized bytecode engine
+/// when static analysis proves a single ordered combinational pass
+/// equivalent to the fixpoint settle; otherwise it falls back to the AST
+/// interpreter. Both engines produce bit-identical [`Trace`]s — signal
+/// snapshots and [`StmtExec`] records — for every supported design.
 #[derive(Debug)]
 pub struct Simulator {
     netlist: Netlist,
+    engine: Option<Engine>,
 }
 
 impl Simulator {
@@ -53,9 +73,32 @@ impl Simulator {
     /// # }
     /// ```
     pub fn new(module: &Module) -> Result<Self, SimError> {
+        let netlist = Netlist::elaborate(module)?;
+        let engine = Engine::build(&netlist);
+        Ok(Simulator { netlist, engine })
+    }
+
+    /// Elaborates a module into a simulator that always uses the fixpoint
+    /// interpreter, even when the design would compile. Used by differential
+    /// tests and benchmarks comparing the two engines.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Simulator::new`].
+    pub fn interpreted(module: &Module) -> Result<Self, SimError> {
         Ok(Simulator {
             netlist: Netlist::elaborate(module)?,
+            engine: None,
         })
+    }
+
+    /// Which engine this simulator runs on.
+    pub fn engine_kind(&self) -> EngineKind {
+        if self.engine.is_some() {
+            EngineKind::Compiled
+        } else {
+            EngineKind::Interpreted
+        }
     }
 
     /// The elaborated design.
@@ -71,8 +114,21 @@ impl Simulator {
     /// [`SimError::CombinationalLoop`] when combinational logic does not
     /// settle, plus any evaluation error.
     pub fn run(&mut self, stimulus: &Stimulus) -> Result<Trace, SimError> {
+        match &mut self.engine {
+            Some(engine) => engine.run(&self.netlist, stimulus),
+            None => self.run_interpreted(stimulus),
+        }
+    }
+
+    /// The fixpoint-interpreter path: settle combinational logic by
+    /// iteration, then one recording pass per cycle.
+    fn run_interpreted(&mut self, stimulus: &Stimulus) -> Result<Trace, SimError> {
         let mut ctx = EvalCtx::new(&self.netlist);
-        let mut cycles = Vec::with_capacity(stimulus.vectors.len());
+        let nsig = self.netlist.signal_count();
+        let ncycles = stimulus.vectors.len();
+        // One run-wide snapshot arena instead of a value-vector per cycle.
+        let mut arena: Vec<Value> = Vec::with_capacity(ncycles * nsig);
+        let mut cycle_execs: Vec<Vec<StmtExec>> = Vec::with_capacity(ncycles);
         for (cycle_idx, vector) in stimulus.vectors.iter().enumerate() {
             let cycle = cycle_idx as u32;
             // 1. Apply inputs.
@@ -94,8 +150,8 @@ impl Simulator {
                 self.run_comb_process(&mut ctx, p, cycle, Some(&mut execs))?;
             }
 
-            // 3. Snapshot pre-edge values.
-            let signals = ctx.values.clone();
+            // 3. Snapshot pre-edge values into the arena.
+            arena.extend_from_slice(&ctx.values);
 
             // 4. Clock edge: sequential blocks with deferred commits.
             let mut deferred: Vec<Write> = Vec::new();
@@ -108,12 +164,18 @@ impl Simulator {
                 ctx.values[w.target.0 as usize] = w.apply(cur);
             }
 
-            cycles.push(CycleRecord {
-                cycle,
-                signals,
-                execs,
-            });
+            cycle_execs.push(execs);
         }
+        let arena: Arc<[Value]> = arena.into();
+        let cycles = cycle_execs
+            .into_iter()
+            .enumerate()
+            .map(|(i, execs)| CycleRecord {
+                cycle: i as u32,
+                signals: Snapshot::view(arena.clone(), i * nsig, nsig),
+                execs,
+            })
+            .collect();
         Ok(Trace { cycles })
     }
 

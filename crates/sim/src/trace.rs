@@ -35,13 +35,69 @@ impl StmtExec {
     }
 }
 
+/// A per-cycle view of all signal values, backed by a run-wide arena.
+///
+/// The simulator allocates **one** `Arc<[Value]>` per run and hands every
+/// cycle a `(start, len)` window into it, so long testbenches no longer pay
+/// one value-vector allocation per cycle. The type dereferences to
+/// `[Value]`, so existing slice-style access (`signals[i]`, `.iter()`)
+/// keeps working; equality compares the viewed values, not arena identity.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct Snapshot {
+    arena: Arc<[Value]>,
+    start: usize,
+    len: usize,
+}
+
+impl Snapshot {
+    /// A window of `len` values starting at `start` in a shared arena.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the window exceeds the arena.
+    pub fn view(arena: Arc<[Value]>, start: usize, len: usize) -> Self {
+        assert!(start + len <= arena.len(), "snapshot window out of bounds");
+        Snapshot { arena, start, len }
+    }
+
+    /// The viewed values as a slice.
+    pub fn as_slice(&self) -> &[Value] {
+        &self.arena[self.start..self.start + self.len]
+    }
+}
+
+impl std::ops::Deref for Snapshot {
+    type Target = [Value];
+
+    fn deref(&self) -> &[Value] {
+        self.as_slice()
+    }
+}
+
+impl PartialEq for Snapshot {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl From<Vec<Value>> for Snapshot {
+    fn from(values: Vec<Value>) -> Self {
+        let len = values.len();
+        Snapshot {
+            arena: values.into(),
+            start: 0,
+            len,
+        }
+    }
+}
+
 /// Everything observed in one clock cycle.
 #[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct CycleRecord {
     /// Cycle index (0-based).
     pub cycle: u32,
     /// Post-settle value of every signal, indexed by [`SignalId`].
-    pub signals: Vec<Value>,
+    pub signals: Snapshot,
     /// Statement executions this cycle (combinational settle + clock edge).
     pub execs: Vec<StmtExec>,
 }
@@ -135,12 +191,12 @@ mod tests {
             cycles: vec![
                 CycleRecord {
                     cycle: 0,
-                    signals: vec![Value::bit(false)],
+                    signals: vec![Value::bit(false)].into(),
                     execs: vec![exec(0, 0, 1), exec(1, 0, 0)],
                 },
                 CycleRecord {
                     cycle: 1,
-                    signals: vec![Value::bit(true)],
+                    signals: vec![Value::bit(true)].into(),
                     execs: vec![exec(0, 1, 1)],
                 },
             ],
@@ -156,7 +212,7 @@ mod tests {
         let mk = |v: bool| Trace {
             cycles: vec![CycleRecord {
                 cycle: 0,
-                signals: vec![Value::bit(v)],
+                signals: vec![Value::bit(v)].into(),
                 execs: vec![],
             }],
         };

@@ -130,6 +130,15 @@ mod tests {
     }
 
     #[test]
+    fn resize_to_64_keeps_all_bits() {
+        // The 64-bit mask path must not shift by 64 (UB in release, panic in
+        // debug) — a full-width value survives a resize round trip intact.
+        let v = Value::new(u64::MAX, 32);
+        assert_eq!(v.resize(64).bits(), 0xFFFF_FFFF);
+        assert_eq!(Value::new(u64::MAX, 64).resize(64).bits(), u64::MAX);
+    }
+
+    #[test]
     fn truthiness() {
         assert!(Value::new(2, 4).is_truthy());
         assert!(!Value::zero(4).is_truthy());

@@ -77,7 +77,7 @@ proptest! {
         let stmt_ids: std::collections::BTreeSet<_> =
             design.module.assignments().iter().map(|a| a.id).collect();
         for cyc in &trace.cycles {
-            for (sig, value) in sim.netlist().signals().iter().zip(&cyc.signals) {
+            for (sig, value) in sim.netlist().signals().iter().zip(cyc.signals.iter()) {
                 prop_assert_eq!(value.width(), sig.width);
                 prop_assert_eq!(value.bits() & !Value::mask(sig.width), 0);
             }
