@@ -18,7 +18,14 @@
 //! Run with: `cargo run --release -p veribug-bench --bin bench_pipeline`
 //!
 //! `--smoke` shrinks the workload for CI and exits non-zero when any stage's
-//! result differs across thread counts (without rewriting the JSON).
+//! result differs across thread counts (without rewriting the JSON), or when
+//! the measured observability overhead exceeds 5%.
+//!
+//! The runner also times the simulation workload with metrics collection
+//! enabled vs disabled and records the relative overhead as `obs_overhead`
+//! in the JSON — the number backing the "<5% overhead" claim in DESIGN.md.
+//! Pass `--obs trace.json` / `--quiet` like any other VeriBug binary to
+//! profile the benchmark run itself.
 
 use std::fmt::Write as _;
 use std::time::Instant;
@@ -50,6 +57,7 @@ fn run_stage<R, K: PartialEq>(
 ) -> StageResult {
     let mut secs = Vec::with_capacity(THREADS.len());
     let mut prints: Vec<K> = Vec::with_capacity(THREADS.len());
+    let _span = obs::span_dyn(|| format!("bench.{name}"));
     for &threads in &THREADS {
         par::with_threads(threads, || {
             let mut best = f64::INFINITY;
@@ -65,7 +73,7 @@ fn run_stage<R, K: PartialEq>(
         });
     }
     let deterministic = prints.iter().all(|p| *p == prints[0]);
-    eprintln!(
+    obs::progress!(
         "{name:<14} {} deterministic={deterministic}",
         THREADS
             .iter()
@@ -98,6 +106,63 @@ struct EngineCompare {
     compiled_s: f64,
     interpreted_s: f64,
     traces_identical: bool,
+}
+
+/// Relative cost of leaving metrics collection enabled on the simulation
+/// workload (the instrumentation-densest path: per-cycle dirty-set, cache,
+/// and bytecode counters).
+struct ObsOverhead {
+    baseline_s: f64,
+    enabled_s: f64,
+    /// `(enabled - baseline) / baseline`, clamped at 0 (noise can make the
+    /// enabled run the faster one).
+    overhead_frac: f64,
+}
+
+/// Times the same single-threaded simulation workload with collection off
+/// and on, fastest of `reps` each. The workload is deterministic, so
+/// min-of-reps makes scheduling noise one-sided.
+fn measure_obs_overhead(
+    modules: &[Module],
+    cycles: usize,
+    runs: usize,
+    reps: usize,
+) -> ObsOverhead {
+    let was_enabled = obs::enabled();
+    let workload = || {
+        for module in modules {
+            let mut s = Simulator::new(module).expect("elaborates");
+            let stimuli = TestbenchGen::new(0x0B5E)
+                .with_hold_probability(0.8)
+                .generate_many(s.netlist(), cycles, runs);
+            for stim in &stimuli {
+                std::hint::black_box(s.run(stim).expect("simulates"));
+            }
+        }
+    };
+    let time = |on: bool| -> f64 {
+        obs::set_enabled(on);
+        let mut best = f64::INFINITY;
+        for _ in 0..reps {
+            let start = Instant::now();
+            workload();
+            best = best.min(start.elapsed().as_secs_f64());
+        }
+        best
+    };
+    let baseline_s = time(false);
+    let enabled_s = time(true);
+    obs::set_enabled(was_enabled);
+    let overhead_frac = ((enabled_s - baseline_s) / baseline_s.max(1e-12)).max(0.0);
+    obs::progress!(
+        "obs_overhead   off={baseline_s:.3}s on={enabled_s:.3}s overhead={:.2}%",
+        overhead_frac * 100.0
+    );
+    ObsOverhead {
+        baseline_s,
+        enabled_s,
+        overhead_frac,
+    }
 }
 
 fn compare_engines(cycles: usize, runs: usize, reps: usize) -> EngineCompare {
@@ -136,7 +201,7 @@ fn compare_engines(cycles: usize, runs: usize, reps: usize) -> EngineCompare {
     let (compiled_s, compiled_traces) = time(false);
     let (interpreted_s, interpreted_traces) = time(true);
     let traces_identical = compiled_traces == interpreted_traces;
-    eprintln!(
+    obs::progress!(
         "engine         compiled={compiled_s:.3}s interpreted={interpreted_s:.3}s \
          speedup={:.2}x identical={traces_identical}",
         interpreted_s / compiled_s.max(1e-12)
@@ -149,6 +214,7 @@ fn compare_engines(cycles: usize, runs: usize, reps: usize) -> EngineCompare {
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
+    veribug_bench::init_obs();
     let args: Vec<String> = std::env::args().collect();
     let smoke = args.iter().any(|a| a == "--smoke");
     let reps: usize = args
@@ -251,10 +317,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let engine = par::with_threads(1, || compare_engines(16, if smoke { 8 } else { 40 }, reps));
 
-    let json = render_json(host_cores, reps, &stages, &engine);
+    // The overhead measurement needs enough work per rep to dwarf timer and
+    // scheduling noise, so it keeps a fixed per-module workload and extra
+    // reps even in smoke mode.
+    let overhead = par::with_threads(1, || {
+        measure_obs_overhead(&sim_modules, 32, 32, reps.max(5))
+    });
+
+    let json = render_json(host_cores, reps, &stages, &engine, &overhead);
     std::fs::write("BENCH_pipeline.json", &json)?;
     println!("{json}");
-    eprintln!("wrote BENCH_pipeline.json");
+    obs::progress!("wrote BENCH_pipeline.json");
 
     if smoke {
         let bad: Vec<&str> = stages
@@ -269,8 +342,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             );
             std::process::exit(1);
         }
-        eprintln!("smoke OK: all stages deterministic across thread counts");
+        if overhead.overhead_frac > 0.05 {
+            eprintln!(
+                "smoke FAILED: observability overhead {:.2}% exceeds the 5% budget",
+                overhead.overhead_frac * 100.0
+            );
+            std::process::exit(1);
+        }
+        obs::progress!(
+            "smoke OK: all stages deterministic across thread counts, obs overhead {:.2}%",
+            overhead.overhead_frac * 100.0
+        );
     }
+    obs::report();
     Ok(())
 }
 
@@ -281,6 +365,7 @@ fn render_json(
     reps: usize,
     stages: &[StageResult],
     engine: &EngineCompare,
+    overhead: &ObsOverhead,
 ) -> String {
     let mut out = String::new();
     out.push_str("{\n");
@@ -335,6 +420,18 @@ fn render_json(
         engine.interpreted_s / engine.compiled_s.max(1e-12)
     );
     let _ = writeln!(out, "    \"traces_identical\": {}", engine.traces_identical);
+    out.push_str("  },\n");
+    out.push_str("  \"obs_overhead\": {\n");
+    out.push_str(
+        "    \"workload\": \"simulation sweep (the instrumentation-densest stage), 1 thread\",\n",
+    );
+    let _ = writeln!(out, "    \"baseline_s\": {:.6},", overhead.baseline_s);
+    let _ = writeln!(out, "    \"enabled_s\": {:.6},", overhead.enabled_s);
+    let _ = writeln!(
+        out,
+        "    \"overhead_pct\": {:.3}",
+        overhead.overhead_frac * 100.0
+    );
     out.push_str("  },\n");
     out.push_str(
         "  \"note\": \"speedup_vs_serial is measured on this host; with host_cores = 1 \

@@ -15,10 +15,11 @@ use veribug::{Explainer, DEFAULT_THRESHOLD};
 use veribug_bench::{train_model, ExperimentScale};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
+    veribug_bench::init_obs();
     let scale = ExperimentScale::from_args();
     let ansi = std::env::args().any(|a| a == "--ansi");
 
-    eprintln!("training the VeriBug model...");
+    obs::progress!("training the VeriBug model...");
     let (model, _, _) = train_model(&scale, 0.10, 1234)?;
 
     println!("FIGURE 4: VeriBug qualitative results on realistic designs.");
@@ -65,5 +66,6 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             );
         }
     }
+    obs::report();
     Ok(())
 }

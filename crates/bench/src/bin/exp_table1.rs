@@ -8,6 +8,7 @@
 use cdfg::{dependencies_of, Slice, Vdg};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
+    veribug_bench::init_obs();
     println!("TABLE I: Details of modules in our localization test set.");
     println!(
         "{:<17} {:>9} {:>11}  {:<34} Targets (|Dep_t| / slice stmts)",
@@ -42,5 +43,6 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
          substitution #3); interface signals, targets, and control/data-flow\n\
          structure match the originals."
     );
+    obs::report();
     Ok(())
 }

@@ -17,6 +17,7 @@ use veribug_bench::{corpora, train_model, ExperimentScale};
 const ALPHAS: [f32; 6] = [0.01, 0.05, 0.10, 0.15, 0.20, 0.25];
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
+    veribug_bench::init_obs();
     let scale = ExperimentScale::from_args();
     let ablate_eps = std::env::args().any(|a| a == "--ablate-eps");
     let ablate_ctx = std::env::args().any(|a| a == "--ctx-agg");
@@ -50,6 +51,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("{}", "-".repeat(68));
     let mut best = (0.0f32, 0.0f32);
     for alpha in ALPHAS {
+        obs::progress!("training predictor at alpha {alpha}...");
         let (model, _train, holdout) = train_model(&scale, alpha, 1234)?;
         let m = train::evaluate(&model, &holdout);
         let mb = train::evaluate(&model, &paper_holdout);
@@ -201,5 +203,6 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             );
         }
     }
+    obs::report();
     Ok(())
 }

@@ -115,6 +115,7 @@ struct RowResult {
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
+    veribug_bench::init_obs();
     let scale = ExperimentScale::from_args();
     let sweep = std::env::args().any(|a| a == "--threshold-sweep");
     let detail = std::env::args().any(|a| a == "--detail");
@@ -138,7 +139,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .and_then(|s| s.parse().ok())
         .unwrap_or(DEFAULT_FAILURE_WINDOW);
 
-    eprintln!("training the VeriBug model on RVDG synthetic designs...");
+    obs::progress!("training the VeriBug model on RVDG synthetic designs...");
     let alpha: f32 = std::env::args()
         .position(|a| a == "--alpha")
         .and_then(|i| std::env::args().nth(i + 1))
@@ -146,7 +147,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .unwrap_or(0.10);
     let (model, _train, holdout) = train_model(&scale, alpha, 1234)?;
     let quality = veribug::train::evaluate(&model, &holdout);
-    eprintln!(
+    obs::progress!(
         "predictor holdout accuracy: {:.1}% (n={})",
         quality.accuracy * 100.0,
         quality.count
@@ -157,7 +158,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for (ri, row) in ROWS.iter().enumerate() {
         let design = designs::by_name(row.design).expect("known design");
         let golden = design.module()?;
-        eprintln!("campaign: {} / {} ...", row.design, row.target);
+        obs::progress!("campaign: {} / {} ...", row.design, row.target);
         let mutants = Campaign::new(0xDA7E_2024 + ri as u64)
             .with_runs_per_mutant(runs_override.unwrap_or(scale.runs_per_mutant))
             .with_cycles(cyc)
@@ -210,7 +211,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                     .assignment(m.site.stmt)
                     .map(|a| a.rhs.referenced_signals().len())
                     .unwrap_or(0);
-                eprintln!(
+                obs::progress!(
                     "  DETAIL [{}] bug@{} ops={} inF={} inC={} sus={:?} rank={:?}/{} top1={:?} top1sus={:?}",
                     m.site.kind,
                     m.site.stmt,
@@ -315,6 +316,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             );
         }
     }
+    obs::report();
     Ok(())
 }
 

@@ -129,6 +129,23 @@ pub fn train_model(
     Ok((model, train_set, holdout_set))
 }
 
+/// Initializes observability from the uniform CLI surface every experiment
+/// binary shares: `--obs <path>` (or the `VERIBUG_OBS` environment
+/// variable) enables collection, `--quiet` suppresses progress lines.
+///
+/// Call once at the top of `main` and pair with [`obs::report`] before
+/// exit — same convention as the `veribug` CLI.
+pub fn init_obs() {
+    let args: Vec<String> = std::env::args().collect();
+    let path = args
+        .iter()
+        .position(|a| a == "--obs")
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str);
+    obs::init(path);
+    obs::set_quiet(args.iter().any(|a| a == "--quiet"));
+}
+
 /// Formats a ratio as `"x/y (p%)"`.
 pub fn ratio(localized: usize, observable: usize) -> String {
     if observable == 0 {

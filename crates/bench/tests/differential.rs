@@ -5,6 +5,8 @@
 
 use rvdg::{Generator, RvdgConfig};
 use sim::{EngineKind, Simulator, TestbenchGen, Trace};
+use veribug::model::{ModelConfig, VeriBugModel};
+use veribug::train::{self, Dataset, TrainConfig};
 use verilog::Module;
 
 /// Cycles per stimulus; long enough to exercise resets, wrap-around and
@@ -101,6 +103,73 @@ fn rvdg_wide_corpus_is_bit_identical() {
         assert_identical(
             &format!("rvdg-wide seed {}", d.seed),
             &run_both(&d.module, d.seed ^ 0xA5A5, true),
+        );
+    }
+}
+
+/// One end-to-end pass over `corpus`: simulate every design (the returned
+/// [`Trace`]s carry both signal snapshots and `StmtExec` records), build the
+/// training dataset, and train a model for two epochs. The fingerprint is
+/// everything downstream code consumes — traces plus bit-level epoch losses.
+fn pipeline_fingerprint(corpus: &[Module]) -> (Vec<Trace>, Vec<u32>) {
+    let traces: Vec<Trace> = par::par_map(corpus, |m| {
+        let mut s = Simulator::new(m).expect("elaborates");
+        let stimuli = TestbenchGen::new(0xAB5)
+            .with_hold_probability(0.8)
+            .generate_many(s.netlist(), 24, 2);
+        stimuli
+            .iter()
+            .map(|st| s.run(st).expect("simulates"))
+            .collect::<Vec<_>>()
+    })
+    .into_iter()
+    .flatten()
+    .collect();
+    let dataset = Dataset::from_designs(corpus, 7, 24, 2).expect("builds");
+    let mut model = VeriBugModel::new(ModelConfig::default());
+    let report = train::train(
+        &mut model,
+        &dataset,
+        &TrainConfig {
+            epochs: 2,
+            ..TrainConfig::default()
+        },
+    )
+    .expect("trains");
+    let losses = report.epoch_losses.iter().map(|l| l.to_bits()).collect();
+    (traces, losses)
+}
+
+/// Enabling metrics/span collection must never perturb pipeline results:
+/// the obs layer is observation-only (per-thread shards merged by
+/// commutative addition, spans off the hot path). Compares traces, exec
+/// records, and training losses bit-for-bit between an obs-off and an
+/// obs-on run at 1/2/8 threads.
+#[test]
+fn obs_collection_never_perturbs_results() {
+    let corpus: Vec<Module> = Generator::new(RvdgConfig::default(), 0x0B5_D1FF)
+        .generate_corpus(6)
+        .expect("rvdg corpus generates")
+        .into_iter()
+        .map(|d| d.module)
+        .collect();
+    for threads in [1usize, 2, 8] {
+        let (off, on) = par::with_threads(threads, || {
+            let was_enabled = obs::enabled();
+            obs::set_enabled(false);
+            let off = pipeline_fingerprint(&corpus);
+            obs::set_enabled(true);
+            let on = pipeline_fingerprint(&corpus);
+            obs::set_enabled(was_enabled);
+            (off, on)
+        });
+        assert_eq!(
+            off.0, on.0,
+            "traces/exec records perturbed by obs collection at {threads} threads"
+        );
+        assert_eq!(
+            off.1, on.1,
+            "training losses perturbed by obs collection at {threads} threads"
         );
     }
 }

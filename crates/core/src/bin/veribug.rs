@@ -9,6 +9,10 @@
 //! veribug analyze  --design f.v --target T
 //! veribug vcd      --design f.v [--cycles N] [--seed S] --out trace.vcd
 //! ```
+//!
+//! Every subcommand also accepts `--obs <path>` (or the `VERIBUG_OBS`
+//! environment variable) to write a Chrome trace / JSON-lines profile of the
+//! run, and `--quiet` to suppress progress lines (see `veribug-obs`).
 
 use std::collections::HashMap;
 use std::process::ExitCode;
@@ -30,6 +34,8 @@ fn main() -> ExitCode {
         return ExitCode::FAILURE;
     };
     let opts = parse_opts(&args[1..]);
+    obs::init(opts.get("obs").map(String::as_str));
+    obs::set_quiet(opts.contains_key("quiet"));
     let result = match command.as_str() {
         "train" => cmd_train(&opts),
         "localize" => cmd_localize(&opts),
@@ -42,6 +48,7 @@ fn main() -> ExitCode {
         }
         other => Err(format!("unknown command `{other}`\n{USAGE}").into()),
     };
+    obs::report();
     match result {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
@@ -61,7 +68,11 @@ USAGE:
   veribug inject   --design g.v --target T [--negation N] [--operation N]
                    [--misuse N] [--seed S] [--out-dir DIR]
   veribug analyze  --design f.v --target T
-  veribug vcd      --design f.v [--cycles N] [--seed S] --out trace.vcd";
+  veribug vcd      --design f.v [--cycles N] [--seed S] --out trace.vcd
+
+Every subcommand also accepts:
+  --obs PATH   write a Chrome trace (or .jsonl event log) of the run
+  --quiet      suppress progress lines on stderr";
 
 type CmdResult = Result<(), Box<dyn std::error::Error>>;
 
@@ -125,14 +136,20 @@ fn cmd_train(opts: &HashMap<String, String>) -> CmdResult {
     let epochs: usize = numeric(opts, "epochs", 80)?;
     let seed: u64 = numeric(opts, "seed", 1234)?;
 
-    eprintln!("generating {designs} RVDG designs (seed {seed})...");
-    let corpus: Vec<_> = Generator::new(RvdgConfig::default(), seed)
-        .generate_corpus(designs)?
-        .into_iter()
-        .map(|d| d.module)
-        .collect();
-    let dataset = Dataset::from_designs(&corpus, seed ^ 1, 64, 3)?;
-    eprintln!("dataset: {} unique statement executions", dataset.len());
+    obs::progress!("generating {designs} RVDG designs (seed {seed})...");
+    let corpus: Vec<_> = {
+        let _span = obs::span("generate");
+        Generator::new(RvdgConfig::default(), seed)
+            .generate_corpus(designs)?
+            .into_iter()
+            .map(|d| d.module)
+            .collect()
+    };
+    let dataset = {
+        let _span = obs::span("simulate");
+        Dataset::from_designs(&corpus, seed ^ 1, 64, 3)?
+    };
+    obs::progress!("dataset: {} unique statement executions", dataset.len());
     let mut model = VeriBugModel::new(ModelConfig::default());
     let report = train::train(
         &mut model,
@@ -142,19 +159,24 @@ fn cmd_train(opts: &HashMap<String, String>) -> CmdResult {
             ..TrainConfig::default()
         },
     )?;
-    eprintln!(
+    obs::progress!(
         "trained {epochs} epochs; loss {:.4} -> {:.4}",
         report.epoch_losses.first().unwrap_or(&0.0),
         report.epoch_losses.last().unwrap_or(&0.0)
     );
     persist::save(&model, out)?;
-    eprintln!("model written to {out}");
+    obs::progress!("model written to {out}");
     Ok(())
 }
 
 fn cmd_localize(opts: &HashMap<String, String>) -> CmdResult {
-    let golden = load_module(required(opts, "golden")?)?;
-    let buggy = load_module(required(opts, "buggy")?)?;
+    let (golden, buggy) = {
+        let _span = obs::span("parse");
+        (
+            load_module(required(opts, "golden")?)?,
+            load_module(required(opts, "buggy")?)?,
+        )
+    };
     let target = required(opts, "target")?;
     let model = persist::load(required(opts, "model")?)?;
     let runs: usize = numeric(opts, "runs", 160)?;
@@ -162,7 +184,10 @@ fn cmd_localize(opts: &HashMap<String, String>) -> CmdResult {
     let threshold: f32 = numeric(opts, "threshold", DEFAULT_THRESHOLD)?;
     let ansi = opts.contains_key("ansi");
 
-    let mut golden_sim = Simulator::new(&golden)?;
+    let mut golden_sim = {
+        let _span = obs::span("elaborate");
+        Simulator::new(&golden)?
+    };
     let target_id = golden_sim
         .netlist()
         .signal_id(target)
@@ -172,13 +197,19 @@ fn cmd_localize(opts: &HashMap<String, String>) -> CmdResult {
         .generate_many(golden_sim.netlist(), cycles, runs);
     // Reuse the simulator already built for stimulus generation instead of
     // elaborating the golden design a second time inside cosimulation.
-    let golden_runs = golden_traces(&mut golden_sim, &stimuli)?;
-    let labelled = cosimulate_against(&golden_runs, target_id, &buggy, &stimuli)?;
+    let golden_runs = {
+        let _span = obs::span("simulate");
+        golden_traces(&mut golden_sim, &stimuli)?
+    };
+    let labelled = {
+        let _span = obs::span("campaign");
+        cosimulate_against(&golden_runs, target_id, &buggy, &stimuli)?
+    };
     let failing = labelled
         .iter()
         .filter(|r| r.label == TraceLabel::Failing)
         .count();
-    eprintln!(
+    obs::progress!(
         "{failing}/{} runs expose a failure at {target}",
         labelled.len()
     );
@@ -198,6 +229,7 @@ fn cmd_localize(opts: &HashMap<String, String>) -> CmdResult {
             },
         })
         .collect();
+    let _explain_span = obs::span("explain");
     let mut explainer = Explainer::new(&model, &buggy, target);
     let heatmap = grouped_heatmap(
         &mut explainer,

@@ -233,11 +233,28 @@ impl<'m> Explainer<'m> {
                     let Some(values) = operand_values(f, exec) else {
                         continue;
                     };
-                    let weights = self
-                        .cache
-                        .entry((exec.stmt, values.clone()))
-                        .or_insert_with(|| self.model.predict(f, &values).1)
-                        .clone();
+                    static CACHE_HITS: obs::LazyCounter =
+                        obs::LazyCounter::new("explain.attention_cache_hits");
+                    static CACHE_MISSES: obs::LazyCounter =
+                        obs::LazyCounter::new("explain.attention_cache_misses");
+                    /// Shannon entropy (nats) of each freshly computed
+                    /// attention distribution.
+                    static ENTROPY: obs::LazyHistogram =
+                        obs::LazyHistogram::new_micros("explain.attention_entropy");
+                    let weights = match self.cache.entry((exec.stmt, values.clone())) {
+                        std::collections::hash_map::Entry::Occupied(e) => {
+                            CACHE_HITS.incr();
+                            e.get().clone()
+                        }
+                        std::collections::hash_map::Entry::Vacant(e) => {
+                            CACHE_MISSES.incr();
+                            let weights = self.model.predict(f, &values).1;
+                            if obs::enabled() {
+                                ENTROPY.record_f64(attention_entropy(&weights));
+                            }
+                            e.insert(weights).clone()
+                        }
+                    };
                     let slot = acc.entry(exec.stmt).or_insert_with(|| Acc {
                         operands: f.operands.iter().map(|o| o.name.clone()).collect(),
                         sums: vec![0.0; weights.len()],
@@ -429,6 +446,24 @@ pub fn suspiciousness(f_weights: &[f32], c_weights: &[f32]) -> f32 {
         l1 += (a - b).abs();
     }
     l1 / 2.0
+}
+
+/// Shannon entropy (nats) of an attention distribution. The weights are
+/// renormalized first so numerically drifted vectors still yield a proper
+/// distribution; zero weights contribute nothing.
+fn attention_entropy(weights: &[f32]) -> f64 {
+    let total: f64 = weights.iter().map(|&w| f64::from(w.max(0.0))).sum();
+    if total <= 0.0 {
+        return 0.0;
+    }
+    let mut h = 0.0f64;
+    for &w in weights {
+        let p = f64::from(w.max(0.0)) / total;
+        if p > 0.0 {
+            h -= p * p.ln();
+        }
+    }
+    h
 }
 
 #[cfg(test)]

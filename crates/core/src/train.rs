@@ -56,6 +56,7 @@ impl Dataset {
         cycles: usize,
         runs_per_design: usize,
     ) -> Result<Self, VeriBugError> {
+        let _span = obs::span("train.dataset");
         let harvests = par::par_run(modules.len(), |di| {
             harvest_design(&modules[di], seed, di, cycles, runs_per_design)
         });
@@ -256,12 +257,16 @@ pub fn train(
     dataset: &Dataset,
     cfg: &TrainConfig,
 ) -> Result<TrainReport, VeriBugError> {
+    let _span = obs::span("train");
+    static SAMPLES: obs::LazyGauge = obs::LazyGauge::new("train.samples");
+    SAMPLES.set(dataset.len() as f64);
     let (w0, w1) = dataset.class_weights()?;
     let mut adam = neuro::Adam::new(cfg.learning_rate).with_weight_decay(cfg.weight_decay);
     let mut rng = StdRng::seed_from_u64(cfg.seed);
     let mut order: Vec<usize> = (0..dataset.len()).collect();
     let mut epoch_losses = Vec::with_capacity(cfg.epochs);
     for _ in 0..cfg.epochs {
+        let _epoch_span = obs::span("train.epoch");
         for i in (1..order.len()).rev() {
             let j = rng.random_range(0..=i);
             order.swap(i, j);
@@ -273,7 +278,13 @@ pub fn train(
             total += loss;
             batches += 1;
         }
-        epoch_losses.push(total / batches.max(1) as f32);
+        let epoch_loss = total / batches.max(1) as f32;
+        obs::instant("train.epoch_loss", f64::from(epoch_loss));
+        epoch_losses.push(epoch_loss);
+    }
+    static FINAL_LOSS: obs::LazyGauge = obs::LazyGauge::new("train.final_loss");
+    if let Some(&last) = epoch_losses.last() {
+        FINAL_LOSS.set(f64::from(last));
     }
     Ok(TrainReport {
         epoch_losses,
@@ -346,8 +357,24 @@ fn train_batch(
         loss_value += shard_loss;
         total.merge(grads);
     }
+    // Observation only — reads the merged buffer, never changes the update.
+    static GRAD_NORM: obs::LazyHistogram = obs::LazyHistogram::new_micros("train.grad_norm");
+    static ADAM_US: obs::LazyHistogram = obs::LazyHistogram::new("train.adam_step_us");
+    if obs::enabled() {
+        let mut sq = 0.0f64;
+        for id in model.params().ids() {
+            for &g in total.grad(id).data() {
+                sq += f64::from(g) * f64::from(g);
+            }
+        }
+        GRAD_NORM.record_f64(sq.sqrt());
+    }
     total.apply_to(model.params_mut());
+    let step_start = obs::enabled().then(std::time::Instant::now);
     adam.step(model.params_mut(), 1.0);
+    if let Some(t0) = step_start {
+        ADAM_US.record(u64::try_from(t0.elapsed().as_micros()).unwrap_or(u64::MAX));
+    }
     loss_value
 }
 

@@ -131,6 +131,21 @@ impl Campaign {
         /// count influence which sites get considered.
         const WAVE: usize = 8;
 
+        /// Candidate mutation sites considered (after slice restriction).
+        static SITES: obs::LazyCounter = obs::LazyCounter::new("campaign.sites_enumerated");
+        /// Mutants accepted into the output (within budget, deduplicated).
+        static PRODUCED: obs::LazyCounter = obs::LazyCounter::new("campaign.mutants_produced");
+        /// Accepted mutants whose bug symptomatized at the target.
+        static OBSERVABLE: obs::LazyCounter = obs::LazyCounter::new("campaign.mutants_observable");
+        /// Candidates rejected as source-level duplicates.
+        static DUPLICATES: obs::LazyCounter = obs::LazyCounter::new("campaign.duplicates");
+        /// Candidates that failed to elaborate/simulate or were no-ops.
+        static SKIPPED: obs::LazyCounter = obs::LazyCounter::new("campaign.skipped");
+        /// First cycle at which a failing co-simulation run diverged.
+        static DIVERGENCE: obs::LazyHistogram =
+            obs::LazyHistogram::new("campaign.divergence_cycle");
+
+        let _span = obs::span("campaign");
         let mut rng = StdRng::seed_from_u64(self.seed);
         let restrict: Option<BTreeSet<_>> = if self.restrict_to_slice {
             Some(Slice::of_target(golden, target).stmts)
@@ -138,6 +153,7 @@ impl Campaign {
             None
         };
         let all_sites = enumerate_sites(golden, restrict.as_ref());
+        SITES.add(all_sites.len() as u64);
         let mut golden_sim = Simulator::new(golden)?;
         let target_id =
             golden_sim
@@ -152,7 +168,10 @@ impl Campaign {
         // The golden design is simulated exactly once per stimulus; every
         // candidate mutant in every wave compares against these shared
         // traces instead of re-running the golden design.
-        let golden_runs = golden_traces(&mut golden_sim, &stimuli)?;
+        let golden_runs = {
+            let _g = obs::span("campaign.golden");
+            golden_traces(&mut golden_sim, &stimuli)?
+        };
         let golden_source = verilog::print_module(golden);
 
         let mut out = Vec::new();
@@ -168,6 +187,7 @@ impl Campaign {
                     break;
                 }
                 // Parallel part: everything that depends only on the site.
+                let _wave_span = obs::span("campaign.wave");
                 let candidates = par::par_map(wave, |site| {
                     let module = apply(golden, site)?;
                     let source = verilog::print_module(&module);
@@ -187,10 +207,23 @@ impl Campaign {
                         break;
                     }
                     let Some((module, source, runs, observable)) = cand else {
+                        SKIPPED.incr();
                         continue;
                     };
                     if !seen_sources.insert(source.clone()) {
+                        DUPLICATES.incr();
                         continue; // duplicate mutant
+                    }
+                    PRODUCED.incr();
+                    if observable {
+                        OBSERVABLE.incr();
+                        if obs::enabled() {
+                            for run in runs.iter().filter(|r| r.label == sim::TraceLabel::Failing) {
+                                if let Some(&first) = run.failure_cycles().first() {
+                                    DIVERGENCE.record(u64::from(first));
+                                }
+                            }
+                        }
                     }
                     out.push(Mutant {
                         module,

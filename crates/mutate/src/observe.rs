@@ -70,6 +70,7 @@ pub fn cosimulate_against(
         stimuli.len(),
         "one golden trace per stimulus required"
     );
+    let _span = obs::span("campaign.cosim");
     let mut mutant_sim = Simulator::new(mutant)?;
     let mut out = Vec::with_capacity(stimuli.len());
     for (stim, gt) in stimuli.iter().zip(golden) {

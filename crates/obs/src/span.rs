@@ -1,0 +1,134 @@
+//! Hierarchical spans with RAII guards and thread-local span stacks.
+
+use std::borrow::Cow;
+
+use crate::state::{self, Name, TLS};
+
+/// An open span; records itself (name, thread, start, duration, parent)
+/// when dropped. Hold it in a `let _guard = ...` binding for the extent of
+/// the stage being measured.
+#[must_use = "a span measures the scope of its guard; bind it with `let`"]
+#[derive(Debug)]
+pub struct SpanGuard {
+    inner: Option<OpenSpan>,
+}
+
+#[derive(Debug)]
+struct OpenSpan {
+    name: Name,
+    id: u64,
+    parent: u64,
+    start_us: u64,
+}
+
+/// Opens a span named by a static string. Returns an inert guard while
+/// collection is disabled (one atomic load).
+#[inline]
+pub fn span(name: &'static str) -> SpanGuard {
+    if !crate::enabled() {
+        return SpanGuard { inner: None };
+    }
+    open(Cow::Borrowed(name))
+}
+
+/// Opens a span with a formatted name (e.g. `campaign.wave` per design).
+/// Prefer [`span`] where the name is static; this allocates only when
+/// collection is enabled.
+#[inline]
+pub fn span_dyn(name: impl FnOnce() -> String) -> SpanGuard {
+    if !crate::enabled() {
+        return SpanGuard { inner: None };
+    }
+    open(Cow::Owned(name()))
+}
+
+fn open(name: Name) -> SpanGuard {
+    let id = state::next_span_id();
+    let start_us = state::now_us();
+    let parent = TLS.with(|t| {
+        let mut t = t.borrow_mut();
+        let parent = t.stack.last().copied().unwrap_or(0);
+        t.stack.push(id);
+        parent
+    });
+    SpanGuard {
+        inner: Some(OpenSpan {
+            name,
+            id,
+            parent,
+            start_us,
+        }),
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let Some(open) = self.inner.take() else {
+            return;
+        };
+        let end_us = state::now_us();
+        TLS.with(|t| {
+            let mut t = t.borrow_mut();
+            // Pop up to and including our id; tolerates guards dropped out
+            // of order (e.g. moved out of their creation scope).
+            while let Some(top) = t.stack.pop() {
+                if top == open.id {
+                    break;
+                }
+            }
+        });
+        state::record_span(
+            open.name,
+            open.id,
+            open.parent,
+            open.start_us,
+            end_us.saturating_sub(open.start_us),
+        );
+    }
+}
+
+/// The calling thread's current span id, for propagation into worker
+/// threads. Cheap to capture and `Send`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SpanContext {
+    parent: u64,
+}
+
+/// Captures the current span as a context that can be handed to another
+/// thread. Returns the root context while collection is disabled.
+pub fn current_context() -> SpanContext {
+    if !crate::enabled() {
+        return SpanContext::default();
+    }
+    SpanContext {
+        parent: TLS.with(|t| t.borrow().stack.last().copied().unwrap_or(0)),
+    }
+}
+
+/// Runs `f` with `ctx` installed as the thread's base span parent, so spans
+/// and events recorded inside nest under the capturing thread's span.
+/// Used by `veribug-par` to keep fan-out work attached to the campaign /
+/// training span that spawned it.
+pub fn with_context<R>(ctx: SpanContext, f: impl FnOnce() -> R) -> R {
+    if ctx.parent == 0 {
+        return f();
+    }
+    TLS.with(|t| t.borrow_mut().stack.push(ctx.parent));
+    // Restore on unwind as well, so a panicking task cannot corrupt the
+    // thread's stack for subsequent reuse.
+    struct PopOnDrop(u64);
+    impl Drop for PopOnDrop {
+        fn drop(&mut self) {
+            TLS.with(|t| {
+                let mut t = t.borrow_mut();
+                while let Some(top) = t.stack.pop() {
+                    if top == self.0 {
+                        break;
+                    }
+                }
+            });
+        }
+    }
+    let _guard = PopOnDrop(ctx.parent);
+    f()
+}

@@ -1,0 +1,368 @@
+//! Process-global and per-thread collection state.
+//!
+//! Every recording call lands in a thread-local [`ThreadBuf`]; the buffer
+//! flushes into the process-global sinks when its thread exits (TLS drop)
+//! or when [`snapshot`] runs on that thread. Counter and histogram shards
+//! merge by integer addition — commutative and associative — so merged
+//! totals never depend on thread scheduling or worker count.
+
+use std::borrow::Cow;
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::time::Instant;
+
+use crate::metrics::{registry_kinds, HistData, HistSummary, MetricKind};
+
+/// A span or event name: almost always a `&'static str`, occasionally
+/// formatted (e.g. per-design spans).
+pub(crate) type Name = Cow<'static, str>;
+
+/// Soft cap on retained events; beyond it new events are counted but
+/// dropped, so a runaway instrumentation loop cannot exhaust memory.
+const MAX_EVENTS: usize = 1 << 20;
+
+/// One recorded event.
+#[derive(Debug, Clone)]
+pub enum Event {
+    /// A completed span.
+    Span {
+        /// Span name.
+        name: Name,
+        /// Stable small thread id (0 = first thread seen).
+        tid: u64,
+        /// Unique span id.
+        id: u64,
+        /// Parent span id (0 = root).
+        parent: u64,
+        /// Start, microseconds since process epoch.
+        ts_us: u64,
+        /// Duration in microseconds.
+        dur_us: u64,
+    },
+    /// A point-in-time measurement or progress message.
+    Instant {
+        /// Event name.
+        name: Name,
+        /// Stable small thread id.
+        tid: u64,
+        /// Enclosing span id (0 = root).
+        parent: u64,
+        /// Timestamp, microseconds since process epoch.
+        ts_us: u64,
+        /// Numeric payload, when the event carries one.
+        value: Option<f64>,
+        /// Text payload (progress lines).
+        msg: Option<String>,
+    },
+}
+
+impl Event {
+    /// The event's name.
+    pub fn name(&self) -> &str {
+        match self {
+            Event::Span { name, .. } | Event::Instant { name, .. } => name,
+        }
+    }
+
+    /// The span id (0 for instants).
+    pub fn id(&self) -> u64 {
+        match self {
+            Event::Span { id, .. } => *id,
+            Event::Instant { .. } => 0,
+        }
+    }
+
+    /// The parent span id (0 = root).
+    pub fn parent(&self) -> u64 {
+        match self {
+            Event::Span { parent, .. } | Event::Instant { parent, .. } => *parent,
+        }
+    }
+
+    /// Start timestamp in microseconds since the process epoch.
+    pub fn ts_us(&self) -> u64 {
+        match self {
+            Event::Span { ts_us, .. } | Event::Instant { ts_us, .. } => *ts_us,
+        }
+    }
+}
+
+/// Everything collected so far, merged across threads. Produced by
+/// [`crate::snapshot`]; consumed by the [`crate::export`] functions.
+#[derive(Debug, Clone, Default)]
+pub struct Report {
+    /// All events, ordered by start time.
+    pub events: Vec<Event>,
+    /// Counter totals by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Gauge values by name.
+    pub gauges: BTreeMap<String, f64>,
+    /// Histogram summaries by name.
+    pub histograms: BTreeMap<String, HistSummary>,
+    /// Events discarded past the retention cap.
+    pub dropped_events: u64,
+}
+
+impl Report {
+    /// Looks up a counter total.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters.get(name).copied()
+    }
+
+    /// Looks up a gauge value.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges.get(name).copied()
+    }
+
+    /// Looks up a histogram summary.
+    pub fn histogram(&self, name: &str) -> Option<&HistSummary> {
+        self.histograms.get(name)
+    }
+
+    /// Names of all recorded spans, deduplicated.
+    pub fn span_names(&self) -> Vec<&str> {
+        let mut names: Vec<&str> = self
+            .events
+            .iter()
+            .filter(|e| matches!(e, Event::Span { .. }))
+            .map(Event::name)
+            .collect();
+        names.sort_unstable();
+        names.dedup();
+        names
+    }
+}
+
+/// Merged cross-thread sinks.
+#[derive(Debug, Default)]
+struct Global {
+    events: Vec<Event>,
+    dropped: u64,
+    /// Indexed by metric registry index.
+    counters: Vec<u64>,
+    hists: Vec<HistData>,
+    gauges: Vec<Option<f64>>,
+}
+
+static GLOBAL: Mutex<Global> = Mutex::new(Global {
+    events: Vec::new(),
+    dropped: 0,
+    counters: Vec::new(),
+    hists: Vec::new(),
+    gauges: Vec::new(),
+});
+
+static EPOCH: OnceLock<Instant> = OnceLock::new();
+static NEXT_TID: AtomicU64 = AtomicU64::new(0);
+static NEXT_SPAN_ID: AtomicU64 = AtomicU64::new(1);
+
+/// Microseconds since the first observability call in this process.
+pub(crate) fn now_us() -> u64 {
+    let epoch = EPOCH.get_or_init(Instant::now);
+    u64::try_from(epoch.elapsed().as_micros()).unwrap_or(u64::MAX)
+}
+
+pub(crate) fn next_span_id() -> u64 {
+    NEXT_SPAN_ID.fetch_add(1, Ordering::Relaxed)
+}
+
+/// Per-thread buffers, flushed on thread exit.
+pub(crate) struct ThreadBuf {
+    pub(crate) tid: u64,
+    /// Live span-id stack; the top is the current parent.
+    pub(crate) stack: Vec<u64>,
+    events: Vec<Event>,
+    /// Counter shard, indexed by metric registry index.
+    counters: Vec<u64>,
+    /// Histogram shard, indexed by metric registry index.
+    hists: Vec<HistData>,
+}
+
+impl ThreadBuf {
+    fn new() -> Self {
+        ThreadBuf {
+            tid: NEXT_TID.fetch_add(1, Ordering::Relaxed),
+            stack: Vec::new(),
+            events: Vec::new(),
+            counters: Vec::new(),
+            hists: Vec::new(),
+        }
+    }
+
+    fn flush_into(&mut self, g: &mut Global) {
+        let room = MAX_EVENTS.saturating_sub(g.events.len());
+        if self.events.len() > room {
+            g.dropped += (self.events.len() - room) as u64;
+            self.events.truncate(room);
+        }
+        g.events.append(&mut self.events);
+        if g.counters.len() < self.counters.len() {
+            g.counters.resize(self.counters.len(), 0);
+        }
+        for (total, shard) in g.counters.iter_mut().zip(&self.counters) {
+            *total += shard;
+        }
+        self.counters.clear();
+        if g.hists.len() < self.hists.len() {
+            g.hists.resize_with(self.hists.len(), HistData::default);
+        }
+        for (total, shard) in g.hists.iter_mut().zip(&self.hists) {
+            total.merge(shard);
+        }
+        self.hists.clear();
+    }
+}
+
+impl Drop for ThreadBuf {
+    fn drop(&mut self) {
+        if !self.events.is_empty() || !self.counters.is_empty() || !self.hists.is_empty() {
+            if let Ok(mut g) = GLOBAL.lock() {
+                self.flush_into(&mut g);
+            }
+        }
+    }
+}
+
+thread_local! {
+    pub(crate) static TLS: RefCell<ThreadBuf> = RefCell::new(ThreadBuf::new());
+}
+
+/// Records a completed span into the calling thread's buffer.
+pub(crate) fn record_span(name: Name, id: u64, parent: u64, ts_us: u64, dur_us: u64) {
+    TLS.with(|t| {
+        let mut t = t.borrow_mut();
+        let tid = t.tid;
+        t.events.push(Event::Span {
+            name,
+            tid,
+            id,
+            parent,
+            ts_us,
+            dur_us,
+        });
+    });
+}
+
+/// Records a named numeric instant event (e.g. a per-epoch loss) under the
+/// current span. No-op while collection is disabled.
+pub fn instant(name: &'static str, value: f64) {
+    if !crate::enabled() {
+        return;
+    }
+    push_instant(Cow::Borrowed(name), Some(value), None);
+}
+
+/// Records a textual instant event (progress lines).
+pub(crate) fn instant_msg(name: &'static str, msg: &str) {
+    push_instant(Cow::Borrowed(name), None, Some(msg.to_owned()));
+}
+
+fn push_instant(name: Name, value: Option<f64>, msg: Option<String>) {
+    let ts_us = now_us();
+    TLS.with(|t| {
+        let mut t = t.borrow_mut();
+        let tid = t.tid;
+        let parent = t.stack.last().copied().unwrap_or(0);
+        t.events.push(Event::Instant {
+            name,
+            tid,
+            parent,
+            ts_us,
+            value,
+            msg,
+        });
+    });
+}
+
+/// Adds `n` to the counter shard slot `idx`.
+pub(crate) fn shard_counter_add(idx: usize, n: u64) {
+    TLS.with(|t| {
+        let mut t = t.borrow_mut();
+        if t.counters.len() <= idx {
+            t.counters.resize(idx + 1, 0);
+        }
+        t.counters[idx] += n;
+    });
+}
+
+/// Records `v` into the histogram shard slot `idx`.
+pub(crate) fn shard_hist_record(idx: usize, v: u64) {
+    TLS.with(|t| {
+        let mut t = t.borrow_mut();
+        if t.hists.len() <= idx {
+            t.hists.resize_with(idx + 1, HistData::default);
+        }
+        t.hists[idx].record(v);
+    });
+}
+
+/// Sets gauge slot `idx` (gauges are set-last-wins and global; they are
+/// written from coordinator code, not hot loops).
+pub(crate) fn gauge_set(idx: usize, v: f64) {
+    let mut g = GLOBAL.lock().expect("obs global lock");
+    if g.gauges.len() <= idx {
+        g.gauges.resize(idx + 1, None);
+    }
+    g.gauges[idx] = Some(v);
+}
+
+/// Flushes the calling thread's buffers into the global sinks.
+///
+/// Worker threads should call this before returning: `std::thread::scope`
+/// can observe a task as finished *before* the thread's TLS destructors run,
+/// so relying on the drop-flush alone races with a `snapshot` taken right
+/// after the scope exits. `veribug-par` calls this at the end of every
+/// worker; the TLS drop remains a safety net for plain spawned threads.
+pub fn flush_thread() {
+    let mut g = GLOBAL.lock().expect("obs global lock");
+    TLS.with(|t| t.borrow_mut().flush_into(&mut g));
+}
+
+/// Flushes the calling thread and assembles the merged [`Report`].
+pub(crate) fn snapshot() -> Report {
+    let mut g = GLOBAL.lock().expect("obs global lock");
+    TLS.with(|t| t.borrow_mut().flush_into(&mut g));
+    let mut events = g.events.clone();
+    events.sort_by_key(|e| (e.ts_us(), e.id()));
+    let mut report = Report {
+        events,
+        dropped_events: g.dropped,
+        ..Report::default()
+    };
+    for (name, kind, idx) in registry_kinds() {
+        match kind {
+            MetricKind::Counter => {
+                let v = g.counters.get(idx).copied().unwrap_or(0);
+                report.counters.insert(name.to_owned(), v);
+            }
+            MetricKind::Gauge => {
+                if let Some(v) = g.gauges.get(idx).copied().flatten() {
+                    report.gauges.insert(name.to_owned(), v);
+                }
+            }
+            MetricKind::Hist { micros } => {
+                let h = g.hists.get(idx).cloned().unwrap_or_default();
+                report.histograms.insert(name.to_owned(), h.summary(micros));
+            }
+        }
+    }
+    report
+}
+
+/// Clears global sinks and the calling thread's shard.
+pub(crate) fn reset() {
+    let mut g = GLOBAL.lock().expect("obs global lock");
+    g.events.clear();
+    g.dropped = 0;
+    g.counters.clear();
+    g.hists.clear();
+    g.gauges.clear();
+    TLS.with(|t| {
+        let mut t = t.borrow_mut();
+        t.events.clear();
+        t.counters.clear();
+        t.hists.clear();
+    });
+}

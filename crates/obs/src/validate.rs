@@ -1,0 +1,222 @@
+//! Schema self-checks for the exporter outputs, used by the
+//! `obs_validate` binary (CI runs it against `bench_pipeline --smoke
+//! --obs obs.json`) and by tests.
+
+use std::collections::BTreeMap;
+
+use crate::json::{self, Json};
+
+/// What a successful validation saw, for `--require-*` checks and summary
+/// printing.
+#[derive(Debug, Default)]
+pub struct Validated {
+    /// Total trace events (spans + instants + metadata).
+    pub events: usize,
+    /// Distinct span names.
+    pub span_names: Vec<String>,
+    /// Counter totals from the metrics block.
+    pub counters: BTreeMap<String, f64>,
+}
+
+/// Validates a Chrome `trace_event` export produced by
+/// [`crate::export::chrome_trace`].
+///
+/// Checks the envelope (`traceEvents` array + `metrics` object), then every
+/// event: required `name`/`ph`/`pid`/`tid` fields, a known phase, `ts` on
+/// span/instant events and `dur` on complete events.
+///
+/// # Errors
+///
+/// Returns a description of the first schema violation.
+pub fn chrome_trace(src: &str) -> Result<Validated, String> {
+    let doc = json::parse(src)?;
+    let events = doc
+        .get("traceEvents")
+        .ok_or("missing `traceEvents`")?
+        .as_arr()
+        .ok_or("`traceEvents` is not an array")?;
+    let mut v = Validated {
+        events: events.len(),
+        ..Validated::default()
+    };
+    for (i, e) in events.iter().enumerate() {
+        let ctx = |field: &str| format!("traceEvents[{i}]: bad or missing `{field}`");
+        let name = e
+            .get("name")
+            .and_then(Json::as_str)
+            .ok_or_else(|| ctx("name"))?;
+        let ph = e
+            .get("ph")
+            .and_then(Json::as_str)
+            .ok_or_else(|| ctx("ph"))?;
+        e.get("pid")
+            .and_then(Json::as_num)
+            .ok_or_else(|| ctx("pid"))?;
+        e.get("tid")
+            .and_then(Json::as_num)
+            .ok_or_else(|| ctx("tid"))?;
+        match ph {
+            "X" => {
+                e.get("ts")
+                    .and_then(Json::as_num)
+                    .ok_or_else(|| ctx("ts"))?;
+                let dur = e
+                    .get("dur")
+                    .and_then(Json::as_num)
+                    .ok_or_else(|| ctx("dur"))?;
+                if dur < 0.0 {
+                    return Err(format!("traceEvents[{i}]: negative dur"));
+                }
+                v.span_names.push(name.to_owned());
+            }
+            "i" => {
+                e.get("ts")
+                    .and_then(Json::as_num)
+                    .ok_or_else(|| ctx("ts"))?;
+            }
+            "M" => {}
+            other => return Err(format!("traceEvents[{i}]: unknown phase `{other}`")),
+        }
+    }
+    v.span_names.sort();
+    v.span_names.dedup();
+    let metrics = doc.get("metrics").ok_or("missing `metrics` block")?;
+    v.counters = metrics_counters(metrics)?;
+    for section in ["gauges", "histograms"] {
+        metrics
+            .get(section)
+            .and_then(Json::as_obj)
+            .ok_or_else(|| format!("metrics: `{section}` missing or not an object"))?;
+    }
+    for (name, h) in metrics.get("histograms").unwrap().as_obj().unwrap() {
+        for field in ["count", "sum", "mean", "min", "max", "p50", "p90", "p99"] {
+            h.get(field)
+                .and_then(Json::as_num)
+                .ok_or_else(|| format!("histogram `{name}`: bad or missing `{field}`"))?;
+        }
+    }
+    Ok(v)
+}
+
+/// Validates a JSON-lines export produced by [`crate::export::jsonl`]:
+/// every line parses and carries a known `type` with that type's required
+/// fields.
+///
+/// # Errors
+///
+/// Returns a description of the first schema violation.
+pub fn jsonl(src: &str) -> Result<Validated, String> {
+    let mut v = Validated::default();
+    for (lineno, line) in src.lines().enumerate() {
+        let err = |msg: &str| format!("line {}: {msg}", lineno + 1);
+        let e = json::parse(line).map_err(|m| err(&m))?;
+        let ty = e
+            .get("type")
+            .and_then(Json::as_str)
+            .ok_or_else(|| err("missing `type`"))?;
+        let name = e
+            .get("name")
+            .and_then(Json::as_str)
+            .ok_or_else(|| err("missing `name`"))?;
+        match ty {
+            "span" => {
+                for field in ["tid", "id", "parent", "ts_us", "dur_us"] {
+                    e.get(field)
+                        .and_then(Json::as_num)
+                        .ok_or_else(|| err(&format!("span missing `{field}`")))?;
+                }
+                v.events += 1;
+                v.span_names.push(name.to_owned());
+            }
+            "instant" => {
+                for field in ["tid", "parent", "ts_us"] {
+                    e.get(field)
+                        .and_then(Json::as_num)
+                        .ok_or_else(|| err(&format!("instant missing `{field}`")))?;
+                }
+                v.events += 1;
+            }
+            "counter" => {
+                let value = e
+                    .get("value")
+                    .and_then(Json::as_num)
+                    .ok_or_else(|| err("counter missing `value`"))?;
+                v.counters.insert(name.to_owned(), value);
+            }
+            "gauge" => {
+                e.get("value")
+                    .and_then(Json::as_num)
+                    .ok_or_else(|| err("gauge missing `value`"))?;
+            }
+            "histogram" => {
+                for field in ["count", "sum", "mean", "min", "max", "p50", "p90", "p99"] {
+                    e.get(field)
+                        .and_then(Json::as_num)
+                        .ok_or_else(|| err(&format!("histogram missing `{field}`")))?;
+                }
+            }
+            other => return Err(err(&format!("unknown type `{other}`"))),
+        }
+    }
+    v.span_names.sort();
+    v.span_names.dedup();
+    Ok(v)
+}
+
+fn metrics_counters(metrics: &Json) -> Result<BTreeMap<String, f64>, String> {
+    let counters = metrics
+        .get("counters")
+        .and_then(Json::as_obj)
+        .ok_or("metrics: `counters` missing or not an object")?;
+    counters
+        .iter()
+        .map(|(k, v)| {
+            v.as_num()
+                .map(|n| (k.clone(), n))
+                .ok_or_else(|| format!("counter `{k}` is not a number"))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::export;
+    use crate::state::Report;
+
+    fn live_report() -> Report {
+        crate::enable();
+        {
+            let _g = crate::span("validate.test_stage");
+            static C: crate::LazyCounter = crate::LazyCounter::new("validate.test_counter");
+            C.add(7);
+            static H: crate::LazyHistogram = crate::LazyHistogram::new("validate.test_hist");
+            H.record(42);
+            crate::instant("validate.test_point", 1.5);
+        }
+        crate::snapshot()
+    }
+
+    #[test]
+    fn chrome_export_validates() {
+        let r = live_report();
+        let v = chrome_trace(&export::chrome_trace(&r)).expect("valid");
+        assert!(v.span_names.iter().any(|n| n == "validate.test_stage"));
+        assert!(v.counters.contains_key("validate.test_counter"));
+    }
+
+    #[test]
+    fn jsonl_export_validates() {
+        let r = live_report();
+        let v = jsonl(&export::jsonl(&r)).expect("valid");
+        assert!(v.span_names.iter().any(|n| n == "validate.test_stage"));
+    }
+
+    #[test]
+    fn corrupted_trace_is_rejected() {
+        assert!(chrome_trace("{}").is_err());
+        assert!(chrome_trace("{\"traceEvents\": [{}], \"metrics\": {}}").is_err());
+        assert!(jsonl("{\"type\":\"span\",\"name\":\"x\"}").is_err());
+        assert!(jsonl("not json").is_err());
+    }
+}

@@ -90,16 +90,24 @@ where
     // `R: Send` is required; each lock is taken exactly once, uncontended.
     let slots: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
     let cursor = AtomicUsize::new(0);
+    // Spans and metrics recorded inside workers nest under the span that
+    // launched the fan-out, and worker shards are flushed before the scope
+    // observes the task as finished (TLS destructors run too late for a
+    // snapshot taken right after this returns).
+    let ctx = obs::current_context();
     std::thread::scope(|s| {
         for _ in 0..workers {
-            s.spawn(|| loop {
-                let i = cursor.fetch_add(1, Ordering::Relaxed);
-                if i >= n {
-                    break;
-                }
-                let value = f(i);
-                let prev = slots[i].lock().expect("slot lock poisoned").replace(value);
-                assert!(prev.is_none(), "task {i} ran twice");
+            s.spawn(|| {
+                obs::with_context(ctx, || loop {
+                    let i = cursor.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    let value = f(i);
+                    let prev = slots[i].lock().expect("slot lock poisoned").replace(value);
+                    assert!(prev.is_none(), "task {i} ran twice");
+                });
+                obs::flush_thread();
             });
         }
     });

@@ -25,6 +25,7 @@ use std::sync::Arc;
 
 use crate::error::SimError;
 use crate::eval::{eval_binary, eval_unary, Write};
+use crate::metrics;
 use crate::netlist::{Netlist, Process, SignalId, SignalRole};
 use crate::testbench::Stimulus;
 use crate::trace::{CycleRecord, Snapshot, StmtExec, Trace};
@@ -254,6 +255,13 @@ impl Engine {
         let ncycles = stimulus.vectors.len();
         let mut arena: Vec<Value> = Vec::with_capacity(ncycles * nsig);
         let mut cycle_execs: Vec<Vec<StmtExec>> = Vec::with_capacity(ncycles);
+        // Observability tallies: accumulated in locals and flushed once at
+        // the end, so the per-cycle cost is a register add whether or not
+        // collection is enabled.
+        let mut m_comb_evals = 0u64;
+        let mut m_comb_skips = 0u64;
+        let mut m_cache_replays = 0u64;
+        let mut m_ops = 0u64;
         for (cycle_idx, vector) in stimulus.vectors.iter().enumerate() {
             let cycle = cycle_idx as u32;
             // 1. Apply inputs; a changed input seeds the dirty set.
@@ -277,8 +285,11 @@ impl Engine {
             for &pi in &code.order {
                 let pi = pi as usize;
                 if cycle_idx != 0 && !code.fanin[pi].iter().any(|&s| dirty[s as usize]) {
+                    m_comb_skips += 1;
+                    m_cache_replays += exec_cache[pi].len() as u64;
                     continue;
                 }
+                m_comb_evals += 1;
                 let cache = &mut exec_cache[pi];
                 cache.clear();
                 exec_ops(
@@ -290,6 +301,7 @@ impl Engine {
                     cache,
                     cycle,
                     None,
+                    &mut m_ops,
                 );
             }
 
@@ -325,6 +337,7 @@ impl Engine {
                     &mut execs,
                     cycle,
                     Some(deferred),
+                    &mut m_ops,
                 );
             }
             for w in deferred.drain(..) {
@@ -338,6 +351,13 @@ impl Engine {
             }
             cycle_execs.push(execs);
         }
+
+        metrics::CYCLES.add(ncycles as u64);
+        metrics::COMB_EVALS.add(m_comb_evals);
+        metrics::COMB_SKIPS.add(m_comb_skips);
+        metrics::CACHE_REPLAYS.add(m_cache_replays);
+        metrics::BYTECODE_OPS.add(m_ops);
+        metrics::SEQ_EVALS.add((ncycles * code.seq.len()) as u64);
 
         let arena: Arc<[Value]> = arena.into();
         let cycles = cycle_execs
@@ -366,9 +386,12 @@ fn exec_ops(
     recorder: &mut Vec<StmtExec>,
     cycle: u32,
     mut deferred: Option<&mut Vec<Write>>,
+    op_count: &mut u64,
 ) {
+    let mut executed = 0u64;
     let mut pc = 0usize;
     while pc < ops.len() {
+        executed += 1;
         match ops[pc] {
             Op::Load { dst, sig } => slab[dst as usize] = values[sig as usize],
             Op::Const { dst, val } => slab[dst as usize] = val,
@@ -476,6 +499,7 @@ fn exec_ops(
         }
         pc += 1;
     }
+    *op_count += executed;
 }
 
 /// Collects the base names of every assignment target in a statement tree.

@@ -38,6 +38,7 @@
 mod compile;
 pub mod error;
 pub mod eval;
+mod metrics;
 pub mod netlist;
 pub mod sched;
 pub mod testbench;

@@ -1,0 +1,26 @@
+//! Simulator observability counters (see `veribug-obs`).
+//!
+//! All counters are no-ops unless observability collection is enabled; the
+//! hot loops accumulate into locals and flush once per run, so the disabled
+//! cost is a handful of register adds per simulation.
+
+use obs::LazyCounter;
+
+/// Simulated clock cycles.
+pub(crate) static CYCLES: LazyCounter = LazyCounter::new("sim.cycles");
+/// Combinational processes evaluated by the compiled engine.
+pub(crate) static COMB_EVALS: LazyCounter = LazyCounter::new("sim.comb_evals");
+/// Combinational processes skipped by the dirty-set gate.
+pub(crate) static COMB_SKIPS: LazyCounter = LazyCounter::new("sim.comb_skips");
+/// Cached [`crate::trace::StmtExec`] records replayed for skipped processes.
+pub(crate) static CACHE_REPLAYS: LazyCounter = LazyCounter::new("sim.cache_replays");
+/// Bytecode instructions executed by the compiled engine.
+pub(crate) static BYTECODE_OPS: LazyCounter = LazyCounter::new("sim.bytecode_ops");
+/// Sequential process evaluations (clock-edge programs run).
+pub(crate) static SEQ_EVALS: LazyCounter = LazyCounter::new("sim.seq_evals");
+/// Fixpoint iterations of the interpreter's combinational settle loop.
+pub(crate) static SETTLE_ITERS: LazyCounter = LazyCounter::new("sim.settle_iters");
+/// Simulations served by the compiled engine.
+pub(crate) static RUNS_COMPILED: LazyCounter = LazyCounter::new("sim.runs_compiled");
+/// Simulations that fell back to the fixpoint interpreter.
+pub(crate) static RUNS_INTERPRETED: LazyCounter = LazyCounter::new("sim.runs_interpreted");

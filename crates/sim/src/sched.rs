@@ -115,8 +115,14 @@ impl Simulator {
     /// settle, plus any evaluation error.
     pub fn run(&mut self, stimulus: &Stimulus) -> Result<Trace, SimError> {
         match &mut self.engine {
-            Some(engine) => engine.run(&self.netlist, stimulus),
-            None => self.run_interpreted(stimulus),
+            Some(engine) => {
+                crate::metrics::RUNS_COMPILED.incr();
+                engine.run(&self.netlist, stimulus)
+            }
+            None => {
+                crate::metrics::RUNS_INTERPRETED.incr();
+                self.run_interpreted(stimulus)
+            }
         }
     }
 
@@ -166,6 +172,7 @@ impl Simulator {
 
             cycle_execs.push(execs);
         }
+        crate::metrics::CYCLES.add(ncycles as u64);
         let arena: Arc<[Value]> = arena.into();
         let cycles = cycle_execs
             .into_iter()
@@ -199,12 +206,13 @@ impl Simulator {
         // One scratch snapshot reused across iterations: `clone_from` keeps
         // the allocation instead of reallocating the value vector each pass.
         let mut before = Vec::new();
-        for _ in 0..max_iters {
+        for iter in 0..max_iters {
             before.clone_from(&ctx.values);
             for p in &self.netlist.comb {
                 self.run_comb_process(ctx, p, 0, None)?;
             }
             if ctx.values == before {
+                crate::metrics::SETTLE_ITERS.add(u64::from(iter) + 1);
                 return Ok(());
             }
         }
