@@ -1,0 +1,398 @@
+//! Load generator for `veribug-serve`, written to `BENCH_serve.json`.
+//!
+//! Boots an in-process server on an ephemeral port and measures two
+//! phases. First, a sequential cold/warm phase: fresh design pairs
+//! requested once cold and three times warm on the otherwise idle server,
+//! isolating what the compiled-design cache saves (parse → levelize →
+//! compile) from queueing noise. Second, a load phase: N concurrent client
+//! connections (one request per connection, matching the server's
+//! `Connection: close` protocol) cycling over D distinct golden/buggy
+//! pairs, retrying briefly on 429 backpressure. The JSON report carries:
+//!
+//! - throughput (requests per second over the load phase),
+//! - mean/p50/p99 latency of the 200 responses, split by the
+//!   `x-veribug-cache` response header,
+//! - sequential cold vs warm p50 and their ratio,
+//! - the cache-hit rate scraped from `/metricsz`,
+//! - the 429-retry count and the determinism and drain verdicts.
+//!
+//! Run with: `cargo run --release -p veribug-bench --bin serve_bench`
+//!
+//! Options: `--connections N` (default 8), `--requests N` total (default
+//! 240), `--designs D` distinct pairs (default 6), `--smoke` (shrinks the
+//! workload and exits non-zero on any 5xx response, on identical requests
+//! producing different bodies, or on a failed drain — without rewriting
+//! the JSON).
+
+use std::fmt::Write as _;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use serve::{Server, ServerConfig};
+
+/// One completed request as seen by a client thread.
+struct Sample {
+    /// Index of the design pair the request targeted.
+    design: usize,
+    /// Wall-clock seconds from connect to full response.
+    secs: f64,
+    /// HTTP status code.
+    status: u16,
+    /// True when both the golden and buggy designs were cache hits.
+    warm: bool,
+    /// The response body, for the determinism cross-check.
+    body: String,
+    /// How many 429 (queue full) responses preceded this one.
+    retries_429: usize,
+}
+
+/// A distinct golden/buggy pair: a combinational chain of `stmts`
+/// statements, so parse → levelize → compile (the work the cache skips) is
+/// a measurable share of request latency. The `tag` comment makes each
+/// pair's source bytes (and therefore its cache key) unique; the bug flips
+/// one operator early in the chain so the divergence reaches the target.
+fn design_pair(tag: usize, stmts: usize) -> (String, String) {
+    let mut golden =
+        format!("// serve-bench design {tag}\nmodule m(input a, input b, input c, output y);\n");
+    let ops = ["&", "|", "^"];
+    for i in 0..stmts {
+        let prev = if i == 0 {
+            "a".to_owned()
+        } else {
+            format!("t{}", i - 1)
+        };
+        let other = if i % 2 == 0 { "b" } else { "c" };
+        let _ = writeln!(golden, "wire t{i};");
+        let _ = writeln!(
+            golden,
+            "assign t{i} = {prev} {} {other};",
+            ops[i % ops.len()]
+        );
+    }
+    let _ = writeln!(golden, "assign y = t{} | c;", stmts - 1);
+    golden.push_str("endmodule\n");
+    let buggy = golden.replacen("t0 = a & b", "t0 = a | b", 1);
+    (golden, buggy)
+}
+
+fn localize_body(golden: &str, buggy: &str, runs: usize, cycles: usize) -> String {
+    let mut body = String::from("{\"golden\":");
+    obs::json::write_str(&mut body, golden);
+    body.push_str(",\"buggy\":");
+    obs::json::write_str(&mut body, buggy);
+    let _ = write!(
+        body,
+        ",\"target\":\"y\",\"options\":{{\"runs\":{runs},\"cycles\":{cycles},\"threshold\":0.01}}}}"
+    );
+    body
+}
+
+/// Issues one request and parses status, cache header, and body.
+fn request(
+    addr: SocketAddr,
+    method: &str,
+    path: &str,
+    body: &str,
+) -> std::io::Result<(u16, bool, String)> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(Duration::from_secs(120)))?;
+    write!(
+        stream,
+        "{method} {path} HTTP/1.1\r\nHost: bench\r\nContent-Length: {}\r\n\r\n{body}",
+        body.len()
+    )?;
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw)?;
+    let status: u16 = raw
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0);
+    let head = raw.split("\r\n\r\n").next().unwrap_or("");
+    let warm = head
+        .lines()
+        .find(|l| l.to_ascii_lowercase().starts_with("x-veribug-cache:"))
+        .is_some_and(|l| !l.contains("miss"));
+    let payload = raw
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b.to_owned())
+        .unwrap_or_default();
+    Ok((status, warm, payload))
+}
+
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted.len() as f64 - 1.0) * p).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+fn stats(samples: &[&Sample]) -> (f64, f64, f64) {
+    let mut secs: Vec<f64> = samples.iter().map(|s| s.secs).collect();
+    secs.sort_by(|a, b| a.total_cmp(b));
+    let mean = if secs.is_empty() {
+        0.0
+    } else {
+        secs.iter().sum::<f64>() / secs.len() as f64
+    };
+    (mean, percentile(&secs, 0.5), percentile(&secs, 0.99))
+}
+
+#[allow(clippy::too_many_lines)]
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    veribug_bench::init_obs();
+    let args: Vec<String> = std::env::args().collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let numeric = |flag: &str, default: usize| -> usize {
+        args.iter()
+            .position(|a| a == flag)
+            .and_then(|i| args.get(i + 1))
+            .map(|v| {
+                v.parse()
+                    .unwrap_or_else(|_| panic!("{flag} takes a number"))
+            })
+            .unwrap_or(default)
+            .max(1)
+    };
+    let connections = numeric("--connections", if smoke { 4 } else { 8 });
+    let total_requests = numeric("--requests", if smoke { 32 } else { 240 });
+    let design_count = numeric("--designs", if smoke { 3 } else { 6 });
+    let (runs, cycles) = if smoke { (4, 4) } else { (8, 8) };
+    let stmts = numeric("--stmts", 256);
+
+    let server = Server::bind(ServerConfig::default())?;
+    let addr = server.local_addr()?;
+    let server_thread = std::thread::spawn(move || server.run());
+
+    let bodies: Arc<Vec<String>> = Arc::new(
+        (0..design_count)
+            .map(|d| {
+                let (golden, buggy) = design_pair(d, stmts);
+                localize_body(&golden, &buggy, runs, cycles)
+            })
+            .collect(),
+    );
+
+    obs::progress!(
+        "serve_bench: {total_requests} requests over {connections} connections, {design_count} design pairs"
+    );
+
+    // Sequential cold/warm phase on the idle server: dedicated design
+    // pairs (never reused in the load phase), one cold request then three
+    // warm repeats each. This isolates what the compiled-design cache
+    // saves — parse → levelize → compile — from queueing noise.
+    let mut seq_cold: Vec<f64> = Vec::new();
+    let mut seq_warm: Vec<f64> = Vec::new();
+    for d in 0..design_count {
+        let (golden, buggy) = design_pair(1000 + d, stmts);
+        let body = localize_body(&golden, &buggy, runs, cycles);
+        for rep in 0..4 {
+            let t0 = Instant::now();
+            let (status, warm, _) = request(addr, "POST", "/v1/localize", &body)?;
+            let secs = t0.elapsed().as_secs_f64();
+            assert_eq!(status, 200, "sequential phase request failed");
+            if rep == 0 {
+                assert!(!warm, "first touch of a fresh pair must be a miss");
+                seq_cold.push(secs);
+            } else {
+                assert!(warm, "repeat of a cached pair must be a hit");
+                seq_warm.push(secs);
+            }
+        }
+    }
+    seq_cold.sort_by(|a, b| a.total_cmp(b));
+    seq_warm.sort_by(|a, b| a.total_cmp(b));
+    let seq_cold_p50 = percentile(&seq_cold, 0.5);
+    let seq_warm_p50 = percentile(&seq_warm, 0.5);
+
+    // Client threads pull request indices from a shared counter; index i
+    // targets design pair i % D, so every pair is requested many times and
+    // everything past the first D requests can be served warm.
+    let next = Arc::new(AtomicUsize::new(0));
+    let started = Instant::now();
+    let workers: Vec<_> = (0..connections)
+        .map(|_| {
+            let next = Arc::clone(&next);
+            let bodies = Arc::clone(&bodies);
+            std::thread::spawn(move || -> Vec<Sample> {
+                let mut out = Vec::new();
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= total_requests {
+                        return out;
+                    }
+                    let design = i % bodies.len();
+                    // 429 is backpressure, not failure: back off briefly and
+                    // retry, recording only the accepted attempt's latency.
+                    let mut retries_429 = 0usize;
+                    loop {
+                        let t0 = Instant::now();
+                        match request(addr, "POST", "/v1/localize", &bodies[design]) {
+                            Ok((429, _, _)) if retries_429 < 1000 => {
+                                retries_429 += 1;
+                                std::thread::sleep(Duration::from_millis(2));
+                            }
+                            Ok((status, warm, body)) => {
+                                out.push(Sample {
+                                    design,
+                                    secs: t0.elapsed().as_secs_f64(),
+                                    status,
+                                    warm,
+                                    body,
+                                    retries_429,
+                                });
+                                break;
+                            }
+                            Err(e) => {
+                                out.push(Sample {
+                                    design,
+                                    secs: t0.elapsed().as_secs_f64(),
+                                    status: 0,
+                                    warm: false,
+                                    body: format!("transport error: {e}"),
+                                    retries_429,
+                                });
+                                break;
+                            }
+                        }
+                    }
+                }
+            })
+        })
+        .collect();
+    let samples: Vec<Sample> = workers
+        .into_iter()
+        .flat_map(|w| w.join().expect("client thread"))
+        .collect();
+    let wall = started.elapsed().as_secs_f64();
+
+    // Cache-hit rate as the server counts it, scraped from /metricsz.
+    let (_, _, metrics) = request(addr, "GET", "/metricsz", "")?;
+    let (hits, misses) = cache_counters(&metrics);
+
+    // Drain: stop accepting, finish in-flight, and require a clean exit.
+    let (shutdown_status, _, _) = request(addr, "POST", "/v1/shutdown", "")?;
+    let drained = shutdown_status == 200 && server_thread.join().is_ok_and(|r| r.is_ok());
+
+    // Determinism: identical request bytes must produce identical 200
+    // bodies, cold or warm.
+    let mut deterministic = true;
+    for d in 0..design_count {
+        let mut expected: Option<&str> = None;
+        for s in samples.iter().filter(|s| s.design == d && s.status == 200) {
+            match expected {
+                None => expected = Some(&s.body),
+                Some(e) if e != s.body => deterministic = false,
+                Some(_) => {}
+            }
+        }
+    }
+
+    // Latency statistics cover successful localizations only; rejected or
+    // failed attempts don't measure the pipeline.
+    let all: Vec<&Sample> = samples.iter().filter(|s| s.status == 200).collect();
+    let cold: Vec<&Sample> = all.iter().copied().filter(|s| !s.warm).collect();
+    let warm: Vec<&Sample> = all.iter().copied().filter(|s| s.warm).collect();
+    let rejected_429: usize = samples.iter().map(|s| s.retries_429).sum();
+    let (mean, p50, p99) = stats(&all);
+    let (cold_mean, cold_p50, _) = stats(&cold);
+    let (warm_mean, warm_p50, _) = stats(&warm);
+    let server_errors = samples
+        .iter()
+        .filter(|s| s.status >= 500 || s.status == 0)
+        .count();
+    let ok = samples.iter().filter(|s| s.status == 200).count();
+    let hit_rate = if hits + misses > 0 {
+        hits as f64 / (hits + misses) as f64
+    } else {
+        0.0
+    };
+
+    let mut json = String::from("{\n");
+    let _ = writeln!(json, "  \"connections\": {connections},");
+    let _ = writeln!(json, "  \"requests\": {},", samples.len());
+    let _ = writeln!(json, "  \"design_pairs\": {design_count},");
+    let _ = writeln!(json, "  \"wall_clock_s\": {wall:.6},");
+    let _ = writeln!(
+        json,
+        "  \"throughput_rps\": {:.3},",
+        samples.len() as f64 / wall
+    );
+    let _ = writeln!(json, "  \"latency_s\": {{");
+    let _ = writeln!(
+        json,
+        "    \"mean\": {mean:.6}, \"p50\": {p50:.6}, \"p99\": {p99:.6},"
+    );
+    let _ = writeln!(
+        json,
+        "    \"cold_mean\": {cold_mean:.6}, \"cold_p50\": {cold_p50:.6}, \"cold_requests\": {},",
+        cold.len()
+    );
+    let _ = writeln!(
+        json,
+        "    \"warm_mean\": {warm_mean:.6}, \"warm_p50\": {warm_p50:.6}, \"warm_requests\": {}",
+        warm.len()
+    );
+    let _ = writeln!(json, "  }},");
+    let _ = writeln!(json, "  \"sequential_latency_s\": {{");
+    let _ = writeln!(
+        json,
+        "    \"cold_p50\": {seq_cold_p50:.6}, \"warm_p50\": {seq_warm_p50:.6}, \"cold_over_warm\": {:.3}",
+        if seq_warm_p50 > 0.0 { seq_cold_p50 / seq_warm_p50 } else { 0.0 }
+    );
+    let _ = writeln!(json, "  }},");
+    let _ = writeln!(json, "  \"cache\": {{");
+    let _ = writeln!(
+        json,
+        "    \"hits\": {hits}, \"misses\": {misses}, \"hit_rate\": {hit_rate:.4}"
+    );
+    let _ = writeln!(json, "  }},");
+    let _ = writeln!(json, "  \"status_200\": {ok},");
+    let _ = writeln!(json, "  \"rejected_429_retried\": {rejected_429},");
+    let _ = writeln!(json, "  \"status_5xx_or_transport\": {server_errors},");
+    let _ = writeln!(json, "  \"deterministic\": {deterministic},");
+    let _ = writeln!(json, "  \"drained\": {drained}");
+    json.push_str("}\n");
+    std::fs::write("BENCH_serve.json", &json)?;
+    println!("{json}");
+    obs::progress!("wrote BENCH_serve.json");
+
+    if smoke {
+        if server_errors > 0 {
+            return Err(format!("smoke FAILED: {server_errors} 5xx/transport failures").into());
+        }
+        if !deterministic {
+            return Err("smoke FAILED: identical requests produced different bodies".into());
+        }
+        if !drained {
+            return Err("smoke FAILED: server did not drain cleanly".into());
+        }
+        if seq_warm_p50 >= seq_cold_p50 {
+            return Err(format!(
+                "smoke FAILED: cached requests not faster (warm p50 {seq_warm_p50:.4}s >= cold p50 {seq_cold_p50:.4}s)"
+            )
+            .into());
+        }
+        println!(
+            "smoke OK: {ok} responses, cache hit rate {:.0}%, warm p50 {seq_warm_p50:.4}s vs cold p50 {seq_cold_p50:.4}s",
+            hit_rate * 100.0
+        );
+    }
+    Ok(())
+}
+
+/// Pulls `serve.cache.hits` / `serve.cache.misses` out of the `/metricsz`
+/// JSON body.
+fn cache_counters(metrics: &str) -> (u64, u64) {
+    let read = |name: &str| -> u64 {
+        obs::json::parse(metrics)
+            .ok()
+            .and_then(|doc| doc.get("counters")?.get(name)?.as_num())
+            .map_or(0, |v| v as u64)
+    };
+    (read("serve.cache.hits"), read("serve.cache.misses"))
+}

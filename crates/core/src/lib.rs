@@ -66,6 +66,7 @@ pub mod coverage;
 pub mod error;
 pub mod explain;
 pub mod features;
+pub mod localize;
 pub mod model;
 pub mod persist;
 pub mod render;
@@ -78,6 +79,7 @@ pub use explain::{
     DEFAULT_THRESHOLD,
 };
 pub use features::{OperandContext, Path, StatementFeatures};
+pub use localize::{LocalizeOptions, LocalizeReport, Suspect};
 pub use model::{ContextAggregation, Forward, ModelConfig, Sample, VeriBugModel};
 pub use persist::{load as load_model, save as save_model, LoadError};
 pub use render::{render_attention_map, render_comparison, render_heatmap, Palette, RenderOptions};

@@ -282,6 +282,78 @@ mod tests {
         assert!(from_str(cut).is_err());
     }
 
+    /// Writes `content` to a scratch file and runs [`load`] against it.
+    fn load_from_file(tag: &str, content: &str) -> Result<VeriBugModel, LoadError> {
+        let dir = std::env::temp_dir().join("veribug-persist-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(format!("{tag}-{}.vbm", std::process::id()));
+        std::fs::write(&path, content).unwrap();
+        let result = load(&path);
+        std::fs::remove_file(&path).ok();
+        result
+    }
+
+    #[test]
+    fn load_rejects_truncated_file() {
+        let text = to_string(&VeriBugModel::new(ModelConfig::default()));
+        // Cut mid-tensor: the `end` marker and part of the data are gone.
+        let err = load_from_file("truncated", &text[..text.len() / 2]).unwrap_err();
+        let LoadError::Format { detail, .. } = err else {
+            panic!("expected Format error, got {err:?}");
+        };
+        assert!(
+            detail.contains("truncated") || detail.contains("expected"),
+            "detail names the truncation: {detail}"
+        );
+    }
+
+    #[test]
+    fn load_rejects_corrupt_config_header() {
+        let text = to_string(&VeriBugModel::new(ModelConfig::default()));
+        let corrupted = text.replacen("config ", "config bogus ", 1);
+        assert_ne!(corrupted, text, "config line was present to corrupt");
+        let err = load_from_file("corrupt-header", &corrupted).unwrap_err();
+        let LoadError::Format { line, detail } = err else {
+            panic!("expected Format error, got {err:?}");
+        };
+        assert_eq!(line, 2, "config is the second line");
+        assert!(
+            detail.contains("config") || detail.contains("integer"),
+            "{detail}"
+        );
+    }
+
+    #[test]
+    fn load_rejects_wrong_format_version() {
+        let text = to_string(&VeriBugModel::new(ModelConfig::default()));
+        let future = text.replacen("veribug-model v1", "veribug-model v2", 1);
+        let err = load_from_file("wrong-version", &future).unwrap_err();
+        let LoadError::Format { line, detail } = err else {
+            panic!("expected Format error, got {err:?}");
+        };
+        assert_eq!(line, 1);
+        assert!(detail.contains("bad magic"), "{detail}");
+        assert!(
+            err_display_mentions_line(&future),
+            "Display carries the line number"
+        );
+    }
+
+    fn err_display_mentions_line(text: &str) -> bool {
+        from_str(text)
+            .err()
+            .map(|e| e.to_string().contains("line 1"))
+            .unwrap_or(false)
+    }
+
+    #[test]
+    fn load_surfaces_io_errors_for_missing_files() {
+        let missing = std::env::temp_dir().join("veribug-persist-test/definitely-not-here.vbm");
+        let err = load(&missing).unwrap_err();
+        assert!(matches!(err, LoadError::Io(_)), "got {err:?}");
+        assert!(err.to_string().contains("i/o error"));
+    }
+
     #[test]
     fn save_and_load_via_file() {
         let model = VeriBugModel::new(ModelConfig {

@@ -31,4 +31,6 @@ pub mod observe;
 
 pub use campaign::{BugBudget, Campaign, Mutant};
 pub use mutation::{apply, enumerate_sites, MutationKind, MutationSite};
-pub use observe::{cosimulate, cosimulate_against, golden_traces, is_observable, LabelledRun};
+pub use observe::{
+    cosimulate, cosimulate_against, cosimulate_with, golden_traces, is_observable, LabelledRun,
+};

@@ -70,8 +70,32 @@ pub fn cosimulate_against(
         stimuli.len(),
         "one golden trace per stimulus required"
     );
-    let _span = obs::span("campaign.cosim");
     let mut mutant_sim = Simulator::new(mutant)?;
+    cosimulate_with(&mut mutant_sim, golden, target, stimuli)
+}
+
+/// [`cosimulate_against`] with a caller-supplied mutant simulator.
+///
+/// Lets callers that already hold an elaborated (and possibly compiled)
+/// simulator — e.g. the serving layer's design cache — skip the
+/// parse→levelize→compile pass, and honours any [`sim::CancelToken`]
+/// installed on it.
+///
+/// # Errors
+///
+/// Propagates simulation errors (including cancellation) from the mutant.
+pub fn cosimulate_with(
+    mutant_sim: &mut Simulator,
+    golden: &[Trace],
+    target: sim::SignalId,
+    stimuli: &[Stimulus],
+) -> Result<Vec<LabelledRun>, SimError> {
+    assert_eq!(
+        golden.len(),
+        stimuli.len(),
+        "one golden trace per stimulus required"
+    );
+    let _span = obs::span("campaign.cosim");
     let mut out = Vec::with_capacity(stimuli.len());
     for (stim, gt) in stimuli.iter().zip(golden) {
         let mt = mutant_sim.run(stim)?;

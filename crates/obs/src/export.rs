@@ -241,6 +241,55 @@ pub fn jsonl(report: &Report) -> String {
     out
 }
 
+/// Renders the metrics-only snapshot a monitoring endpoint wants (the
+/// `GET /metricsz` body of `veribug serve`): one JSON object with
+/// `counters`, `gauges`, `histograms`, and `dropped_events` — no span
+/// events, so the payload stays small on long-lived processes.
+pub fn metricsz(report: &Report) -> String {
+    let mut out = String::with_capacity(256);
+    out.push_str("{\"counters\":{");
+    for (i, (name, v)) in report.counters.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        write_str(&mut out, name);
+        let _ = write!(out, ":{v}");
+    }
+    out.push_str("},\"gauges\":{");
+    for (i, (name, v)) in report.gauges.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        write_str(&mut out, name);
+        out.push(':');
+        write_f64(&mut out, *v);
+    }
+    out.push_str("},\"histograms\":{");
+    for (i, (name, h)) in report.histograms.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        write_str(&mut out, name);
+        let _ = write!(out, ":{{\"count\":{},\"sum\":", h.count);
+        write_f64(&mut out, h.sum);
+        out.push_str(",\"mean\":");
+        write_f64(&mut out, h.mean);
+        out.push_str(",\"min\":");
+        write_f64(&mut out, h.min);
+        out.push_str(",\"max\":");
+        write_f64(&mut out, h.max);
+        out.push_str(",\"p50\":");
+        write_f64(&mut out, h.p50);
+        out.push_str(",\"p90\":");
+        write_f64(&mut out, h.p90);
+        out.push_str(",\"p99\":");
+        write_f64(&mut out, h.p99);
+        out.push('}');
+    }
+    let _ = writeln!(out, "}},\"dropped_events\":{}}}", report.dropped_events);
+    out
+}
+
 /// Renders the human-readable summary: top spans by total self-recorded
 /// time, then every counter, gauge, and histogram.
 pub fn summary(report: &Report) -> String {
@@ -374,5 +423,31 @@ mod tests {
         assert!(s.contains("stage.one"));
         assert!(s.contains("sim.cycles"));
         assert!(s.contains("train.final_loss"));
+    }
+
+    #[test]
+    fn metricsz_is_valid_json_without_events() {
+        let rendered = metricsz(&sample_report());
+        let doc = json::parse(&rendered).expect("metricsz parses");
+        assert_eq!(
+            doc.get("counters")
+                .unwrap()
+                .get("sim.cycles")
+                .unwrap()
+                .as_num(),
+            Some(123.0)
+        );
+        assert_eq!(
+            doc.get("gauges")
+                .unwrap()
+                .get("train.final_loss")
+                .unwrap()
+                .as_num(),
+            Some(0.125)
+        );
+        let hist = doc.get("histograms").unwrap().get("lat").unwrap();
+        assert_eq!(hist.get("count").unwrap().as_num(), Some(0.0));
+        assert_eq!(doc.get("dropped_events").unwrap().as_num(), Some(0.0));
+        assert!(doc.get("traceEvents").is_none(), "no span events");
     }
 }

@@ -3,8 +3,9 @@
 //! The workspace is offline (the vendored `serde` is a compile-surface stub
 //! that does not serialize), so the exporters hand-render JSON and this
 //! module provides the recursive-descent parser the schema validator and
-//! tests use to read it back. It supports the full JSON grammar except
-//! `\u` surrogate pairs (escapes decode to the BMP scalar).
+//! tests use to read it back. It supports the full JSON grammar, including
+//! `\u` surrogate pairs (lone surrogates decode to U+FFFD, as lenient JSON
+//! readers do).
 
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
@@ -190,15 +191,8 @@ impl Parser<'_> {
                         b'r' => out.push('\r'),
                         b't' => out.push('\t'),
                         b'u' => {
-                            let hex = self
-                                .bytes
-                                .get(self.pos..self.pos + 4)
-                                .and_then(|h| std::str::from_utf8(h).ok())
-                                .ok_or("truncated \\u escape")?;
-                            let code = u32::from_str_radix(hex, 16)
-                                .map_err(|_| format!("bad \\u escape `{hex}`"))?;
-                            self.pos += 4;
-                            out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                            let hi = self.hex4()?;
+                            out.push(self.unicode_escape(hi)?);
                         }
                         other => {
                             return Err(format!("bad escape `\\{}`", char::from(other)));
@@ -215,6 +209,43 @@ impl Parser<'_> {
                     self.pos += ch.len_utf8();
                 }
             }
+        }
+    }
+
+    /// Four hex digits of a `\u` escape.
+    fn hex4(&mut self) -> Result<u32, String> {
+        let hex = self
+            .bytes
+            .get(self.pos..self.pos + 4)
+            .and_then(|h| std::str::from_utf8(h).ok())
+            .ok_or("truncated \\u escape")?;
+        let code = u32::from_str_radix(hex, 16).map_err(|_| format!("bad \\u escape `{hex}`"))?;
+        self.pos += 4;
+        Ok(code)
+    }
+
+    /// Resolves the scalar of a `\u` escape whose first unit is `hi`:
+    /// a high surrogate consumes the following `\uXXXX` low surrogate to
+    /// form the astral scalar; lone surrogates become U+FFFD.
+    fn unicode_escape(&mut self, hi: u32) -> Result<char, String> {
+        if !(0xD800..=0xDBFF).contains(&hi) {
+            // BMP scalar, or a lone low surrogate (→ U+FFFD).
+            return Ok(char::from_u32(hi).unwrap_or('\u{fffd}'));
+        }
+        if self.bytes.get(self.pos) != Some(&b'\\') || self.bytes.get(self.pos + 1) != Some(&b'u') {
+            return Ok('\u{fffd}');
+        }
+        let save = self.pos;
+        self.pos += 2;
+        let lo = self.hex4()?;
+        if (0xDC00..=0xDFFF).contains(&lo) {
+            let code = 0x1_0000 + ((hi - 0xD800) << 10) + (lo - 0xDC00);
+            Ok(char::from_u32(code).unwrap_or('\u{fffd}'))
+        } else {
+            // The next escape is not the matching half: the high surrogate
+            // is lone; leave the escape for the main loop to re-read.
+            self.pos = save;
+            Ok('\u{fffd}')
         }
     }
 
@@ -305,6 +336,7 @@ pub fn write_f64(out: &mut String, v: f64) {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use proptest::prelude::*;
 
     #[test]
     fn parses_nested_document() {
@@ -347,5 +379,85 @@ mod tests {
         let mut n3 = String::new();
         write_f64(&mut n3, 42.0);
         assert_eq!(n3, "42");
+    }
+
+    #[test]
+    fn surrogate_pairs_decode_to_astral_scalars() {
+        // U+1F600 = D83D DE00.
+        assert_eq!(
+            parse("\"\\ud83d\\ude00\"").unwrap().as_str(),
+            Some("\u{1F600}")
+        );
+        // U+10437 = D801 DC37, in the middle of other content.
+        assert_eq!(
+            parse("\"a\\uD801\\uDC37b\"").unwrap().as_str(),
+            Some("a\u{10437}b")
+        );
+        // Raw (unescaped) astral scalars pass straight through too.
+        assert_eq!(parse("\"\u{1F600}\"").unwrap().as_str(), Some("\u{1F600}"));
+    }
+
+    #[test]
+    fn lone_surrogates_decode_to_replacement() {
+        // Lone high surrogate at end of string.
+        assert_eq!(parse(r#""\ud83dx""#).unwrap().as_str(), Some("\u{fffd}x"));
+        // Lone low surrogate.
+        assert_eq!(parse(r#""\ude00""#).unwrap().as_str(), Some("\u{fffd}"));
+        // High surrogate followed by a non-surrogate escape: the second
+        // escape still decodes on its own.
+        assert_eq!(parse(r#""\ud83dA""#).unwrap().as_str(), Some("\u{fffd}A"));
+        // Truncated pair is still a syntax error.
+        assert!(parse(r#""\ud83d\u12""#).is_err());
+    }
+
+    /// Deterministically expands a seed into a string mixing ASCII,
+    /// control characters, BMP scalars, and astral scalars (the vendored
+    /// proptest has no string strategy, so strings grow from integers).
+    fn seed_to_string(seed: u64, len: usize) -> String {
+        let mut x = seed | 1;
+        (0..len)
+            .map(|_| {
+                // SplitMix64 step.
+                x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = x;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^= z >> 31;
+                match z % 4 {
+                    0 => char::from_u32((z as u32) % 0x80).unwrap_or('a'),
+                    1 => char::from_u32((z as u32) % 0x20).unwrap_or('\u{1}'),
+                    2 => char::from_u32(0x1_0000 + (z as u32) % 0xF_0000).unwrap_or('\u{1F600}'),
+                    _ => char::from_u32((z as u32) % 0xD800).unwrap_or('\u{fffd}'),
+                }
+            })
+            .collect()
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// write_str output always parses back to the exact input,
+        /// covering control characters and astral scalars.
+        #[test]
+        fn write_str_round_trips(seed in 0u64..u64::MAX, len in 0usize..64) {
+            let original = seed_to_string(seed, len);
+            let mut rendered = String::new();
+            write_str(&mut rendered, &original);
+            let back = parse(&rendered).expect("rendered string parses");
+            prop_assert_eq!(back.as_str(), Some(original.as_str()));
+        }
+
+        /// Escaped-at-the-source round-trip: rendering a parsed document
+        /// again yields the same value (write → parse → write fixpoint).
+        #[test]
+        fn write_parse_write_is_fixpoint(seed in 0u64..u64::MAX, len in 1usize..48) {
+            let original = seed_to_string(seed, len);
+            let mut first = String::new();
+            write_str(&mut first, &original);
+            let parsed = parse(&first).expect("parses");
+            let mut second = String::new();
+            write_str(&mut second, parsed.as_str().expect("string"));
+            prop_assert_eq!(first, second);
+        }
     }
 }

@@ -1,0 +1,299 @@
+//! Request/response bodies for the service, hand-rendered over
+//! [`obs::json`].
+//!
+//! Rendering is deliberately deterministic: field order is fixed in code,
+//! numbers go through [`obs::json::write_f64`], and nothing
+//! request-varying (timestamps, cache state) enters a body — so identical
+//! requests produce byte-identical responses, which the integration suite
+//! and `serve_bench --smoke` assert.
+
+use obs::json::{self, Json};
+use veribug::{LocalizeOptions, LocalizeReport};
+
+/// A structured error answer; rendered as
+/// `{"error":{"status":...,"kind":...,"message":...[,"line":...,"col":...]}}`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ApiError {
+    /// The HTTP status to answer with.
+    pub status: u16,
+    /// A stable machine-readable discriminator (`bad_json`,
+    /// `verilog_parse`, `queue_full`, `deadline`, ...).
+    pub kind: &'static str,
+    /// Human-readable detail.
+    pub message: String,
+    /// 1-based source line for Verilog parse errors.
+    pub line: Option<u32>,
+    /// 1-based source column for Verilog parse errors.
+    pub col: Option<u32>,
+}
+
+impl ApiError {
+    /// An error without source position.
+    pub fn new(status: u16, kind: &'static str, message: impl Into<String>) -> ApiError {
+        ApiError {
+            status,
+            kind,
+            message: message.into(),
+            line: None,
+            col: None,
+        }
+    }
+
+    /// Attaches a Verilog source position.
+    pub fn at(mut self, span: verilog::Span) -> ApiError {
+        self.line = Some(span.line);
+        self.col = Some(span.col);
+        self
+    }
+
+    /// The JSON body.
+    pub fn body(&self) -> String {
+        let mut out = String::from("{\"error\":{\"status\":");
+        let _ = std::fmt::Write::write_fmt(&mut out, format_args!("{}", self.status));
+        out.push_str(",\"kind\":");
+        json::write_str(&mut out, self.kind);
+        out.push_str(",\"message\":");
+        json::write_str(&mut out, &self.message);
+        if let Some(line) = self.line {
+            let _ = std::fmt::Write::write_fmt(&mut out, format_args!(",\"line\":{line}"));
+        }
+        if let Some(col) = self.col {
+            let _ = std::fmt::Write::write_fmt(&mut out, format_args!(",\"col\":{col}"));
+        }
+        out.push_str("}}\n");
+        out
+    }
+}
+
+/// A parsed `/v1/localize` request body.
+#[derive(Debug, Clone)]
+pub struct LocalizeRequest {
+    /// Golden (reference) Verilog source.
+    pub golden: String,
+    /// Buggy Verilog source.
+    pub buggy: String,
+    /// The output signal to localize against.
+    pub target: String,
+    /// Localization knobs (defaults match the CLI).
+    pub opts: LocalizeOptions,
+    /// Per-request deadline override in milliseconds.
+    pub deadline_ms: Option<u64>,
+}
+
+/// A parsed `/v1/analyze` request body.
+#[derive(Debug, Clone)]
+pub struct AnalyzeRequest {
+    /// The Verilog source to analyze.
+    pub design: String,
+    /// The target signal.
+    pub target: String,
+    /// Cone-of-influence unroll depth.
+    pub depth: u32,
+}
+
+fn parse_body(body: &[u8]) -> Result<Json, ApiError> {
+    let text = std::str::from_utf8(body)
+        .map_err(|_| ApiError::new(400, "bad_json", "request body is not utf-8"))?;
+    json::parse(text).map_err(|e| ApiError::new(400, "bad_json", e))
+}
+
+fn str_field(obj: &Json, key: &str) -> Result<String, ApiError> {
+    match obj.get(key) {
+        Some(Json::Str(s)) => Ok(s.clone()),
+        Some(_) => Err(ApiError::new(
+            400,
+            "bad_field",
+            format!("field `{key}` must be a string"),
+        )),
+        None => Err(ApiError::new(
+            400,
+            "missing_field",
+            format!("missing required field `{key}`"),
+        )),
+    }
+}
+
+fn num_field(obj: &Json, key: &str) -> Result<Option<f64>, ApiError> {
+    match obj.get(key) {
+        None => Ok(None),
+        Some(Json::Num(n)) => Ok(Some(*n)),
+        Some(_) => Err(ApiError::new(
+            400,
+            "bad_field",
+            format!("field `{key}` must be a number"),
+        )),
+    }
+}
+
+fn usize_field(obj: &Json, key: &str, default: usize) -> Result<usize, ApiError> {
+    match num_field(obj, key)? {
+        None => Ok(default),
+        Some(n) if n >= 0.0 && n.fract() == 0.0 => Ok(n as usize),
+        Some(_) => Err(ApiError::new(
+            400,
+            "bad_field",
+            format!("field `{key}` must be a non-negative integer"),
+        )),
+    }
+}
+
+/// Parses a `/v1/localize` body.
+///
+/// # Errors
+///
+/// `400` [`ApiError`]s for malformed JSON, missing required fields, or
+/// wrongly-typed options.
+pub fn parse_localize(body: &[u8]) -> Result<LocalizeRequest, ApiError> {
+    let doc = parse_body(body)?;
+    if doc.as_obj().is_none() {
+        return Err(ApiError::new(400, "bad_json", "body must be a JSON object"));
+    }
+    let golden = str_field(&doc, "golden")?;
+    let buggy = str_field(&doc, "buggy")?;
+    let target = str_field(&doc, "target")?;
+    let mut opts = LocalizeOptions::default();
+    let mut deadline_ms = None;
+    if let Some(o) = doc.get("options") {
+        if o.as_obj().is_none() {
+            return Err(ApiError::new(
+                400,
+                "bad_field",
+                "`options` must be an object",
+            ));
+        }
+        opts.runs = usize_field(o, "runs", opts.runs)?;
+        opts.cycles = usize_field(o, "cycles", opts.cycles)?;
+        opts.run_groups = usize_field(o, "run_groups", opts.run_groups)?;
+        if let Some(t) = num_field(o, "threshold")? {
+            opts.threshold = t as f32;
+        }
+        if let Some(s) = num_field(o, "stim_seed")? {
+            opts.stim_seed = s as u64;
+        }
+        if let Some(h) = num_field(o, "hold_probability")? {
+            opts.hold_probability = h;
+        }
+        if let Some(d) = num_field(o, "deadline_ms")? {
+            deadline_ms = Some(d as u64);
+        }
+    }
+    Ok(LocalizeRequest {
+        golden,
+        buggy,
+        target,
+        opts,
+        deadline_ms,
+    })
+}
+
+/// Parses a `/v1/analyze` body.
+///
+/// # Errors
+///
+/// As [`parse_localize`].
+pub fn parse_analyze(body: &[u8]) -> Result<AnalyzeRequest, ApiError> {
+    let doc = parse_body(body)?;
+    if doc.as_obj().is_none() {
+        return Err(ApiError::new(400, "bad_json", "body must be a JSON object"));
+    }
+    Ok(AnalyzeRequest {
+        design: str_field(&doc, "design")?,
+        target: str_field(&doc, "target")?,
+        depth: usize_field(&doc, "depth", 8)?.min(u32::MAX as usize) as u32,
+    })
+}
+
+/// Renders a [`LocalizeReport`] as the `/v1/localize` 200 body.
+pub fn render_report(report: &LocalizeReport) -> String {
+    let mut out = String::from("{\"module\":");
+    json::write_str(&mut out, &report.module);
+    out.push_str(",\"target\":");
+    json::write_str(&mut out, &report.target);
+    let _ = std::fmt::Write::write_fmt(
+        &mut out,
+        format_args!(
+            ",\"total_runs\":{},\"failing_runs\":{},\"threshold\":",
+            report.total_runs, report.failing_runs
+        ),
+    );
+    json::write_f64(&mut out, f64::from(report.threshold));
+    out.push_str(",\"engine\":");
+    json::write_str(
+        &mut out,
+        match report.engine {
+            sim::EngineKind::Compiled => "compiled",
+            sim::EngineKind::Interpreted => "interpreted",
+        },
+    );
+    out.push_str(",\"suspects\":[");
+    for (i, s) in report.suspects.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("{\"stmt\":");
+        json::write_str(&mut out, &s.stmt.to_string());
+        out.push_str(",\"suspiciousness\":");
+        json::write_f64(&mut out, f64::from(s.suspiciousness));
+        out.push_str(",\"source\":");
+        json::write_str(&mut out, &s.source);
+        out.push('}');
+    }
+    out.push_str("]}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn localize_request_round_trips() {
+        let body = br#"{"golden":"module g; endmodule","buggy":"module b; endmodule",
+                        "target":"y","options":{"runs":8,"cycles":4,"threshold":0.5,
+                        "deadline_ms":250}}"#;
+        let req = parse_localize(body).unwrap();
+        assert_eq!(req.target, "y");
+        assert_eq!(req.opts.runs, 8);
+        assert_eq!(req.opts.cycles, 4);
+        assert!((req.opts.threshold - 0.5).abs() < 1e-6);
+        assert_eq!(req.deadline_ms, Some(250));
+        // Unspecified options keep the CLI defaults.
+        assert_eq!(req.opts.stim_seed, LocalizeOptions::default().stim_seed);
+    }
+
+    #[test]
+    fn missing_field_is_400() {
+        let err = parse_localize(br#"{"golden":"x","buggy":"y"}"#).unwrap_err();
+        assert_eq!(err.status, 400);
+        assert_eq!(err.kind, "missing_field");
+        assert!(err.message.contains("target"));
+    }
+
+    #[test]
+    fn malformed_json_is_400() {
+        let err = parse_localize(b"{not json").unwrap_err();
+        assert_eq!(err.status, 400);
+        assert_eq!(err.kind, "bad_json");
+    }
+
+    #[test]
+    fn bad_option_type_is_400() {
+        let err =
+            parse_localize(br#"{"golden":"g","buggy":"b","target":"y","options":{"runs":"ten"}}"#)
+                .unwrap_err();
+        assert_eq!(err.status, 400);
+        assert_eq!(err.kind, "bad_field");
+    }
+
+    #[test]
+    fn error_body_parses_back() {
+        let e = ApiError::new(422, "verilog_parse", "unexpected token")
+            .at(verilog::Span { line: 3, col: 7 });
+        let doc = obs::json::parse(&e.body()).unwrap();
+        let err = doc.get("error").unwrap();
+        assert_eq!(err.get("status").unwrap().as_num(), Some(422.0));
+        assert_eq!(err.get("kind").unwrap().as_str(), Some("verilog_parse"));
+        assert_eq!(err.get("line").unwrap().as_num(), Some(3.0));
+        assert_eq!(err.get("col").unwrap().as_num(), Some(7.0));
+    }
+}

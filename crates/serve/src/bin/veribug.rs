@@ -1,4 +1,5 @@
-//! The `veribug` command-line tool: train, inject, localize, analyze, dump.
+//! The `veribug` command-line tool: train, inject, localize, analyze,
+//! dump, serve.
 //!
 //! ```text
 //! veribug train    --out model.vbm [--designs N] [--epochs N] [--seed S]
@@ -8,24 +9,30 @@
 //!                  [--misuse N] [--seed S] [--out-dir DIR]
 //! veribug analyze  --design f.v --target T
 //! veribug vcd      --design f.v [--cycles N] [--seed S] --out trace.vcd
+//! veribug serve    [--addr HOST:PORT] [--workers N] [--queue N] [--cache N]
+//!                  [--deadline-ms N] [--max-body N] [--model model.vbm]
+//! veribug --version
 //! ```
 //!
 //! Every subcommand also accepts `--obs <path>` (or the `VERIBUG_OBS`
 //! environment variable) to write a Chrome trace / JSON-lines profile of the
 //! run, and `--quiet` to suppress progress lines (see `veribug-obs`).
+//!
+//! Unknown subcommands and unknown `--flags` are hard errors that print
+//! the valid set and exit nonzero.
 
 use std::collections::HashMap;
 use std::process::ExitCode;
 
-use mutate::{cosimulate_against, golden_traces, BugBudget, Campaign};
+use mutate::{BugBudget, Campaign};
 use rvdg::{Generator, RvdgConfig};
-use sim::{Simulator, TestbenchGen, TraceLabel};
-use veribug::coverage::grouped_heatmap;
-use veribug::explain::LabelledTrace;
+use sim::{Simulator, TestbenchGen};
+use veribug::localize::{self, LocalizeOptions};
 use veribug::model::{ModelConfig, VeriBugModel};
 use veribug::render::render_comparison;
 use veribug::train::{self, Dataset, TrainConfig};
-use veribug::{persist, Explainer, DEFAULT_THRESHOLD};
+use veribug::{persist, DEFAULT_THRESHOLD};
+use veribug_serve::{Server, ServerConfig};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -33,21 +40,35 @@ fn main() -> ExitCode {
         eprintln!("{USAGE}");
         return ExitCode::FAILURE;
     };
-    let opts = parse_opts(&args[1..]);
+    if command == "--version" || command == "-V" || command == "version" {
+        println!("veribug {}", env!("CARGO_PKG_VERSION"));
+        return ExitCode::SUCCESS;
+    }
+    if matches!(command.as_str(), "help" | "--help" | "-h") {
+        println!("{USAGE}");
+        return ExitCode::SUCCESS;
+    }
+    let Some(spec) = COMMANDS.iter().find(|c| c.name == command.as_str()) else {
+        eprintln!(
+            "error: unknown command `{command}`; valid commands: {}\n\n{USAGE}",
+            COMMANDS
+                .iter()
+                .map(|c| c.name)
+                .collect::<Vec<_>>()
+                .join(", ")
+        );
+        return ExitCode::FAILURE;
+    };
+    let opts = match parse_opts(&args[1..], spec) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
     obs::init(opts.get("obs").map(String::as_str));
     obs::set_quiet(opts.contains_key("quiet"));
-    let result = match command.as_str() {
-        "train" => cmd_train(&opts),
-        "localize" => cmd_localize(&opts),
-        "inject" => cmd_inject(&opts),
-        "analyze" => cmd_analyze(&opts),
-        "vcd" => cmd_vcd(&opts),
-        "help" | "--help" | "-h" => {
-            println!("{USAGE}");
-            Ok(())
-        }
-        other => Err(format!("unknown command `{other}`\n{USAGE}").into()),
-    };
+    let result = (spec.run)(&opts);
     obs::report();
     match result {
         Ok(()) => ExitCode::SUCCESS,
@@ -69,6 +90,9 @@ USAGE:
                    [--misuse N] [--seed S] [--out-dir DIR]
   veribug analyze  --design f.v --target T
   veribug vcd      --design f.v [--cycles N] [--seed S] --out trace.vcd
+  veribug serve    [--addr HOST:PORT] [--workers N] [--queue N] [--cache N]
+                   [--deadline-ms N] [--max-body N] [--model model.vbm]
+  veribug --version
 
 Every subcommand also accepts:
   --obs PATH   write a Chrome trace (or .jsonl event log) of the run
@@ -76,28 +100,111 @@ Every subcommand also accepts:
 
 type CmdResult = Result<(), Box<dyn std::error::Error>>;
 
-fn parse_opts(args: &[String]) -> HashMap<String, String> {
+/// One subcommand: its name, the flags it accepts, and its entry point.
+struct Command {
+    name: &'static str,
+    flags: &'static [&'static str],
+    run: fn(&HashMap<String, String>) -> CmdResult,
+}
+
+const COMMANDS: &[Command] = &[
+    Command {
+        name: "train",
+        flags: &["out", "designs", "epochs", "seed"],
+        run: cmd_train,
+    },
+    Command {
+        name: "localize",
+        flags: &[
+            "golden",
+            "buggy",
+            "target",
+            "model",
+            "runs",
+            "cycles",
+            "threshold",
+            "ansi",
+        ],
+        run: cmd_localize,
+    },
+    Command {
+        name: "inject",
+        flags: &[
+            "design",
+            "target",
+            "negation",
+            "operation",
+            "misuse",
+            "seed",
+            "out-dir",
+        ],
+        run: cmd_inject,
+    },
+    Command {
+        name: "analyze",
+        flags: &["design", "target"],
+        run: cmd_analyze,
+    },
+    Command {
+        name: "vcd",
+        flags: &["design", "cycles", "seed", "out"],
+        run: cmd_vcd,
+    },
+    Command {
+        name: "serve",
+        flags: &[
+            "addr",
+            "workers",
+            "queue",
+            "cache",
+            "deadline-ms",
+            "max-body",
+            "model",
+        ],
+        run: cmd_serve,
+    },
+];
+
+/// Flags every subcommand accepts.
+const COMMON_FLAGS: &[&str] = &["obs", "quiet"];
+
+fn parse_opts(args: &[String], spec: &Command) -> Result<HashMap<String, String>, String> {
     let mut out = HashMap::new();
     let mut i = 0;
     while i < args.len() {
         let a = &args[i];
-        if let Some(key) = a.strip_prefix("--") {
-            let value = args.get(i + 1).filter(|v| !v.starts_with("--"));
-            match value {
-                Some(v) => {
-                    out.insert(key.to_owned(), v.clone());
-                    i += 2;
-                }
-                None => {
-                    out.insert(key.to_owned(), "true".to_owned());
-                    i += 1;
-                }
+        let Some(key) = a.strip_prefix("--") else {
+            return Err(format!(
+                "unexpected argument `{a}` for `veribug {}` (flags start with --)",
+                spec.name
+            ));
+        };
+        if !spec.flags.contains(&key) && !COMMON_FLAGS.contains(&key) {
+            let mut valid: Vec<&str> = spec.flags.iter().chain(COMMON_FLAGS).copied().collect();
+            valid.sort_unstable();
+            return Err(format!(
+                "unknown option --{key} for `veribug {}`; valid options: {}",
+                spec.name,
+                valid
+                    .iter()
+                    .map(|f| format!("--{f}"))
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            ));
+        }
+        let value = args.get(i + 1).filter(|v| !v.starts_with("--"));
+        match value {
+            Some(v) => {
+                out.insert(key.to_owned(), v.clone());
+                i += 2;
             }
-        } else {
-            i += 1;
+            None => {
+                out.insert(key.to_owned(), "true".to_owned());
+                i += 1;
+            }
         }
     }
-    out
+    Ok(out)
 }
 
 fn required<'o>(opts: &'o HashMap<String, String>, key: &str) -> Result<&'o str, String> {
@@ -179,79 +286,39 @@ fn cmd_localize(opts: &HashMap<String, String>) -> CmdResult {
     };
     let target = required(opts, "target")?;
     let model = persist::load(required(opts, "model")?)?;
-    let runs: usize = numeric(opts, "runs", 160)?;
-    let cycles: usize = numeric(opts, "cycles", 16)?;
-    let threshold: f32 = numeric(opts, "threshold", DEFAULT_THRESHOLD)?;
+    let localize_opts = LocalizeOptions {
+        runs: numeric(opts, "runs", 160)?,
+        cycles: numeric(opts, "cycles", 16)?,
+        threshold: numeric(opts, "threshold", DEFAULT_THRESHOLD)?,
+        ..LocalizeOptions::default()
+    };
     let ansi = opts.contains_key("ansi");
 
-    let mut golden_sim = {
-        let _span = obs::span("elaborate");
-        Simulator::new(&golden)?
-    };
-    let target_id = golden_sim
-        .netlist()
-        .signal_id(target)
-        .ok_or_else(|| format!("unknown target signal {target}"))?;
-    let stimuli = TestbenchGen::new(0xD0_17)
-        .with_hold_probability(0.8)
-        .generate_many(golden_sim.netlist(), cycles, runs);
-    // Reuse the simulator already built for stimulus generation instead of
-    // elaborating the golden design a second time inside cosimulation.
-    let golden_runs = {
-        let _span = obs::span("simulate");
-        golden_traces(&mut golden_sim, &stimuli)?
-    };
-    let labelled = {
-        let _span = obs::span("campaign");
-        cosimulate_against(&golden_runs, target_id, &buggy, &stimuli)?
-    };
-    let failing = labelled
-        .iter()
-        .filter(|r| r.label == TraceLabel::Failing)
-        .count();
+    let report = localize::run(&model, &golden, &buggy, target, &localize_opts)?;
     obs::progress!(
-        "{failing}/{} runs expose a failure at {target}",
-        labelled.len()
+        "{}/{} runs expose a failure at {target}",
+        report.failing_runs,
+        report.total_runs
     );
-    if failing == 0 {
+    if !report.has_failures() {
         return Err("no failing runs: nothing to localize".into());
     }
-
-    let runs_view: Vec<LabelledTrace<'_>> = labelled
-        .iter()
-        .map(|r| LabelledTrace {
-            trace: &r.trace,
-            label: r.label,
-            failure_cycles: if r.label == TraceLabel::Failing {
-                r.failure_cycles()
-            } else {
-                Vec::new()
-            },
-        })
-        .collect();
-    let _explain_span = obs::span("explain");
-    let mut explainer = Explainer::new(&model, &buggy, target);
-    let heatmap = grouped_heatmap(
-        &mut explainer,
-        &runs_view,
-        threshold,
-        veribug::coverage::DEFAULT_RUN_GROUPS,
-    );
-    if heatmap.is_empty() {
-        println!("heatmap is empty: no statement crossed the {threshold} threshold");
+    if report.suspects.is_empty() {
+        println!(
+            "heatmap is empty: no statement crossed the {} threshold",
+            localize_opts.threshold
+        );
         return Ok(());
     }
     println!("suspicious statements (most suspicious first):");
-    for (stmt, sus) in heatmap.ranked() {
-        let line = buggy
-            .assignment(stmt)
-            .map(|a| format!("{} = {}", a.lhs.base, verilog::print_expr(&a.rhs)))
-            .unwrap_or_else(|| "<unknown>".to_owned());
-        println!("  {sus:.3}  {stmt}  {line}");
+    for s in &report.suspects {
+        println!("  {:.3}  {}  {}", s.suspiciousness, s.stmt, s.source);
     }
     // Render the comparison view for the top candidates.
-    let (_, _, c_map) = explainer.explain(&runs_view, threshold);
-    println!("\n{}", render_comparison(&buggy, &heatmap, &c_map, ansi));
+    println!(
+        "\n{}",
+        render_comparison(&buggy, &report.heatmap, &report.correct_map, ansi)
+    );
     Ok(())
 }
 
@@ -329,5 +396,36 @@ fn cmd_vcd(opts: &HashMap<String, String>) -> CmdResult {
     let trace = sim.run(&stim)?;
     std::fs::write(out, sim::to_vcd(sim.netlist(), &trace, 10))?;
     println!("{cycles} cycles dumped to {out}");
+    Ok(())
+}
+
+fn cmd_serve(opts: &HashMap<String, String>) -> CmdResult {
+    let defaults = ServerConfig::default();
+    let config = ServerConfig {
+        addr: opts
+            .get("addr")
+            .cloned()
+            .unwrap_or_else(|| "127.0.0.1:8080".to_owned()),
+        workers: numeric(opts, "workers", defaults.workers)?,
+        queue_capacity: numeric(opts, "queue", defaults.queue_capacity)?,
+        cache_capacity: numeric(opts, "cache", defaults.cache_capacity)?,
+        deadline: std::time::Duration::from_millis(numeric(
+            opts,
+            "deadline-ms",
+            defaults.deadline.as_millis() as u64,
+        )?),
+        max_body_bytes: numeric(opts, "max-body", defaults.max_body_bytes)?,
+        model_path: opts.get("model").cloned(),
+    };
+    let workers = config.workers;
+    let server = Server::bind(config)?;
+    let addr = server.local_addr()?;
+    // The scrape-friendly line CI and scripts wait for; flushed so readers
+    // on a pipe see it before the first request lands.
+    println!("veribug-serve listening on {addr} ({workers} workers)");
+    use std::io::Write as _;
+    let _ = std::io::stdout().flush();
+    server.run()?;
+    println!("veribug-serve drained and stopped");
     Ok(())
 }

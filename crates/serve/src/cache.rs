@@ -1,0 +1,222 @@
+//! A content-addressed LRU cache of parsed, elaborated, compiled designs.
+//!
+//! Keys are the FNV-1a hash of the Verilog source text, so two requests
+//! carrying the same bytes share one parse → levelize → compile. A hit
+//! costs one [`sim::Simulator::fork`] — the compiled bytecode is behind an
+//! `Arc` and only the mutable evaluation state is reallocated. Eviction is
+//! least-recently-used under a single mutex; builds happen *outside* the
+//! lock so a slow compile never blocks hits on other designs.
+//!
+//! Failures (parse or elaboration errors) are not cached: they are cheap
+//! to reproduce and the offending source is unlikely to repeat.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+use sim::Simulator;
+use verilog::Module;
+
+static CACHE_HITS: obs::LazyCounter = obs::LazyCounter::new("serve.cache.hits");
+static CACHE_MISSES: obs::LazyCounter = obs::LazyCounter::new("serve.cache.misses");
+static CACHE_EVICTIONS: obs::LazyCounter = obs::LazyCounter::new("serve.cache.evictions");
+
+/// FNV-1a over `bytes` (the 64-bit variant).
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+/// Why a design could not enter the cache.
+#[derive(Debug)]
+pub enum BuildError {
+    /// The source failed to parse (carries line/column via
+    /// [`verilog::ParseError::span`]).
+    Parse(verilog::ParseError),
+    /// The design parsed but elaboration/compilation failed.
+    Elab(sim::SimError),
+}
+
+impl std::fmt::Display for BuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BuildError::Parse(e) => write!(f, "{e}"),
+            BuildError::Elab(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+/// What a cache lookup hands back.
+#[derive(Debug)]
+pub struct CachedDesign {
+    /// The parsed module.
+    pub module: Arc<Module>,
+    /// A private simulator forked off the cached template: shares the
+    /// compiled bytecode, owns its evaluation state.
+    pub sim: Simulator,
+    /// True when the compiled design was already cached.
+    pub hit: bool,
+}
+
+struct Entry {
+    module: Arc<Module>,
+    template: Simulator,
+    last_used: u64,
+}
+
+struct CacheInner {
+    entries: HashMap<u64, Entry>,
+    tick: u64,
+}
+
+/// The cache itself. Cheap to share behind an `Arc`.
+pub struct DesignCache {
+    capacity: usize,
+    inner: Mutex<CacheInner>,
+}
+
+impl DesignCache {
+    /// A cache holding at most `capacity` compiled designs (min 1).
+    pub fn new(capacity: usize) -> DesignCache {
+        DesignCache {
+            capacity: capacity.max(1),
+            inner: Mutex::new(CacheInner {
+                entries: HashMap::new(),
+                tick: 0,
+            }),
+        }
+    }
+
+    /// Looks up `source`, building (and caching) on a miss.
+    ///
+    /// # Errors
+    ///
+    /// [`BuildError::Parse`] / [`BuildError::Elab`] when the source is
+    /// unusable; errors are never cached.
+    pub fn get(&self, source: &str) -> Result<CachedDesign, BuildError> {
+        let key = fnv1a(source.as_bytes());
+        {
+            let mut c = self.inner.lock().expect("design cache lock");
+            c.tick += 1;
+            let tick = c.tick;
+            if let Some(e) = c.entries.get_mut(&key) {
+                e.last_used = tick;
+                CACHE_HITS.incr();
+                return Ok(CachedDesign {
+                    module: Arc::clone(&e.module),
+                    sim: e.template.fork(),
+                    hit: true,
+                });
+            }
+        }
+        CACHE_MISSES.incr();
+        let module = Arc::new(
+            verilog::parse(source)
+                .map_err(BuildError::Parse)?
+                .top()
+                .clone(),
+        );
+        let template = Simulator::new(&module).map_err(BuildError::Elab)?;
+        let sim = template.fork();
+        let mut c = self.inner.lock().expect("design cache lock");
+        c.tick += 1;
+        let tick = c.tick;
+        if !c.entries.contains_key(&key) && c.entries.len() >= self.capacity {
+            let lru = c
+                .entries
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(&k, _)| k);
+            if let Some(lru) = lru {
+                c.entries.remove(&lru);
+                CACHE_EVICTIONS.incr();
+            }
+        }
+        c.entries.insert(
+            key,
+            Entry {
+                module: Arc::clone(&module),
+                template,
+                last_used: tick,
+            },
+        );
+        Ok(CachedDesign {
+            module,
+            sim,
+            hit: false,
+        })
+    }
+
+    /// Number of designs currently cached.
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("design cache lock").entries.len()
+    }
+
+    /// True when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SRC_A: &str = "module a(input x, input y, output z);\nassign z = x & y;\nendmodule";
+    const SRC_B: &str = "module b(input x, input y, output z);\nassign z = x | y;\nendmodule";
+    const SRC_C: &str = "module c(input x, output z);\nassign z = !x;\nendmodule";
+
+    #[test]
+    fn second_lookup_is_a_hit() {
+        let cache = DesignCache::new(4);
+        let first = cache.get(SRC_A).unwrap();
+        assert!(!first.hit);
+        let second = cache.get(SRC_A).unwrap();
+        assert!(second.hit);
+        assert_eq!(first.module.name, second.module.name);
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn forked_sims_are_independent_and_equivalent() {
+        let cache = DesignCache::new(4);
+        let mut cold = cache.get(SRC_A).unwrap();
+        let mut warm = cache.get(SRC_A).unwrap();
+        let stim = sim::TestbenchGen::new(7).generate(cold.sim.netlist(), 8);
+        let t1 = cold.sim.run(&stim).unwrap();
+        let t2 = warm.sim.run(&stim).unwrap();
+        assert_eq!(t1, t2, "cold and cached forks simulate identically");
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used() {
+        let cache = DesignCache::new(2);
+        cache.get(SRC_A).unwrap();
+        cache.get(SRC_B).unwrap();
+        cache.get(SRC_A).unwrap(); // refresh A; B is now LRU
+        cache.get(SRC_C).unwrap(); // evicts B
+        assert_eq!(cache.len(), 2);
+        assert!(cache.get(SRC_A).unwrap().hit, "A survived");
+        assert!(!cache.get(SRC_B).unwrap().hit, "B was evicted");
+    }
+
+    #[test]
+    fn parse_errors_are_typed_and_not_cached() {
+        let cache = DesignCache::new(4);
+        let err = cache.get("module broken(").unwrap_err();
+        assert!(matches!(err, BuildError::Parse(_)));
+        assert_eq!(cache.len(), 0);
+        let again = cache.get("module broken(").unwrap_err();
+        assert!(matches!(again, BuildError::Parse(_)));
+    }
+
+    #[test]
+    fn fnv1a_is_stable_and_discriminating() {
+        assert_eq!(fnv1a(b""), 0xcbf2_9ce4_8422_2325);
+        assert_ne!(fnv1a(SRC_A.as_bytes()), fnv1a(SRC_B.as_bytes()));
+        assert_eq!(fnv1a(SRC_A.as_bytes()), fnv1a(SRC_A.as_bytes()));
+    }
+}

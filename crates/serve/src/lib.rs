@@ -1,0 +1,48 @@
+//! # veribug-serve
+//!
+//! A zero-dependency HTTP/1.1 bug-localization service built on
+//! `std::net::TcpListener`. The server exposes the same localization
+//! pipeline as the `veribug localize` CLI command (both call
+//! [`veribug::localize`]), wrapped in the machinery a long-running process
+//! needs:
+//!
+//! - a **bounded worker pool** ([`pool`]) fed by a bounded queue —
+//!   saturation answers `429` instead of queueing unboundedly;
+//! - a **content-addressed LRU cache** ([`cache`]) of parsed, elaborated,
+//!   and compiled designs — repeat requests skip parse → levelize →
+//!   compile and fork the cached bytecode instead;
+//! - **per-request deadlines** via [`sim::CancelToken`], threaded into the
+//!   simulator's cycle loop — an expired deadline answers `504` and
+//!   discards partial work;
+//! - **request isolation** — malformed JSON answers `400`, Verilog parse
+//!   errors `422` (with line/column), oversized bodies `413`, and a
+//!   panicking handler answers `500` without taking down the listener;
+//! - **graceful shutdown** — `POST /v1/shutdown` stops the accept loop,
+//!   drains queued and in-flight requests, then returns from
+//!   [`server::Server::run`].
+//!
+//! ## Endpoints
+//!
+//! | Route               | Meaning                                           |
+//! |---------------------|---------------------------------------------------|
+//! | `POST /v1/localize` | golden+buggy source → ranked suspect statements   |
+//! | `POST /v1/analyze`  | design source → dependencies, slice, COI summary  |
+//! | `GET /healthz`      | liveness + pool/cache occupancy                   |
+//! | `GET /metricsz`     | `veribug-obs` counters/gauges/histograms as JSON  |
+//! | `POST /v1/shutdown` | begin graceful drain                              |
+//!
+//! Responses are deterministic: two identical `/v1/localize` requests
+//! produce byte-identical bodies whether they hit the design cache or not
+//! (cache status travels in the `x-veribug-cache` response *header*).
+
+#![warn(missing_docs)]
+
+pub mod api;
+pub mod cache;
+pub mod http;
+pub mod pool;
+pub mod server;
+
+pub use cache::DesignCache;
+pub use pool::{Pool, SubmitError};
+pub use server::{Server, ServerConfig, ServerHandle};

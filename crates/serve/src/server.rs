@@ -1,0 +1,498 @@
+//! The accept loop, router, and request lifecycle.
+//!
+//! One thread accepts connections and hands each to the bounded
+//! [`Pool`](crate::pool::Pool); backpressure (queue full) is answered with
+//! `429` directly from the accept loop. Workers read the request, route
+//! it, and write exactly one response. Every request runs under a
+//! `serve.request` span with per-stage child spans (`elaborate`,
+//! `simulate`, `campaign`, `explain` come from the localize pipeline
+//! itself), a panic inside a handler answers `500` without killing the
+//! worker, and a fired deadline answers `504`.
+//!
+//! Shutdown is cooperative: `POST /v1/shutdown` (or
+//! [`ServerHandle::shutdown`]) flips a flag the accept loop polls; the
+//! loop stops accepting, the pool drains queued and in-flight work, and
+//! [`Server::run`] returns.
+
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use sim::CancelToken;
+use veribug::model::{ModelConfig, VeriBugModel};
+use veribug::VeriBugError;
+
+use crate::api::{self, ApiError};
+use crate::cache::{BuildError, DesignCache};
+use crate::http::{self, ReadError, Request};
+use crate::pool::Pool;
+
+static REQUESTS: obs::LazyCounter = obs::LazyCounter::new("serve.requests");
+static REJECTED_FULL: obs::LazyCounter = obs::LazyCounter::new("serve.rejected.queue_full");
+static RESP_2XX: obs::LazyCounter = obs::LazyCounter::new("serve.responses.2xx");
+static RESP_4XX: obs::LazyCounter = obs::LazyCounter::new("serve.responses.4xx");
+static RESP_5XX: obs::LazyCounter = obs::LazyCounter::new("serve.responses.5xx");
+static PANICS: obs::LazyCounter = obs::LazyCounter::new("serve.panics");
+static DEADLINES: obs::LazyCounter = obs::LazyCounter::new("serve.deadline_exceeded");
+static REQUEST_SECONDS: obs::LazyHistogram =
+    obs::LazyHistogram::new_micros("serve.request.seconds");
+
+const CONTENT_JSON: &str = "application/json";
+
+/// Server tunables. [`Default`] is suitable for localhost use.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address; port 0 picks an ephemeral port.
+    pub addr: String,
+    /// Worker threads. Defaults to [`par::max_threads`], so
+    /// `VERIBUG_THREADS` sizes the pool.
+    pub workers: usize,
+    /// Pending-request queue bound (beyond this, `429`).
+    pub queue_capacity: usize,
+    /// Compiled designs kept in the LRU cache.
+    pub cache_capacity: usize,
+    /// Default per-request deadline (a request's `options.deadline_ms`
+    /// overrides it).
+    pub deadline: Duration,
+    /// Largest accepted request body (beyond this, `413`).
+    pub max_body_bytes: usize,
+    /// Optional path to a trained model (`veribug train --out ...`).
+    /// Without one, an untrained deterministic model is used.
+    pub model_path: Option<String>,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        let workers = par::max_threads();
+        ServerConfig {
+            addr: "127.0.0.1:0".to_owned(),
+            workers,
+            queue_capacity: workers.saturating_mul(4).max(4),
+            cache_capacity: 64,
+            deadline: Duration::from_secs(10),
+            max_body_bytes: 4 * 1024 * 1024,
+            model_path: None,
+        }
+    }
+}
+
+pub(crate) struct ServerState {
+    config: ServerConfig,
+    model: VeriBugModel,
+    cache: DesignCache,
+    shutdown: AtomicBool,
+    started: Instant,
+}
+
+/// A bound, not-yet-running server.
+pub struct Server {
+    listener: TcpListener,
+    state: Arc<ServerState>,
+    pool: Arc<Pool>,
+}
+
+/// A cloneable remote control for a running [`Server`].
+#[derive(Clone)]
+pub struct ServerHandle {
+    state: Arc<ServerState>,
+    addr: SocketAddr,
+}
+
+impl ServerHandle {
+    /// The bound address (useful with ephemeral ports).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Begins graceful shutdown, equivalent to `POST /v1/shutdown`.
+    pub fn shutdown(&self) {
+        self.state.shutdown.store(true, Ordering::SeqCst);
+    }
+}
+
+impl Server {
+    /// Binds the listener, loads the model (if configured), spawns the
+    /// worker pool, and enables obs collection (the service's `/metricsz`
+    /// is only useful with metrics on).
+    ///
+    /// # Errors
+    ///
+    /// I/O errors from binding; a model that fails to load surfaces as
+    /// [`std::io::ErrorKind::InvalidData`].
+    pub fn bind(config: ServerConfig) -> std::io::Result<Server> {
+        obs::enable();
+        let model = match &config.model_path {
+            Some(path) => veribug::persist::load(path).map_err(|e| {
+                std::io::Error::new(
+                    std::io::ErrorKind::InvalidData,
+                    format!("cannot load model `{path}`: {e}"),
+                )
+            })?,
+            None => VeriBugModel::new(ModelConfig::default()),
+        };
+        let listener = TcpListener::bind(&config.addr)?;
+        let pool = Arc::new(Pool::new(config.workers, config.queue_capacity));
+        let state = Arc::new(ServerState {
+            cache: DesignCache::new(config.cache_capacity),
+            model,
+            config,
+            shutdown: AtomicBool::new(false),
+            started: Instant::now(),
+        });
+        Ok(Server {
+            listener,
+            state,
+            pool,
+        })
+    }
+
+    /// The bound address.
+    ///
+    /// # Errors
+    ///
+    /// Propagates `local_addr` failures.
+    pub fn local_addr(&self) -> std::io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// A handle that can stop the server from another thread.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the listener's local address cannot be read.
+    pub fn handle(&self) -> ServerHandle {
+        ServerHandle {
+            state: Arc::clone(&self.state),
+            addr: self.listener.local_addr().expect("server local addr"),
+        }
+    }
+
+    /// Serves until shutdown is requested, then drains queued and
+    /// in-flight requests and returns. Blocks the calling thread.
+    ///
+    /// # Errors
+    ///
+    /// Fatal listener errors only; per-connection errors are handled
+    /// in-line.
+    pub fn run(self) -> std::io::Result<()> {
+        self.listener.set_nonblocking(true)?;
+        loop {
+            if self.state.shutdown.load(Ordering::SeqCst) {
+                break;
+            }
+            match self.listener.accept() {
+                Ok((stream, _peer)) => {
+                    // The accept loop is the only producer, so this
+                    // check-then-submit cannot race another submit; workers
+                    // only shrink the queue in between.
+                    if self.pool.is_full() {
+                        REJECTED_FULL.incr();
+                        reject(
+                            stream,
+                            ApiError::new(429, "queue_full", "request queue is full"),
+                            self.state.config.max_body_bytes,
+                        );
+                        continue;
+                    }
+                    let state = Arc::clone(&self.state);
+                    let _ = self.pool.submit(move || {
+                        handle_connection(&state, stream);
+                        obs::flush_thread();
+                    });
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(Duration::from_millis(2));
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(e),
+            }
+        }
+        obs::progress!("serve: draining in-flight requests");
+        self.pool.shutdown();
+        obs::flush_thread();
+        obs::progress!("serve: drained, listener closed");
+        Ok(())
+    }
+}
+
+/// Answers a connection the pool never saw (backpressure rejections) on a
+/// short-lived throwaway thread: the request is read (and discarded)
+/// before the error is written, so the client never races a connection
+/// reset while still sending — and the accept loop never blocks on a slow
+/// client's socket.
+fn reject(stream: TcpStream, err: ApiError, max_body: usize) {
+    track_status(err.status);
+    obs::flush_thread();
+    let _ = std::thread::Builder::new()
+        .name("veribug-serve-reject".to_owned())
+        .spawn(move || {
+            let mut stream = stream;
+            let _ = stream.set_nonblocking(false);
+            let _ = stream.set_read_timeout(Some(Duration::from_secs(2)));
+            let _ = stream.set_write_timeout(Some(Duration::from_secs(2)));
+            let _ = http::read_request(&mut stream, max_body);
+            let _ = http::write_response(
+                &mut stream,
+                err.status,
+                CONTENT_JSON,
+                &[],
+                err.body().as_bytes(),
+            );
+        });
+}
+
+fn track_status(status: u16) {
+    match status / 100 {
+        2 => RESP_2XX.incr(),
+        4 => RESP_4XX.incr(),
+        _ => RESP_5XX.incr(),
+    }
+}
+
+fn handle_connection(state: &ServerState, mut stream: TcpStream) {
+    let started = Instant::now();
+    let _ = stream.set_nonblocking(false);
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(10)));
+    let _ = stream.set_write_timeout(Some(Duration::from_secs(10)));
+    REQUESTS.incr();
+    let req = match http::read_request(&mut stream, state.config.max_body_bytes) {
+        Ok(r) => r,
+        Err(ReadError::TooLarge { limit, declared }) => {
+            let err = ApiError::new(
+                413,
+                "body_too_large",
+                format!("body of {declared} bytes exceeds the {limit}-byte limit"),
+            );
+            let _ =
+                http::write_response(&mut stream, 413, CONTENT_JSON, &[], err.body().as_bytes());
+            track_status(413);
+            return;
+        }
+        Err(ReadError::BadRequest(detail)) => {
+            let err = ApiError::new(400, "bad_request", detail);
+            let _ =
+                http::write_response(&mut stream, 400, CONTENT_JSON, &[], err.body().as_bytes());
+            track_status(400);
+            return;
+        }
+        Err(ReadError::Io(_)) => return,
+    };
+    let _span = obs::span("serve.request");
+    let outcome = catch_unwind(AssertUnwindSafe(|| route(state, &req, &mut stream)));
+    let status = match outcome {
+        Ok(status) => status,
+        Err(_) => {
+            PANICS.incr();
+            let err = ApiError::new(500, "panic", "request handler panicked");
+            let _ =
+                http::write_response(&mut stream, 500, CONTENT_JSON, &[], err.body().as_bytes());
+            500
+        }
+    };
+    track_status(status);
+    let elapsed = started.elapsed();
+    REQUEST_SECONDS.record_f64(elapsed.as_secs_f64());
+    obs::progress!(
+        "serve: {} {} -> {} in {:.1}ms",
+        req.method,
+        req.path,
+        status,
+        elapsed.as_secs_f64() * 1e3
+    );
+}
+
+/// Dispatches one request, writes one response, returns the status.
+fn route(state: &ServerState, req: &Request, stream: &mut TcpStream) -> u16 {
+    let path = req.path.split('?').next().unwrap_or(&req.path);
+    match (req.method.as_str(), path) {
+        ("POST", "/v1/localize") => handle_localize(state, &req.body, stream),
+        ("POST", "/v1/analyze") => handle_analyze(&req.body, stream),
+        ("POST", "/v1/shutdown") => {
+            state.shutdown.store(true, Ordering::SeqCst);
+            respond(stream, 200, &[], "{\"status\":\"draining\"}\n")
+        }
+        ("GET", "/healthz") => handle_healthz(state, stream),
+        ("GET", "/metricsz") => {
+            obs::flush_thread();
+            let body = obs::export::metricsz(&obs::snapshot());
+            respond(stream, 200, &[], &body)
+        }
+        (
+            "GET" | "POST",
+            "/v1/localize" | "/v1/analyze" | "/v1/shutdown" | "/healthz" | "/metricsz",
+        ) => {
+            let err = ApiError::new(
+                405,
+                "method_not_allowed",
+                format!("{} is not supported on {path}", req.method),
+            );
+            respond(stream, 405, &[], &err.body())
+        }
+        _ => {
+            let err = ApiError::new(404, "not_found", format!("no route for {path}"));
+            respond(stream, 404, &[], &err.body())
+        }
+    }
+}
+
+fn respond(stream: &mut TcpStream, status: u16, extra: &[(&str, &str)], body: &str) -> u16 {
+    let _ = http::write_response(stream, status, CONTENT_JSON, extra, body.as_bytes());
+    status
+}
+
+fn build_error(which: &'static str, e: BuildError) -> ApiError {
+    match e {
+        BuildError::Parse(p) => ApiError::new(
+            422,
+            "verilog_parse",
+            format!("{which} design does not parse: {p}"),
+        )
+        .at(p.span()),
+        BuildError::Elab(s) => ApiError::new(
+            422,
+            "elaboration",
+            format!("{which} design does not elaborate: {s}"),
+        ),
+    }
+}
+
+fn handle_localize(state: &ServerState, body: &[u8], stream: &mut TcpStream) -> u16 {
+    let parsed = match api::parse_localize(body) {
+        Ok(p) => p,
+        Err(e) => return respond(stream, e.status, &[], &e.body()),
+    };
+    let (mut golden, mut buggy) = {
+        let _span = obs::span("serve.cache");
+        let golden = match state.cache.get(&parsed.golden) {
+            Ok(d) => d,
+            Err(e) => {
+                let e = build_error("golden", e);
+                return respond(stream, e.status, &[], &e.body());
+            }
+        };
+        let buggy = match state.cache.get(&parsed.buggy) {
+            Ok(d) => d,
+            Err(e) => {
+                let e = build_error("buggy", e);
+                return respond(stream, e.status, &[], &e.body());
+            }
+        };
+        (golden, buggy)
+    };
+    let deadline = parsed
+        .deadline_ms
+        .map(Duration::from_millis)
+        .unwrap_or(state.config.deadline);
+    let cancel = CancelToken::with_deadline(Instant::now() + deadline);
+    let result = veribug::localize::run_with_sims(
+        &state.model,
+        &mut golden.sim,
+        &mut buggy.sim,
+        &parsed.target,
+        &parsed.opts,
+        &cancel,
+    );
+    // Cache status travels in a header, never the body, so identical
+    // requests stay byte-identical cold or warm.
+    let cache_note = format!(
+        "golden={},buggy={}",
+        if golden.hit { "hit" } else { "miss" },
+        if buggy.hit { "hit" } else { "miss" }
+    );
+    let extra: &[(&str, &str)] = &[("x-veribug-cache", &cache_note)];
+    match result {
+        Ok(report) => respond(stream, 200, extra, &api::render_report(&report)),
+        Err(VeriBugError::Sim(sim::SimError::Cancelled { at_cycle })) => {
+            DEADLINES.incr();
+            let e = ApiError::new(
+                504,
+                "deadline",
+                format!(
+                    "deadline of {}ms exceeded (cancelled at cycle {at_cycle}); partial work discarded",
+                    deadline.as_millis()
+                ),
+            );
+            respond(stream, 504, extra, &e.body())
+        }
+        Err(VeriBugError::UnknownTarget { target }) => {
+            let e = ApiError::new(
+                422,
+                "unknown_target",
+                format!("target `{target}` is not a signal of the golden design"),
+            );
+            respond(stream, 422, extra, &e.body())
+        }
+        Err(other) => {
+            let e = ApiError::new(422, "localize", other.to_string());
+            respond(stream, 422, extra, &e.body())
+        }
+    }
+}
+
+fn handle_analyze(body: &[u8], stream: &mut TcpStream) -> u16 {
+    let parsed = match api::parse_analyze(body) {
+        Ok(p) => p,
+        Err(e) => return respond(stream, e.status, &[], &e.body()),
+    };
+    let module = match verilog::parse(&parsed.design) {
+        Ok(m) => m.top().clone(),
+        Err(p) => {
+            let e = ApiError::new(422, "verilog_parse", format!("design does not parse: {p}"))
+                .at(p.span());
+            return respond(stream, e.status, &[], &e.body());
+        }
+    };
+    let _span = obs::span("serve.analyze");
+    let vdg = cdfg::Vdg::build(&module);
+    let dep = cdfg::dependencies_of(&vdg, &parsed.target);
+    let slice = cdfg::Slice::of_target(&module, &parsed.target);
+    let coi = cdfg::ConeOfInfluence::compute(&vdg, &parsed.target, parsed.depth);
+    let mut out = String::from("{\"module\":");
+    obs::json::write_str(&mut out, &module.name);
+    out.push_str(",\"target\":");
+    obs::json::write_str(&mut out, &parsed.target);
+    out.push_str(",\"dep\":[");
+    for (i, d) in dep.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        obs::json::write_str(&mut out, d);
+    }
+    out.push_str("],\"slice\":[");
+    for (i, stmt) in slice.stmts.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("{\"stmt\":");
+        obs::json::write_str(&mut out, &stmt.to_string());
+        if let Some(a) = module.assignment(*stmt) {
+            let depth = coi.min_cycles.get(&a.lhs.base).copied().unwrap_or(0);
+            let _ = std::fmt::Write::write_fmt(&mut out, format_args!(",\"depth\":{depth}"));
+            out.push_str(",\"source\":");
+            obs::json::write_str(
+                &mut out,
+                &format!("{} = {}", a.lhs.base, verilog::print_expr(&a.rhs)),
+            );
+        }
+        out.push('}');
+    }
+    let _ = std::fmt::Write::write_fmt(
+        &mut out,
+        format_args!("],\"statements\":{}}}\n", slice.len()),
+    );
+    respond(stream, 200, &[], &out)
+}
+
+fn handle_healthz(state: &ServerState, stream: &mut TcpStream) -> u16 {
+    let uptime_ms = state.started.elapsed().as_millis();
+    let body = format!(
+        "{{\"status\":\"ok\",\"uptime_ms\":{uptime_ms},\"workers\":{},\"queue_capacity\":{},\"cache_entries\":{},\"cache_capacity\":{}}}\n",
+        state.config.workers,
+        state.config.queue_capacity,
+        state.cache.len(),
+        state.config.cache_capacity,
+    );
+    respond(stream, 200, &[], &body)
+}

@@ -1,0 +1,242 @@
+//! End-to-end tests of the `veribug` binary: version/usage/flag
+//! validation, and the localize CLI↔server equivalence (byte-identical
+//! suspect rankings).
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::path::PathBuf;
+use std::process::{Command, Stdio};
+use std::time::Duration;
+
+const BIN: &str = env!("CARGO_BIN_EXE_veribug");
+
+const GOLDEN: &str = "module m(input a, input b, input c, output y);\n\
+                      wire t;\nassign t = a & b;\nassign y = t | c;\nendmodule";
+const BUGGY: &str = "module m(input a, input b, input c, output y);\n\
+                     wire t;\nassign t = a | b;\nassign y = t | c;\nendmodule";
+
+fn scratch_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("veribug-cli-{tag}-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create scratch dir");
+    dir
+}
+
+#[test]
+fn version_flag_prints_version() {
+    for flag in ["--version", "-V", "version"] {
+        let out = Command::new(BIN).arg(flag).output().expect("run");
+        assert!(out.status.success(), "{flag} exits 0");
+        let stdout = String::from_utf8_lossy(&out.stdout);
+        assert_eq!(
+            stdout.trim(),
+            format!("veribug {}", env!("CARGO_PKG_VERSION"))
+        );
+    }
+}
+
+#[test]
+fn unknown_subcommand_lists_valid_commands_and_fails() {
+    let out = Command::new(BIN).arg("frobnicate").output().expect("run");
+    assert!(!out.status.success(), "unknown command exits nonzero");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("unknown command `frobnicate`"), "{stderr}");
+    for cmd in ["train", "localize", "inject", "analyze", "vcd", "serve"] {
+        assert!(stderr.contains(cmd), "stderr lists `{cmd}`: {stderr}");
+    }
+}
+
+#[test]
+fn unknown_flag_lists_valid_flags_and_fails() {
+    let out = Command::new(BIN)
+        .args(["localize", "--bogus", "x"])
+        .output()
+        .expect("run");
+    assert!(!out.status.success(), "unknown flag exits nonzero");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("unknown option --bogus"), "{stderr}");
+    for flag in ["--golden", "--buggy", "--target", "--model", "--obs"] {
+        assert!(stderr.contains(flag), "stderr lists `{flag}`: {stderr}");
+    }
+}
+
+#[test]
+fn positional_arguments_are_rejected() {
+    let out = Command::new(BIN)
+        .args(["analyze", "design.v"])
+        .output()
+        .expect("run");
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("unexpected argument `design.v`"),
+        "{stderr}"
+    );
+}
+
+#[test]
+fn missing_required_option_fails() {
+    let out = Command::new(BIN).arg("train").output().expect("run");
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("missing required option --out"), "{stderr}");
+}
+
+#[test]
+fn help_prints_usage_and_succeeds() {
+    let out = Command::new(BIN).arg("--help").output().expect("run");
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("USAGE"), "{stdout}");
+    assert!(stdout.contains("veribug serve"), "{stdout}");
+}
+
+/// The acceptance check: the CLI and the server produce byte-identical
+/// suspect rankings for the same inputs (both run `veribug::localize`).
+#[test]
+fn cli_and_server_rank_suspects_identically() {
+    let dir = scratch_dir("equiv");
+    let golden_path = dir.join("golden.v");
+    let buggy_path = dir.join("buggy.v");
+    let model_path = dir.join("model.vbm");
+    std::fs::write(&golden_path, GOLDEN).unwrap();
+    std::fs::write(&buggy_path, BUGGY).unwrap();
+    let model = veribug::model::VeriBugModel::new(veribug::model::ModelConfig::default());
+    veribug::persist::save(&model, model_path.to_str().unwrap()).unwrap();
+
+    let out = Command::new(BIN)
+        .args([
+            "localize",
+            "--golden",
+            golden_path.to_str().unwrap(),
+            "--buggy",
+            buggy_path.to_str().unwrap(),
+            "--target",
+            "y",
+            "--model",
+            model_path.to_str().unwrap(),
+            "--runs",
+            "24",
+            "--cycles",
+            "8",
+            "--threshold",
+            "0.01",
+            "--quiet",
+        ])
+        .output()
+        .expect("run localize");
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let cli_ranking: Vec<&str> = stdout
+        .lines()
+        .skip_while(|l| !l.starts_with("suspicious statements"))
+        .skip(1)
+        .take_while(|l| l.starts_with("  "))
+        .collect();
+    assert!(!cli_ranking.is_empty(), "CLI produced a ranking: {stdout}");
+
+    // The same request through the serving layer.
+    let server = veribug_serve::Server::bind(veribug_serve::ServerConfig {
+        model_path: Some(model_path.to_str().unwrap().to_owned()),
+        ..Default::default()
+    })
+    .expect("bind");
+    let addr = server.local_addr().unwrap();
+    let handle = server.handle();
+    let join = std::thread::spawn(move || server.run());
+    let mut body = String::from("{\"golden\":");
+    obs::json::write_str(&mut body, GOLDEN);
+    body.push_str(",\"buggy\":");
+    obs::json::write_str(&mut body, BUGGY);
+    body.push_str(",\"target\":\"y\",\"options\":{\"runs\":24,\"cycles\":8,\"threshold\":0.01}}");
+    let mut stream = TcpStream::connect(addr).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(60)))
+        .unwrap();
+    write!(
+        stream,
+        "POST /v1/localize HTTP/1.1\r\nHost: x\r\nContent-Length: {}\r\n\r\n{body}",
+        body.len()
+    )
+    .unwrap();
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw).unwrap();
+    handle.shutdown();
+    join.join().unwrap().unwrap();
+    assert!(raw.starts_with("HTTP/1.1 200"), "response: {raw}");
+    let payload = raw.split("\r\n\r\n").nth(1).expect("body");
+    let doc = obs::json::parse(payload).expect("json body");
+    let server_ranking: Vec<String> = doc
+        .get("suspects")
+        .unwrap()
+        .as_arr()
+        .unwrap()
+        .iter()
+        .map(|s| {
+            format!(
+                "  {:.3}  {}  {}",
+                s.get("suspiciousness").unwrap().as_num().unwrap(),
+                s.get("stmt").unwrap().as_str().unwrap(),
+                s.get("source").unwrap().as_str().unwrap()
+            )
+        })
+        .collect();
+    assert_eq!(
+        cli_ranking, server_ranking,
+        "CLI and server rankings are byte-identical"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// `veribug serve` end to end as a subprocess: scrape the ephemeral port
+/// from stdout, hit /healthz, drain via /v1/shutdown, and require a clean
+/// exit.
+#[test]
+fn serve_subcommand_runs_and_drains() {
+    let mut child = Command::new(BIN)
+        .args([
+            "serve",
+            "--addr",
+            "127.0.0.1:0",
+            "--workers",
+            "2",
+            "--quiet",
+        ])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn serve");
+    let stdout = child.stdout.take().expect("piped stdout");
+    let mut reader = BufReader::new(stdout);
+    let mut line = String::new();
+    reader.read_line(&mut line).expect("banner line");
+    let addr = line
+        .split("listening on ")
+        .nth(1)
+        .and_then(|rest| rest.split_whitespace().next())
+        .expect("address in banner")
+        .to_owned();
+
+    let get = |path: &str| -> String {
+        let mut s = TcpStream::connect(&addr).expect("connect");
+        s.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+        write!(s, "GET {path} HTTP/1.1\r\nHost: x\r\n\r\n").unwrap();
+        let mut out = String::new();
+        s.read_to_string(&mut out).unwrap();
+        out
+    };
+    assert!(get("/healthz").starts_with("HTTP/1.1 200"), "healthz is up");
+
+    let mut s = TcpStream::connect(&addr).expect("connect");
+    write!(s, "POST /v1/shutdown HTTP/1.1\r\nHost: x\r\n\r\n").unwrap();
+    let mut out = String::new();
+    s.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+    s.read_to_string(&mut out).unwrap();
+    assert!(out.starts_with("HTTP/1.1 200"), "shutdown accepted: {out}");
+
+    let status = child.wait().expect("serve exits");
+    assert!(status.success(), "serve exits 0 after drain");
+}

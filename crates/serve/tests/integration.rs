@@ -1,0 +1,356 @@
+//! Localhost integration tests for `veribug-serve`, covering every
+//! acceptance case: happy path (same ranking as the CLI pipeline),
+//! malformed JSON → 400, Verilog parse error → 422 with line/col,
+//! queue-full → 429, deadline → 504, cache hits (asserted via obs
+//! counters), and graceful shutdown draining in-flight work.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+use obs::json::{self, Json};
+use veribug_serve::{Server, ServerConfig, ServerHandle};
+
+const GOLDEN: &str = "module m(input a, input b, input c, output y);\n\
+                      wire t;\nassign t = a & b;\nassign y = t | c;\nendmodule";
+const BUGGY: &str = "module m(input a, input b, input c, output y);\n\
+                     wire t;\nassign t = a | b;\nassign y = t | c;\nendmodule";
+
+/// A parsed HTTP response.
+struct Response {
+    status: u16,
+    headers: Vec<(String, String)>,
+    body: String,
+}
+
+impl Response {
+    fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(n, _)| n.eq_ignore_ascii_case(name))
+            .map(|(_, v)| v.as_str())
+    }
+
+    fn json(&self) -> Json {
+        json::parse(&self.body).expect("response body is JSON")
+    }
+}
+
+/// One request over a fresh connection (the server is connection-per-request).
+fn request(addr: std::net::SocketAddr, method: &str, path: &str, body: &str) -> Response {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(60)))
+        .unwrap();
+    let head = format!(
+        "{method} {path} HTTP/1.1\r\nHost: localhost\r\nContent-Length: {}\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(head.as_bytes()).unwrap();
+    stream.write_all(body.as_bytes()).unwrap();
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw).expect("read response");
+    let (head, body) = raw.split_once("\r\n\r\n").expect("response has headers");
+    let mut lines = head.split("\r\n");
+    let status_line = lines.next().expect("status line");
+    let status: u16 = status_line
+        .split(' ')
+        .nth(1)
+        .expect("status code")
+        .parse()
+        .expect("numeric status");
+    let headers = lines
+        .filter_map(|l| l.split_once(':'))
+        .map(|(n, v)| (n.trim().to_owned(), v.trim().to_owned()))
+        .collect();
+    Response {
+        status,
+        headers,
+        body: body.to_owned(),
+    }
+}
+
+fn localize_body(runs: usize, cycles: usize) -> String {
+    format!(
+        "{{\"golden\":{},\"buggy\":{},\"target\":\"y\",\"options\":{{\"runs\":{runs},\"cycles\":{cycles}}}}}",
+        encode(GOLDEN),
+        encode(BUGGY)
+    )
+}
+
+fn encode(s: &str) -> String {
+    let mut out = String::new();
+    json::write_str(&mut out, s);
+    out
+}
+
+fn start(config: ServerConfig) -> (ServerHandle, std::thread::JoinHandle<std::io::Result<()>>) {
+    let server = Server::bind(config).expect("bind");
+    let handle = server.handle();
+    let join = std::thread::spawn(move || server.run());
+    (handle, join)
+}
+
+fn stop(handle: &ServerHandle, join: std::thread::JoinHandle<std::io::Result<()>>) {
+    handle.shutdown();
+    join.join().expect("server thread").expect("clean exit");
+}
+
+#[test]
+fn localize_matches_the_library_pipeline() {
+    let (handle, join) = start(ServerConfig::default());
+    let resp = request(handle.addr(), "POST", "/v1/localize", &localize_body(24, 8));
+    assert_eq!(resp.status, 200, "body: {}", resp.body);
+    let doc = resp.json();
+    assert_eq!(doc.get("module").unwrap().as_str(), Some("m"));
+    assert_eq!(doc.get("total_runs").unwrap().as_num(), Some(24.0));
+    assert!(doc.get("failing_runs").unwrap().as_num().unwrap() > 0.0);
+
+    // The exact pipeline the CLI runs, on the same inputs.
+    let model = veribug::model::VeriBugModel::new(veribug::model::ModelConfig::default());
+    let golden = verilog::parse(GOLDEN).unwrap().top().clone();
+    let buggy = verilog::parse(BUGGY).unwrap().top().clone();
+    let opts = veribug::LocalizeOptions {
+        runs: 24,
+        cycles: 8,
+        ..Default::default()
+    };
+    let report = veribug::localize::run(&model, &golden, &buggy, "y", &opts).unwrap();
+    let served = doc.get("suspects").unwrap().as_arr().unwrap();
+    assert_eq!(served.len(), report.suspects.len());
+    for (s, expect) in served.iter().zip(&report.suspects) {
+        assert_eq!(
+            s.get("stmt").unwrap().as_str(),
+            Some(&*expect.stmt.to_string())
+        );
+        assert_eq!(
+            s.get("source").unwrap().as_str(),
+            Some(expect.source.as_str())
+        );
+        let sus = s.get("suspiciousness").unwrap().as_num().unwrap();
+        assert!((sus - f64::from(expect.suspiciousness)).abs() < 1e-5);
+    }
+    stop(&handle, join);
+}
+
+#[test]
+fn malformed_json_is_400() {
+    let (handle, join) = start(ServerConfig::default());
+    let resp = request(handle.addr(), "POST", "/v1/localize", "{not json at all");
+    assert_eq!(resp.status, 400);
+    let doc = resp.json();
+    assert_eq!(
+        doc.get("error").unwrap().get("kind").unwrap().as_str(),
+        Some("bad_json")
+    );
+    stop(&handle, join);
+}
+
+#[test]
+fn verilog_parse_error_is_422_with_position() {
+    let (handle, join) = start(ServerConfig::default());
+    let body = format!(
+        "{{\"golden\":{},\"buggy\":{},\"target\":\"y\"}}",
+        encode("module m(input a, output y);\nassign y = ;\nendmodule"),
+        encode(BUGGY)
+    );
+    let resp = request(handle.addr(), "POST", "/v1/localize", &body);
+    assert_eq!(resp.status, 422, "body: {}", resp.body);
+    let doc = resp.json();
+    let err = doc.get("error").unwrap();
+    assert_eq!(err.get("kind").unwrap().as_str(), Some("verilog_parse"));
+    assert_eq!(err.get("line").unwrap().as_num(), Some(2.0), "1-based line");
+    assert!(
+        err.get("col").unwrap().as_num().unwrap() >= 1.0,
+        "1-based col"
+    );
+    stop(&handle, join);
+}
+
+#[test]
+fn unknown_target_is_422() {
+    let (handle, join) = start(ServerConfig::default());
+    let body = format!(
+        "{{\"golden\":{},\"buggy\":{},\"target\":\"nope\"}}",
+        encode(GOLDEN),
+        encode(BUGGY)
+    );
+    let resp = request(handle.addr(), "POST", "/v1/localize", &body);
+    assert_eq!(resp.status, 422);
+    assert_eq!(
+        resp.json()
+            .get("error")
+            .unwrap()
+            .get("kind")
+            .unwrap()
+            .as_str(),
+        Some("unknown_target")
+    );
+    stop(&handle, join);
+}
+
+#[test]
+fn oversized_body_is_413_and_queue_full_is_429() {
+    let config = ServerConfig {
+        workers: 1,
+        queue_capacity: 1,
+        max_body_bytes: 256,
+        ..ServerConfig::default()
+    };
+    let (handle, join) = start(config);
+
+    // 413: declared body over the cap.
+    let resp = request(handle.addr(), "POST", "/v1/localize", &"x".repeat(512));
+    assert_eq!(resp.status, 413);
+
+    // 429: hold the single worker and the single queue slot with idle
+    // connections (the worker blocks reading them), then a real request
+    // must be rejected by the accept loop.
+    let idle1 = TcpStream::connect(handle.addr()).unwrap();
+    std::thread::sleep(Duration::from_millis(300)); // worker picks up idle1
+    let idle2 = TcpStream::connect(handle.addr()).unwrap();
+    std::thread::sleep(Duration::from_millis(300)); // idle2 sits in the queue
+    let resp = request(handle.addr(), "GET", "/healthz", "");
+    assert_eq!(resp.status, 429, "body: {}", resp.body);
+    assert_eq!(
+        resp.json()
+            .get("error")
+            .unwrap()
+            .get("kind")
+            .unwrap()
+            .as_str(),
+        Some("queue_full")
+    );
+    drop(idle1);
+    drop(idle2);
+    stop(&handle, join);
+}
+
+#[test]
+fn expired_deadline_is_504() {
+    let (handle, join) = start(ServerConfig::default());
+    let body = format!(
+        "{{\"golden\":{},\"buggy\":{},\"target\":\"y\",\"options\":{{\"runs\":64,\"cycles\":32,\"deadline_ms\":0}}}}",
+        encode(GOLDEN),
+        encode(BUGGY)
+    );
+    let resp = request(handle.addr(), "POST", "/v1/localize", &body);
+    assert_eq!(resp.status, 504, "body: {}", resp.body);
+    assert_eq!(
+        resp.json()
+            .get("error")
+            .unwrap()
+            .get("kind")
+            .unwrap()
+            .as_str(),
+        Some("deadline")
+    );
+    stop(&handle, join);
+}
+
+#[test]
+fn repeat_request_hits_the_cache_and_stays_byte_identical() {
+    let (handle, join) = start(ServerConfig::default());
+    // Unique sources for this test so other tests' cache traffic cannot
+    // interfere with the hit/miss assertions.
+    let golden = format!("// cache-test\n{GOLDEN}");
+    let buggy = format!("// cache-test\n{BUGGY}");
+    let body = format!(
+        "{{\"golden\":{},\"buggy\":{},\"target\":\"y\",\"options\":{{\"runs\":16,\"cycles\":8}}}}",
+        encode(&golden),
+        encode(&buggy)
+    );
+    let cold = request(handle.addr(), "POST", "/v1/localize", &body);
+    assert_eq!(cold.status, 200);
+    assert_eq!(
+        cold.header("x-veribug-cache"),
+        Some("golden=miss,buggy=miss")
+    );
+    let warm = request(handle.addr(), "POST", "/v1/localize", &body);
+    assert_eq!(warm.status, 200);
+    assert_eq!(warm.header("x-veribug-cache"), Some("golden=hit,buggy=hit"));
+    assert_eq!(
+        cold.body, warm.body,
+        "cache state never leaks into the body"
+    );
+
+    // The obs counters saw the hits (counters are process-global, so
+    // assert presence and a sane magnitude rather than an exact value).
+    let metrics = request(handle.addr(), "GET", "/metricsz", "");
+    assert_eq!(metrics.status, 200);
+    let doc = metrics.json();
+    let hits = doc
+        .get("counters")
+        .unwrap()
+        .get("serve.cache.hits")
+        .expect("hit counter exported")
+        .as_num()
+        .unwrap();
+    assert!(hits >= 2.0, "expected >= 2 cache hits, saw {hits}");
+    stop(&handle, join);
+}
+
+#[test]
+fn healthz_and_metricsz_respond() {
+    let (handle, join) = start(ServerConfig::default());
+    let health = request(handle.addr(), "GET", "/healthz", "");
+    assert_eq!(health.status, 200);
+    let doc = health.json();
+    assert_eq!(doc.get("status").unwrap().as_str(), Some("ok"));
+    assert!(doc.get("workers").unwrap().as_num().unwrap() >= 1.0);
+
+    let metrics = request(handle.addr(), "GET", "/metricsz", "");
+    assert_eq!(metrics.status, 200);
+    assert!(metrics.json().get("counters").is_some());
+
+    let missing = request(handle.addr(), "GET", "/nope", "");
+    assert_eq!(missing.status, 404);
+    let wrong_method = request(handle.addr(), "GET", "/v1/localize", "");
+    assert_eq!(wrong_method.status, 405);
+    stop(&handle, join);
+}
+
+#[test]
+fn analyze_summarizes_the_design() {
+    let (handle, join) = start(ServerConfig::default());
+    let body = format!("{{\"design\":{},\"target\":\"y\"}}", encode(GOLDEN));
+    let resp = request(handle.addr(), "POST", "/v1/analyze", &body);
+    assert_eq!(resp.status, 200, "body: {}", resp.body);
+    let doc = resp.json();
+    assert_eq!(doc.get("module").unwrap().as_str(), Some("m"));
+    let dep: Vec<&str> = doc
+        .get("dep")
+        .unwrap()
+        .as_arr()
+        .unwrap()
+        .iter()
+        .filter_map(|d| d.as_str())
+        .collect();
+    assert!(dep.contains(&"a") && dep.contains(&"b") && dep.contains(&"c"));
+    assert!(doc.get("statements").unwrap().as_num().unwrap() >= 2.0);
+    stop(&handle, join);
+}
+
+#[test]
+fn shutdown_endpoint_drains_in_flight_requests() {
+    let (handle, join) = start(ServerConfig::default());
+    let addr = handle.addr();
+    // A request heavy enough to still be running when shutdown lands.
+    let slow =
+        std::thread::spawn(move || request(addr, "POST", "/v1/localize", &localize_body(192, 32)));
+    std::thread::sleep(Duration::from_millis(30));
+    let resp = request(addr, "POST", "/v1/shutdown", "");
+    assert_eq!(resp.status, 200);
+    assert_eq!(
+        resp.json().get("status").unwrap().as_str(),
+        Some("draining")
+    );
+    // The in-flight localize completes with a real answer...
+    let slow_resp = slow.join().expect("slow request thread");
+    assert_eq!(slow_resp.status, 200, "in-flight request was drained");
+    // ...and the listener actually exits.
+    join.join().expect("server thread").expect("clean exit");
+    // New connections are refused once the listener is gone.
+    std::thread::sleep(Duration::from_millis(50));
+    assert!(TcpStream::connect(addr).is_err(), "listener closed");
+}

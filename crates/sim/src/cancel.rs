@@ -1,0 +1,108 @@
+//! Cooperative cancellation for long-running simulations.
+//!
+//! A [`CancelToken`] is a cheap, cloneable handle checked once per simulated
+//! cycle by both execution engines. Serving layers install one via
+//! [`crate::Simulator::set_cancel`] so a request deadline (or an explicit
+//! abort) stops the cycle loop at the next cycle boundary with
+//! [`crate::SimError::Cancelled`]; partial work is discarded.
+//!
+//! The default token is *inert*: it carries no shared state and
+//! [`CancelToken::is_cancelled`] is a single `Option` check, so batch
+//! pipelines that never cancel pay nothing.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Shared cancellation state (explicit flag and/or wall-clock deadline).
+#[derive(Debug)]
+struct Inner {
+    cancelled: AtomicBool,
+    deadline: Option<Instant>,
+}
+
+/// A cloneable cancellation handle.
+///
+/// All clones observe the same state: cancelling any clone cancels them
+/// all. The [`Default`] token is inert and can never fire.
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken {
+    inner: Option<Arc<Inner>>,
+}
+
+impl CancelToken {
+    /// A token that only fires on an explicit [`cancel`](Self::cancel).
+    pub fn new() -> Self {
+        CancelToken {
+            inner: Some(Arc::new(Inner {
+                cancelled: AtomicBool::new(false),
+                deadline: None,
+            })),
+        }
+    }
+
+    /// A token that fires once `deadline` passes (or on explicit cancel).
+    pub fn with_deadline(deadline: Instant) -> Self {
+        CancelToken {
+            inner: Some(Arc::new(Inner {
+                cancelled: AtomicBool::new(false),
+                deadline: Some(deadline),
+            })),
+        }
+    }
+
+    /// An inert token that can never fire (same as [`Default`]).
+    pub fn inert() -> Self {
+        CancelToken::default()
+    }
+
+    /// Requests cancellation. A no-op on inert tokens.
+    pub fn cancel(&self) {
+        if let Some(inner) = &self.inner {
+            inner.cancelled.store(true, Ordering::Relaxed);
+        }
+    }
+
+    /// True once the token has been cancelled or its deadline has passed.
+    #[inline]
+    pub fn is_cancelled(&self) -> bool {
+        match &self.inner {
+            None => false,
+            Some(inner) => {
+                inner.cancelled.load(Ordering::Relaxed)
+                    || inner.deadline.is_some_and(|d| Instant::now() >= d)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn inert_token_never_fires() {
+        let t = CancelToken::inert();
+        assert!(!t.is_cancelled());
+        t.cancel();
+        assert!(!t.is_cancelled());
+    }
+
+    #[test]
+    fn explicit_cancel_is_shared_across_clones() {
+        let t = CancelToken::new();
+        let c = t.clone();
+        assert!(!c.is_cancelled());
+        t.cancel();
+        assert!(c.is_cancelled());
+    }
+
+    #[test]
+    fn deadline_fires_once_passed() {
+        let t = CancelToken::with_deadline(Instant::now() - Duration::from_millis(1));
+        assert!(t.is_cancelled());
+        let far = CancelToken::with_deadline(Instant::now() + Duration::from_secs(3600));
+        assert!(!far.is_cancelled());
+    }
+}

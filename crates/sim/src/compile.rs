@@ -23,6 +23,7 @@
 use std::collections::BTreeSet;
 use std::sync::Arc;
 
+use crate::cancel::CancelToken;
 use crate::error::SimError;
 use crate::eval::{eval_binary, eval_unary, Write};
 use crate::metrics;
@@ -123,10 +124,24 @@ struct State {
     deferred: Vec<Write>,
 }
 
-/// A compiled simulator for one netlist.
+impl State {
+    fn new(ncomb: usize) -> State {
+        State {
+            slab: Vec::new(),
+            dirty: Vec::new(),
+            exec_cache: vec![Vec::new(); ncomb],
+            deferred: Vec::new(),
+        }
+    }
+}
+
+/// A compiled simulator for one netlist. The immutable [`Code`] is shared
+/// (`Arc`) so [`Engine::fork`] can hand out independent runnable copies
+/// without recompiling — the basis of the serving layer's compiled-design
+/// cache.
 #[derive(Debug)]
 pub(crate) struct Engine {
-    code: Code,
+    code: Arc<Code>,
     state: State,
 }
 
@@ -202,21 +217,24 @@ impl Engine {
 
         let ncomb = comb.len();
         Some(Engine {
-            code: Code {
+            code: Arc::new(Code {
                 comb,
                 seq,
                 order,
                 fanin,
                 metas,
                 slots,
-            },
-            state: State {
-                slab: Vec::new(),
-                dirty: Vec::new(),
-                exec_cache: vec![Vec::new(); ncomb],
-                deferred: Vec::new(),
-            },
+            }),
+            state: State::new(ncomb),
         })
+    }
+
+    /// An independent runnable engine sharing this one's compiled code.
+    pub(crate) fn fork(&self) -> Engine {
+        Engine {
+            code: Arc::clone(&self.code),
+            state: State::new(self.code.comb.len()),
+        }
     }
 
     /// Runs a stimulus from the all-zero reset state.
@@ -225,14 +243,16 @@ impl Engine {
     ///
     /// [`SimError::UnknownSignal`] / [`SimError::NotAnInput`] for bad
     /// stimulus assignments — the same checks, in the same order, as the
-    /// interpreter. Compiled programs themselves cannot fail.
+    /// interpreter — and [`SimError::Cancelled`] when `cancel` fires between
+    /// cycles. Compiled programs themselves cannot fail.
     pub(crate) fn run(
         &mut self,
         netlist: &Netlist,
         stimulus: &Stimulus,
+        cancel: &CancelToken,
     ) -> Result<Trace, SimError> {
         let nsig = netlist.signal_count();
-        let code = &self.code;
+        let code = &*self.code;
         let State {
             slab,
             dirty,
@@ -264,6 +284,9 @@ impl Engine {
         let mut m_ops = 0u64;
         for (cycle_idx, vector) in stimulus.vectors.iter().enumerate() {
             let cycle = cycle_idx as u32;
+            if cancel.is_cancelled() {
+                return Err(SimError::Cancelled { at_cycle: cycle });
+            }
             // 1. Apply inputs; a changed input seeds the dirty set.
             for (name, bits) in &vector.assigns {
                 let id = netlist

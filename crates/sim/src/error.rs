@@ -32,6 +32,12 @@ pub enum SimError {
         /// The offending name.
         name: String,
     },
+    /// The run was stopped by its [`crate::CancelToken`] (explicit abort or
+    /// deadline expiry). Partial work is discarded.
+    Cancelled {
+        /// The cycle at which cancellation was observed.
+        at_cycle: u32,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -49,6 +55,9 @@ impl fmt::Display for SimError {
             ),
             SimError::NotAnInput { name } => {
                 write!(f, "stimulus drives `{name}`, which is not an input port")
+            }
+            SimError::Cancelled { at_cycle } => {
+                write!(f, "simulation cancelled at cycle {at_cycle}")
             }
         }
     }

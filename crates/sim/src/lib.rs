@@ -35,6 +35,7 @@
 
 #![warn(missing_docs)]
 
+pub mod cancel;
 mod compile;
 pub mod error;
 pub mod eval;
@@ -46,6 +47,7 @@ pub mod trace;
 pub mod value;
 pub mod vcd;
 
+pub use cancel::CancelToken;
 pub use error::SimError;
 pub use eval::{EvalCtx, Write};
 pub use netlist::{Netlist, Process, Signal, SignalId, SignalRole};

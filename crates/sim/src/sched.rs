@@ -15,6 +15,7 @@
 
 use std::sync::Arc;
 
+use crate::cancel::CancelToken;
 use crate::compile::Engine;
 use crate::error::SimError;
 use crate::eval::{EvalCtx, Write};
@@ -45,6 +46,7 @@ pub enum EngineKind {
 pub struct Simulator {
     netlist: Netlist,
     engine: Option<Engine>,
+    cancel: CancelToken,
 }
 
 impl Simulator {
@@ -75,7 +77,11 @@ impl Simulator {
     pub fn new(module: &Module) -> Result<Self, SimError> {
         let netlist = Netlist::elaborate(module)?;
         let engine = Engine::build(&netlist);
-        Ok(Simulator { netlist, engine })
+        Ok(Simulator {
+            netlist,
+            engine,
+            cancel: CancelToken::inert(),
+        })
     }
 
     /// Elaborates a module into a simulator that always uses the fixpoint
@@ -89,7 +95,30 @@ impl Simulator {
         Ok(Simulator {
             netlist: Netlist::elaborate(module)?,
             engine: None,
+            cancel: CancelToken::inert(),
         })
+    }
+
+    /// An independent simulator for the same design that shares this one's
+    /// compiled bytecode (an `Arc` bump instead of a parse→levelize→compile
+    /// pass). Runtime state is fresh and the cancel token is reset to
+    /// inert, so forks are safe to run concurrently on other threads. This
+    /// is what the serving layer's compiled-design cache hands out per
+    /// request.
+    pub fn fork(&self) -> Simulator {
+        Simulator {
+            netlist: self.netlist.clone(),
+            engine: self.engine.as_ref().map(Engine::fork),
+            cancel: CancelToken::inert(),
+        }
+    }
+
+    /// Installs a cancellation token checked once per simulated cycle.
+    /// Every subsequent [`run`](Self::run) fails with
+    /// [`SimError::Cancelled`] once the token fires; partial work is
+    /// discarded. Install [`CancelToken::inert`] to clear.
+    pub fn set_cancel(&mut self, token: CancelToken) {
+        self.cancel = token;
     }
 
     /// Which engine this simulator runs on.
@@ -112,12 +141,13 @@ impl Simulator {
     ///
     /// [`SimError::NotAnInput`] when the stimulus drives a non-input,
     /// [`SimError::CombinationalLoop`] when combinational logic does not
-    /// settle, plus any evaluation error.
+    /// settle, [`SimError::Cancelled`] when an installed
+    /// [`CancelToken`] fires, plus any evaluation error.
     pub fn run(&mut self, stimulus: &Stimulus) -> Result<Trace, SimError> {
         match &mut self.engine {
             Some(engine) => {
                 crate::metrics::RUNS_COMPILED.incr();
-                engine.run(&self.netlist, stimulus)
+                engine.run(&self.netlist, stimulus, &self.cancel)
             }
             None => {
                 crate::metrics::RUNS_INTERPRETED.incr();
@@ -137,6 +167,9 @@ impl Simulator {
         let mut cycle_execs: Vec<Vec<StmtExec>> = Vec::with_capacity(ncycles);
         for (cycle_idx, vector) in stimulus.vectors.iter().enumerate() {
             let cycle = cycle_idx as u32;
+            if self.cancel.is_cancelled() {
+                return Err(SimError::Cancelled { at_cycle: cycle });
+            }
             // 1. Apply inputs.
             for (name, bits) in &vector.assigns {
                 let id = self
@@ -375,6 +408,53 @@ mod tests {
         let q = sim.netlist().signal_id("q").unwrap();
         assert_eq!(t.cycles[1].value(q).bits(), 0); // held in reset at cycle 0 edge
         assert_eq!(t.cycles[2].value(q).bits(), 1); // captured d=1 at cycle 1 edge
+    }
+
+    #[test]
+    fn cancelled_token_stops_both_engines() {
+        let src = "module m(input clk, input d, output reg q);\n\
+                   always @(posedge clk) q <= d;\nendmodule";
+        let unit = verilog::parse(src).unwrap();
+        let vectors = stim(vec![vec![("d", 1)], vec![("d", 0)]]);
+        for interpreted in [false, true] {
+            let mut sim = if interpreted {
+                Simulator::interpreted(unit.top()).unwrap()
+            } else {
+                Simulator::new(unit.top()).unwrap()
+            };
+            let token = CancelToken::new();
+            token.cancel();
+            sim.set_cancel(token);
+            let err = sim.run(&vectors).unwrap_err();
+            assert!(matches!(err, SimError::Cancelled { at_cycle: 0 }));
+            // Clearing the token makes the simulator runnable again.
+            sim.set_cancel(CancelToken::inert());
+            assert_eq!(sim.run(&vectors).unwrap().len(), 2);
+        }
+    }
+
+    #[test]
+    fn fork_shares_code_and_matches_traces() {
+        let src = "module m(input clk, input en, output reg [3:0] n, output y);\n\
+                   assign y = n[0];\n\
+                   always @(posedge clk) begin\nif (en) n <= n + 1'b1;\nend\nendmodule";
+        let unit = verilog::parse(src).unwrap();
+        let mut original = Simulator::new(unit.top()).unwrap();
+        let mut forked = original.fork();
+        assert_eq!(original.engine_kind(), forked.engine_kind());
+        let vectors = stim(vec![vec![("en", 1)], vec![("en", 1)], vec![("en", 0)]]);
+        let a = original.run(&vectors).unwrap();
+        let b = forked.run(&vectors).unwrap();
+        assert_eq!(a, b, "forked simulator produces identical traces");
+        // A cancelled parent does not poison the fork.
+        let token = CancelToken::new();
+        original.set_cancel(token.clone());
+        token.cancel();
+        assert!(original.run(&vectors).is_err());
+        let fresh = original.fork();
+        assert_eq!(fresh.engine_kind(), EngineKind::Compiled);
+        let mut fresh = fresh;
+        assert_eq!(fresh.run(&vectors).unwrap(), a);
     }
 
     #[test]
