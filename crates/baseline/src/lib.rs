@@ -215,11 +215,11 @@ mod tests {
                     .iter()
                     .map(|s| StmtExec {
                         stmt: StmtId(*s),
-                        cycle: 0,
-                        operands: vec![],
+                        operands: sim::Operands::empty(),
                         result: Value::bit(true),
                     })
-                    .collect(),
+                    .collect::<Vec<_>>()
+                    .into(),
             }],
         };
         let fail = mk_trace(&[0, 1]);

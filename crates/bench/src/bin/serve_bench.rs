@@ -7,14 +7,16 @@
 //! compile) from queueing noise. Second, a load phase: N concurrent client
 //! connections (one request per connection, matching the server's
 //! `Connection: close` protocol) cycling over D distinct golden/buggy
-//! pairs, retrying briefly on 429 backpressure. The JSON report carries:
+//! pairs, retrying 429 backpressure under capped exponential backoff with
+//! per-worker jitter. The JSON report carries:
 //!
 //! - throughput (requests per second over the load phase),
 //! - mean/p50/p99 latency of the 200 responses, split by the
 //!   `x-veribug-cache` response header,
 //! - sequential cold vs warm p50 and their ratio,
 //! - the cache-hit rate scraped from `/metricsz`,
-//! - the 429-retry count and the determinism and drain verdicts.
+//! - the 429-retry count, total backoff seconds, and the determinism and
+//!   drain verdicts.
 //!
 //! Run with: `cargo run --release -p veribug-bench --bin serve_bench`
 //!
@@ -47,6 +49,33 @@ struct Sample {
     body: String,
     /// How many 429 (queue full) responses preceded this one.
     retries_429: usize,
+    /// Total seconds slept in backoff before this request was accepted.
+    wait_s: f64,
+}
+
+/// Backoff before the first 429 retry.
+const BACKOFF_BASE_MS: u64 = 2;
+/// Ceiling on a single backoff sleep.
+const BACKOFF_CAP_MS: u64 = 100;
+
+/// xorshift64 — a std-only jitter source; seeded per worker so rejected
+/// clients don't re-knock in lockstep.
+fn xorshift(state: &mut u64) -> u64 {
+    let mut x = *state;
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    *state = x;
+    x
+}
+
+/// Full-jitter backoff for the `n`-th consecutive 429: uniform in
+/// `[0, min(cap, base << n)]`. The exponential ceiling sheds load under
+/// sustained backpressure; the jitter desynchronizes the retry herd that a
+/// fixed sleep would march back to the listener all at once.
+fn backoff_after(n: usize, rng: &mut u64) -> Duration {
+    let ceil_ms = BACKOFF_CAP_MS.min(BACKOFF_BASE_MS << n.min(16));
+    Duration::from_millis(xorshift(rng) % (ceil_ms + 1))
 }
 
 /// A distinct golden/buggy pair: a combinational chain of `stmts`
@@ -215,10 +244,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let next = Arc::new(AtomicUsize::new(0));
     let started = Instant::now();
     let workers: Vec<_> = (0..connections)
-        .map(|_| {
+        .map(|w| {
             let next = Arc::clone(&next);
             let bodies = Arc::clone(&bodies);
             std::thread::spawn(move || -> Vec<Sample> {
+                let mut rng = 0x9E37_79B9_7F4A_7C15u64.wrapping_mul(w as u64 + 1);
                 let mut out = Vec::new();
                 loop {
                     let i = next.fetch_add(1, Ordering::Relaxed);
@@ -226,15 +256,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                         return out;
                     }
                     let design = i % bodies.len();
-                    // 429 is backpressure, not failure: back off briefly and
-                    // retry, recording only the accepted attempt's latency.
+                    // 429 is backpressure, not failure: back off (capped
+                    // exponential, jittered) and retry, recording only the
+                    // accepted attempt's latency.
                     let mut retries_429 = 0usize;
+                    let mut wait_s = 0.0f64;
                     loop {
                         let t0 = Instant::now();
                         match request(addr, "POST", "/v1/localize", &bodies[design]) {
                             Ok((429, _, _)) if retries_429 < 1000 => {
+                                let pause = backoff_after(retries_429, &mut rng);
                                 retries_429 += 1;
-                                std::thread::sleep(Duration::from_millis(2));
+                                wait_s += pause.as_secs_f64();
+                                std::thread::sleep(pause);
                             }
                             Ok((status, warm, body)) => {
                                 out.push(Sample {
@@ -244,6 +278,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                                     warm,
                                     body,
                                     retries_429,
+                                    wait_s,
                                 });
                                 break;
                             }
@@ -255,6 +290,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                                     warm: false,
                                     body: format!("transport error: {e}"),
                                     retries_429,
+                                    wait_s,
                                 });
                                 break;
                             }
@@ -298,6 +334,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let cold: Vec<&Sample> = all.iter().copied().filter(|s| !s.warm).collect();
     let warm: Vec<&Sample> = all.iter().copied().filter(|s| s.warm).collect();
     let rejected_429: usize = samples.iter().map(|s| s.retries_429).sum();
+    let retry_waits_s: f64 = samples.iter().map(|s| s.wait_s).sum();
     let (mean, p50, p99) = stats(&all);
     let (cold_mean, cold_p50, _) = stats(&cold);
     let (warm_mean, warm_p50, _) = stats(&warm);
@@ -353,13 +390,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let _ = writeln!(json, "  }},");
     let _ = writeln!(json, "  \"status_200\": {ok},");
     let _ = writeln!(json, "  \"rejected_429_retried\": {rejected_429},");
+    let _ = writeln!(json, "  \"retry_waits_s\": {retry_waits_s:.6},");
     let _ = writeln!(json, "  \"status_5xx_or_transport\": {server_errors},");
     let _ = writeln!(json, "  \"deterministic\": {deterministic},");
     let _ = writeln!(json, "  \"drained\": {drained}");
     json.push_str("}\n");
-    std::fs::write("BENCH_serve.json", &json)?;
     println!("{json}");
-    obs::progress!("wrote BENCH_serve.json");
+    if !smoke {
+        std::fs::write("BENCH_serve.json", &json)?;
+        obs::progress!("wrote BENCH_serve.json");
+    }
 
     if smoke {
         if server_errors > 0 {

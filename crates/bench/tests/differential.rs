@@ -1,10 +1,12 @@
 //! Differential tests: the compiled engine must be bit-identical to the
 //! interpreter — signal snapshots **and** `StmtExec` records — on every
 //! design in `crates/designs` and a large RVDG-generated corpus, at every
-//! supported thread count.
+//! supported thread count. The 64-lane batch engine is held to the same
+//! oracle: traces extracted from any lane of any batch shape must equal the
+//! scalar compiled engine's output bit-for-bit.
 
 use rvdg::{Generator, RvdgConfig};
-use sim::{EngineKind, Simulator, TestbenchGen, Trace};
+use sim::{CancelToken, EngineKind, SimError, Simulator, TestbenchGen, Trace};
 use veribug::model::{ModelConfig, VeriBugModel};
 use veribug::train::{self, Dataset, TrainConfig};
 use verilog::Module;
@@ -117,10 +119,9 @@ fn pipeline_fingerprint(corpus: &[Module]) -> (Vec<Trace>, Vec<u32>) {
         let stimuli = TestbenchGen::new(0xAB5)
             .with_hold_probability(0.8)
             .generate_many(s.netlist(), 24, 2);
-        stimuli
-            .iter()
-            .map(|st| s.run(st).expect("simulates"))
-            .collect::<Vec<_>>()
+        // Batch path: the obs on/off comparison below must also hold for
+        // the lane-parallel engine, not just the scalar ones.
+        s.run_batch(&stimuli).expect("simulates")
     })
     .into_iter()
     .flatten()
@@ -172,6 +173,140 @@ fn obs_collection_never_perturbs_results() {
             "training losses perturbed by obs collection at {threads} threads"
         );
     }
+}
+
+/// Runs `n` stimuli through the batch engine and through the scalar compiled
+/// engine one at a time, returning the paired trace vectors. Panics if the
+/// design unexpectedly lacks a batch engine — that would make the
+/// comparison vacuous.
+fn run_batch_vs_scalar(module: &Module, seed: u64, n: usize) -> (Vec<Trace>, Vec<Trace>) {
+    let mut batch = Simulator::new(module).expect("batch elaboration");
+    assert_eq!(
+        batch.batch_engine_kind(),
+        EngineKind::Batch,
+        "design unexpectedly has no batch engine"
+    );
+    let mut scalar = Simulator::new(module).expect("scalar elaboration");
+    let stimuli = TestbenchGen::new(seed).generate_many(batch.netlist(), CYCLES, n);
+    let batched = batch.run_batch(&stimuli).expect("batch run");
+    let sequential: Vec<Trace> = stimuli
+        .iter()
+        .map(|st| scalar.run(st).expect("scalar run"))
+        .collect();
+    (batched, sequential)
+}
+
+fn assert_lanes_identical(name: &str, batched: &[Trace], sequential: &[Trace]) {
+    assert_eq!(batched.len(), sequential.len(), "{name}: trace count");
+    for (i, (b, s)) in batched.iter().zip(sequential).enumerate() {
+        assert_eq!(
+            b, s,
+            "{name}: stimulus {i} diverged between batch and scalar engines"
+        );
+    }
+}
+
+/// Every Table I design, batch vs scalar, at lane counts that cover a single
+/// lane, an odd partial batch, both boundary fills (63/64), a spill into a
+/// second batch (65), and two full batches plus a partial tail (130).
+#[test]
+fn batch_engine_matches_scalar_across_lane_counts() {
+    for d in &designs::catalog() {
+        let module = d.module().expect("design parses");
+        for n in [1usize, 7, 63, 64, 65, 130] {
+            let (batched, sequential) = run_batch_vs_scalar(&module, 0xBA7C_0001 ^ n as u64, n);
+            assert_lanes_identical(&format!("{} n={n}", d.name), &batched, &sequential);
+        }
+    }
+}
+
+/// RVDG corpus, batch vs scalar, under the worker pool at 1/2/8 threads.
+/// Each design gets a partial batch (7 lanes) so mask bookkeeping runs with
+/// inactive high lanes while other designs simulate concurrently.
+#[test]
+fn batch_matches_scalar_on_rvdg_corpus_across_threads() {
+    let corpus = Generator::new(RvdgConfig::default(), 0xBA7C_0002)
+        .generate_corpus(24)
+        .expect("rvdg corpus generates");
+    for threads in [1usize, 2, 8] {
+        par::with_threads(threads, || {
+            let results = par::par_map(&corpus, |d| {
+                (d.seed, run_batch_vs_scalar(&d.module, d.seed ^ 0x7EA7, 7))
+            });
+            for (seed, (batched, sequential)) in &results {
+                assert_lanes_identical(&format!("rvdg seed {seed}"), batched, sequential);
+            }
+        });
+    }
+}
+
+/// Cancellation mid-batch: a poll-budget token fires at a deterministic
+/// cycle, the whole batch reports `Cancelled` (matching the scalar
+/// collect-everything-or-error contract), and the simulator recovers after
+/// the token is replaced.
+#[test]
+fn batch_cancellation_mid_batch_is_deterministic_and_recoverable() {
+    let catalog = designs::catalog();
+    let module = catalog[0].module().expect("design parses");
+    let mut sim = Simulator::new(&module).expect("elaborates");
+    let stimuli = TestbenchGen::new(0xCA4C).generate_many(sim.netlist(), CYCLES, 10);
+    sim.set_cancel(CancelToken::after_polls(3));
+    let err = sim
+        .run_batch(&stimuli)
+        .expect_err("budget must fire mid-batch");
+    assert!(
+        matches!(err, SimError::Cancelled { at_cycle: 3 }),
+        "expected deterministic cancellation at cycle 3, got {err:?}"
+    );
+    sim.set_cancel(CancelToken::new());
+    let batched = sim.run_batch(&stimuli).expect("rerun after cancel");
+    let mut scalar = Simulator::new(&module).expect("elaborates");
+    let sequential: Vec<Trace> = stimuli
+        .iter()
+        .map(|st| scalar.run(st).expect("scalar run"))
+        .collect();
+    assert_lanes_identical("post-cancel rerun", &batched, &sequential);
+}
+
+/// Read-modify-write part/bit selects on a width-64 register under divergent
+/// masks: some lanes take the branch that flips bit 63 and rewrites a part
+/// select, others take the dynamic-bit-select path. The merged register
+/// state and the per-lane `StmtExec` records must match scalar exactly.
+#[test]
+fn part_select_rmw_at_bit_63_under_divergent_masks() {
+    let unit = verilog::parse(
+        "module psel(input clk, input c, input [5:0] i, output reg [63:0] r);
+         always @(posedge clk) begin
+         if (c) begin
+         r[63] <= ~r[63];
+         r[62:56] <= r[6:0] + 1'b1;
+         end else begin
+         r[i] <= ~r[i];
+         end
+         end
+endmodule",
+    )
+    .expect("parses");
+    let (batched, sequential) = run_batch_vs_scalar(unit.top(), 0x9E1, 64);
+    assert_lanes_identical("psel", &batched, &sequential);
+}
+
+/// Mixed-width concatenation feeding full-width and narrow registers, with
+/// per-lane shift-in bits, batch vs scalar across a full 64-lane batch.
+#[test]
+fn mixed_width_concat_across_lanes_matches_scalar() {
+    let unit = verilog::parse(
+        "module mwc(input clk, input a, input [6:0] b, input [3:0] s,
+         output reg [63:0] y, output reg [11:0] z);
+         always @(posedge clk) begin
+         y <= {y[62:0], a ^ b[0]};
+         z <= {b[3:0], s, b[6:3]};
+         end
+endmodule",
+    )
+    .expect("parses");
+    let (batched, sequential) = run_batch_vs_scalar(unit.top(), 0x3C0C, 64);
+    assert_lanes_identical("mwc", &batched, &sequential);
 }
 
 /// A static combinational loop must fall back to the interpreter and report

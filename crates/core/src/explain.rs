@@ -5,7 +5,7 @@ use std::collections::{BTreeMap, HashMap};
 
 use crate::features::StatementFeatures;
 use crate::model::VeriBugModel;
-use crate::train::operand_values;
+use crate::train::{operand_positions, operand_values};
 use cdfg::{Cdfg, ConeOfInfluence, Slice, Vdg};
 use sim::{Trace, TraceLabel};
 use verilog::{Module, StmtId};
@@ -154,6 +154,9 @@ pub struct Explainer<'m> {
     /// the same statement with the same values always produce the same
     /// weights, and traces repeat them constantly.
     cache: HashMap<(StmtId, Vec<bool>), Vec<f32>>,
+    /// Per-statement map from feature-operand index to record read-order
+    /// position (execution records store operand values positionally).
+    positions: BTreeMap<StmtId, Vec<Option<usize>>>,
 }
 
 impl<'m> Explainer<'m> {
@@ -179,13 +182,26 @@ impl<'m> Explainer<'m> {
             let commit_delay = u32::from(node.kind == verilog::AssignKind::NonBlocking);
             depth.insert(node.stmt, signal_depth + commit_delay);
         }
+        let features = StatementFeatures::extract_all(module);
+        // Records carry positional operand values; resolve each feature
+        // operand's position once, against the same elaboration the
+        // simulator records under. Designs that fail to elaborate produce
+        // no traces, so an empty map is fine there.
+        let positions = match sim::Netlist::elaborate(module) {
+            Ok(netlist) => features
+                .iter()
+                .map(|(id, f)| (*id, operand_positions(f, &netlist)))
+                .collect(),
+            Err(_) => BTreeMap::new(),
+        };
         Explainer {
             model,
-            features: StatementFeatures::extract_all(module),
+            features,
             slice,
             failure_window: DEFAULT_FAILURE_WINDOW,
             depth,
             cache: HashMap::new(),
+            positions,
         }
     }
 
@@ -224,13 +240,17 @@ impl<'m> Explainer<'m> {
             for cyc in &trace.cycles {
                 for exec in &cyc.execs {
                     // Dynamic slice: executed AND in the static slice of t.
-                    if !self.slice.contains(exec.stmt) || !keep(exec.stmt, exec.cycle) {
+                    if !self.slice.contains(exec.stmt) || !keep(exec.stmt, cyc.cycle) {
                         continue;
                     }
                     let Some(f) = self.features.get(&exec.stmt) else {
                         continue;
                     };
-                    let Some(values) = operand_values(f, exec) else {
+                    let Some(values) = self
+                        .positions
+                        .get(&exec.stmt)
+                        .and_then(|p| operand_values(p, exec))
+                    else {
                         continue;
                     };
                     static CACHE_HITS: obs::LazyCounter =

@@ -190,7 +190,7 @@ fn localize_inner(
         total_runs: labelled.len(),
         failing_runs: failing,
         threshold: opts.threshold,
-        engine: buggy_sim.engine_kind(),
+        engine: buggy_sim.batch_engine_kind(),
         suspects: Vec::new(),
         heatmap: Heatmap {
             entries: Default::default(),

@@ -148,18 +148,23 @@ fn harvest_design(
         local.insert(*id, local.len());
     }
     let stmts: Vec<StatementFeatures> = features.into_values().collect();
+    let positions: Vec<Vec<Option<usize>>> = stmts
+        .iter()
+        .map(|f| operand_positions(f, sim.netlist()))
+        .collect();
     let mut entries: Vec<DatasetEntry> = Vec::new();
     let mut seen: BTreeSet<(usize, Vec<bool>)> = BTreeSet::new();
     let tb = TestbenchGen::new(seed.wrapping_add(di as u64 * 7919));
-    for stim in tb.generate_many(sim.netlist(), cycles, runs_per_design) {
-        let trace = sim.run(&stim)?;
+    let stimuli = tb.generate_many(sim.netlist(), cycles, runs_per_design);
+    // All runs share a cycle count, so the whole harvest packs into
+    // 64-wide batches; dedup below stays in stimulus order either way.
+    for trace in sim.run_batch(&stimuli)? {
         for cyc in &trace.cycles {
             for exec in &cyc.execs {
                 let Some(&idx) = local.get(&exec.stmt) else {
                     continue;
                 };
-                let f = &stmts[idx];
-                let Some(values) = operand_values(f, exec) else {
+                let Some(values) = operand_values(&positions[idx], exec) else {
                     continue;
                 };
                 if !seen.insert((idx, values.clone())) {
@@ -178,13 +183,27 @@ fn harvest_design(
     Ok((stmts, entries))
 }
 
-/// Reads the recorded operand values for a statement's feature operands.
-/// Returns `None` when a feature operand was not recorded (should not
-/// happen for executions produced by `veribug-sim`).
-pub fn operand_values(f: &StatementFeatures, exec: &sim::StmtExec) -> Option<Vec<bool>> {
+/// Maps a statement's feature operands to their positions in the
+/// simulator's record read order (execution records store operand values
+/// positionally, without names). `positions[j]` is the record position of
+/// feature operand `j`, or `None` when the elaborated design does not
+/// record that operand. Compute once per statement, not per record.
+pub fn operand_positions(f: &StatementFeatures, netlist: &sim::Netlist) -> Vec<Option<usize>> {
+    let names = netlist.assign_info(f.stmt).map(|i| i.names.as_ref());
     f.operands
         .iter()
-        .map(|o| exec.operand(&o.name).map(|v| v.is_truthy()))
+        .map(|o| names.and_then(|ns| ns.iter().position(|n| n.as_ref() == o.name)))
+        .collect()
+}
+
+/// Reads the recorded operand values for a statement's feature operands,
+/// using a position map from [`operand_positions`]. Returns `None` when a
+/// feature operand was not recorded (should not happen for executions
+/// produced by `veribug-sim`).
+pub fn operand_values(positions: &[Option<usize>], exec: &sim::StmtExec) -> Option<Vec<bool>> {
+    positions
+        .iter()
+        .map(|p| p.and_then(|i| exec.operand(i)).map(|v| v.is_truthy()))
         .collect()
 }
 

@@ -144,6 +144,9 @@ impl Campaign {
         /// First cycle at which a failing co-simulation run diverged.
         static DIVERGENCE: obs::LazyHistogram =
             obs::LazyHistogram::new("campaign.divergence_cycle");
+        /// Fraction of batch-engine lanes occupied by campaign stimuli
+        /// (1.0 = every 64-lane group runs full).
+        static BATCH_FILL: obs::LazyGauge = obs::LazyGauge::new("campaign.batch_fill_ratio");
 
         let _span = obs::span("campaign");
         let mut rng = StdRng::seed_from_u64(self.seed);
@@ -168,6 +171,8 @@ impl Campaign {
         // The golden design is simulated exactly once per stimulus; every
         // candidate mutant in every wave compares against these shared
         // traces instead of re-running the golden design.
+        let lane_groups = stimuli.len().div_ceil(sim::LANES).max(1);
+        BATCH_FILL.set(stimuli.len() as f64 / (lane_groups * sim::LANES) as f64);
         let golden_runs = {
             let _g = obs::span("campaign.golden");
             golden_traces(&mut golden_sim, &stimuli)?

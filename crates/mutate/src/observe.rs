@@ -36,8 +36,35 @@ impl LabelledRun {
     }
 }
 
-/// Runs the golden design once per stimulus, producing the reference traces
-/// that [`cosimulate_against`] compares mutants to.
+/// Runs a simulator over a stimulus set bit-parallel, partitioning the set
+/// into lane groups of up to [`sim::LANES`] stimuli.
+///
+/// A single group runs on the caller's simulator directly; larger sets fan
+/// the groups out with [`par::par_map`] — one lane group per partition, on
+/// a fork sharing the compiled code, with the parent's cancel token
+/// re-installed (forks reset to inert) — and merge results in stimulus
+/// order, so the output is identical at any thread count.
+fn run_lane_groups(sim: &mut Simulator, stimuli: &[Stimulus]) -> Result<Vec<Trace>, SimError> {
+    if stimuli.len() <= sim::LANES {
+        return sim.run_batch(stimuli);
+    }
+    let groups: Vec<&[Stimulus]> = stimuli.chunks(sim::LANES).collect();
+    let shared = &*sim;
+    let results = par::par_map(&groups, |group| {
+        let mut fork = shared.fork();
+        fork.set_cancel(shared.cancel_token().clone());
+        fork.run_batch(group)
+    });
+    let mut out = Vec::with_capacity(stimuli.len());
+    for r in results {
+        out.extend(r?);
+    }
+    Ok(out)
+}
+
+/// Runs the golden design on every stimulus — batched up to
+/// [`sim::LANES`]-wide — producing the reference traces that
+/// [`cosimulate_against`] compares mutants to.
 ///
 /// A mutation campaign evaluates many mutants against the **same** golden
 /// design and stimuli, so the golden traces are computed once up front and
@@ -47,7 +74,7 @@ impl LabelledRun {
 ///
 /// Propagates simulation errors from the golden design.
 pub fn golden_traces(sim: &mut Simulator, stimuli: &[Stimulus]) -> Result<Vec<Trace>, SimError> {
-    stimuli.iter().map(|s| sim.run(s)).collect()
+    run_lane_groups(sim, stimuli)
 }
 
 /// Co-simulates a mutant against precomputed golden traces and labels every
@@ -96,9 +123,9 @@ pub fn cosimulate_with(
         "one golden trace per stimulus required"
     );
     let _span = obs::span("campaign.cosim");
+    let traces = run_lane_groups(mutant_sim, stimuli)?;
     let mut out = Vec::with_capacity(stimuli.len());
-    for (stim, gt) in stimuli.iter().zip(golden) {
-        let mt = mutant_sim.run(stim)?;
+    for (mt, gt) in traces.into_iter().zip(golden) {
         let label = if mt.differs_at(gt, target) {
             TraceLabel::Failing
         } else {

@@ -221,6 +221,7 @@ pub fn render_report(report: &LocalizeReport) -> String {
     json::write_str(
         &mut out,
         match report.engine {
+            sim::EngineKind::Batch => "batch",
             sim::EngineKind::Compiled => "compiled",
             sim::EngineKind::Interpreted => "interpreted",
         },

@@ -1,0 +1,860 @@
+//! The bit-parallel batch execution engine: up to [`LANES`] stimuli per op.
+//!
+//! [`BatchEngine::build`] lowers a netlist into the same expression bytecode
+//! as the scalar compiled engine — it literally drives
+//! [`crate::compile::Compiler`] for expressions and assignments, so slot
+//! allocation, static widths, and every fallback condition are decided in
+//! one place — but replaces the scalar engine's jump-encoded `if`/`case`
+//! with **structured mask operations**. Each signal and slab slot holds a
+//! [`BatchValue`] (one `u64` word per lane); one ALU op evaluates all lanes
+//! at once. Data-dependent control flow keeps a per-lane activity mask:
+//! when lanes disagree on a branch condition, both sides execute under
+//! complementary masks and only the active lanes of each side observe
+//! assignments, so per-lane [`StmtExec`] records and final traces stay
+//! bit-identical to running each stimulus through the scalar engine.
+//!
+//! Divergence bookkeeping is plain word arithmetic because a mask is one
+//! `u64` (bit `l` = lane `l` active). Empty-mask branch bodies are skipped
+//! entirely via the structured ops' forward offsets, so converged batches
+//! pay no masking overhead beyond one test per branch.
+//!
+//! The scalar engine's dirty-set gate survives here **per lane**: every
+//! signal keeps a changed-lanes mask, a process executes under a root mask
+//! of just its dirty lanes, and a clean lane re-uses its previous segment
+//! descriptor into the run-wide record arena — an 8-byte copy where the
+//! scalar engine's cache replay memcpys whole record runs. Re-executing
+//! nothing for a clean lane is sound for values too: its fanin is
+//! unchanged, so recomputed temporaries are identical and assignments are
+//! masked off.
+
+use std::sync::Arc;
+
+use crate::cancel::CancelToken;
+use crate::compile::{Analysis, AssignMeta, Compiler, Op, SelKind};
+use crate::error::SimError;
+use crate::eval::{eval_binary_batch, eval_unary_batch, Write};
+use crate::metrics;
+use crate::netlist::{Netlist, Process, SignalRole};
+use crate::testbench::Stimulus;
+use crate::trace::{Operands, StmtExec, Trace};
+use crate::value::{BatchValue, Value, LANES};
+use verilog::Stmt;
+
+/// One batch instruction: a scalar expression/assign op evaluated
+/// lane-wise, or a structured mask-control op.
+#[derive(Debug, Clone, Copy)]
+enum BOp {
+    /// Any non-jump, non-assign scalar [`Op`], evaluated on all lanes.
+    Scalar(Op),
+    /// Masked assignment: resolve + record + apply per active lane.
+    Assign { rhs: u16, meta: u32 },
+    /// `if`: split the current mask on `slab[cond]`'s per-lane truthiness.
+    /// When no lane takes the then-side, jump to `else_at` (the matching
+    /// [`BOp::Else`]).
+    BranchIf { cond: u16, else_at: u32 },
+    /// Swap to the else-side mask; jump to `end_at` (the matching
+    /// [`BOp::EndIf`]) when no lane takes it.
+    Else { end_at: u32 },
+    /// Pop the `if` frame and restore the enclosing mask.
+    EndIf,
+    /// `case`: open a frame remembering the subject slot and the lanes
+    /// still unmatched.
+    CaseBegin { subj: u16 },
+    /// One arm: lanes whose subject equals any of
+    /// `case_labels[labels_start..labels_start + labels_len]` (raw-bit
+    /// compare) become active; they are removed from the unmatched set.
+    /// Jump to `next_at` (the next arm/default) when no lane matches.
+    CaseArm {
+        labels_start: u32,
+        labels_len: u32,
+        next_at: u32,
+    },
+    /// The default arm: all still-unmatched lanes become active; jump to
+    /// `end_at` (the matching [`BOp::CaseEnd`]) when there are none.
+    CaseDefault { end_at: u32 },
+    /// Pop the `case` frame and restore the enclosing mask.
+    CaseEnd,
+}
+
+/// A control-flow frame on the mask stack.
+#[derive(Debug, Clone, Copy)]
+enum Frame {
+    If {
+        saved: u64,
+        else_mask: u64,
+    },
+    Case {
+        saved: u64,
+        remaining: u64,
+        subj: u16,
+        taken: u8,
+    },
+}
+
+/// Everything immutable after `build`.
+#[derive(Debug)]
+struct BatchCode {
+    /// One program per combinational process, in source order.
+    comb: Vec<Vec<BOp>>,
+    /// One program per sequential process, in source order.
+    seq: Vec<Vec<BOp>>,
+    /// Topological evaluation order over `comb` indices.
+    order: Vec<u32>,
+    /// Per-comb-process exposed-read signal ids (the per-lane dirty gate).
+    fanin: Vec<Vec<u32>>,
+    metas: Vec<AssignMeta>,
+    /// Side pool of case-label slot indices referenced by [`BOp::CaseArm`].
+    case_labels: Vec<u16>,
+    /// Slab size: the widest program's slot count.
+    slots: usize,
+}
+
+/// Reusable per-run scratch.
+#[derive(Debug, Default)]
+struct BatchState {
+    slab: Vec<BatchValue>,
+    /// Per-lane record scratch for the currently executing program; drained
+    /// into the run-wide record arena after each process (combinational)
+    /// or each edge (sequential).
+    scratch: Vec<Vec<StmtExec>>,
+    /// Per-lane deferred non-blocking writes, committed in push order.
+    deferred: Vec<Vec<Write>>,
+    /// The mask stack.
+    frames: Vec<Frame>,
+}
+
+/// A compiled batch simulator for one netlist. The immutable [`BatchCode`]
+/// is shared (`Arc`) so forks are an `Arc` bump, mirroring the scalar
+/// engine.
+#[derive(Debug)]
+pub(crate) struct BatchEngine {
+    code: Arc<BatchCode>,
+    state: BatchState,
+}
+
+impl BatchEngine {
+    /// Compiles a netlist against a precomputed [`Analysis`], or `None`
+    /// when lowering falls back (same conditions as the scalar engine, by
+    /// construction: the expression lowerer is shared).
+    pub(crate) fn build(netlist: &Netlist, analysis: &Analysis) -> Option<BatchEngine> {
+        let mut metas = Vec::new();
+        let mut case_labels = Vec::new();
+        let mut slots = 0usize;
+        let mut compile = |body: &Process| -> Option<Vec<BOp>> {
+            let mut c = BatchCompiler {
+                inner: Compiler {
+                    netlist,
+                    ops: Vec::new(),
+                    metas: &mut metas,
+                    next_slot: 0,
+                },
+                bops: Vec::new(),
+                case_labels: &mut case_labels,
+                synced: 0,
+            };
+            match body {
+                Process::Assign(a) => {
+                    c.inner.assign(a)?;
+                    c.sync();
+                }
+                Process::Comb(blk) | Process::Seq(blk) => c.stmts(&blk.body)?,
+            }
+            slots = slots.max(c.inner.next_slot as usize);
+            Some(c.bops)
+        };
+        let comb: Vec<Vec<BOp>> = netlist
+            .comb
+            .iter()
+            .map(&mut compile)
+            .collect::<Option<_>>()?;
+        let seq: Vec<Vec<BOp>> = netlist
+            .seq
+            .iter()
+            .map(&mut compile)
+            .collect::<Option<_>>()?;
+
+        Some(BatchEngine {
+            code: Arc::new(BatchCode {
+                comb,
+                seq,
+                order: analysis.order.clone(),
+                fanin: analysis.fanin.clone(),
+                metas,
+                case_labels,
+                slots,
+            }),
+            state: BatchState::default(),
+        })
+    }
+
+    /// An independent runnable engine sharing this one's compiled code.
+    pub(crate) fn fork(&self) -> BatchEngine {
+        BatchEngine {
+            code: Arc::clone(&self.code),
+            state: BatchState::default(),
+        }
+    }
+
+    /// Runs up to [`LANES`] equal-length stimuli from the all-zero reset
+    /// state, one lane each, and returns one trace per stimulus in order.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::UnknownSignal`] / [`SimError::NotAnInput`] for bad
+    /// stimulus assignments — reported for the same (stimulus, cycle,
+    /// assignment) the scalar sequential loop would hit first — and
+    /// [`SimError::Cancelled`] when `cancel` fires between cycles (the
+    /// whole batch is abandoned, matching the scalar loop where a fired
+    /// token fails every remaining run).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stimuli` is empty, longer than [`LANES`], or of uneven
+    /// cycle counts — [`crate::Simulator::run_batch`] chunks arbitrary
+    /// stimulus sets to meet this contract.
+    pub(crate) fn run(
+        &mut self,
+        netlist: &Netlist,
+        stimuli: &[Stimulus],
+        cancel: &CancelToken,
+    ) -> Result<Vec<Trace>, SimError> {
+        let fill = stimuli.len();
+        assert!(
+            (1..=LANES).contains(&fill),
+            "batch fill {fill} out of 1..={LANES}"
+        );
+        let ncycles = stimuli[0].vectors.len();
+        assert!(
+            stimuli.iter().all(|s| s.vectors.len() == ncycles),
+            "batched stimuli must have equal cycle counts"
+        );
+        let fill_mask = if fill == LANES {
+            u64::MAX
+        } else {
+            (1u64 << fill) - 1
+        };
+
+        // Pre-resolve every input assignment in the order the scalar
+        // sequential loop would encounter them (stimulus-major), so the
+        // first validation error matches the scalar engine's exactly.
+        // `input_ids[l]` is lane `l`'s signal ids concatenated over cycles.
+        // Stimuli drive the same handful of inputs every cycle, so a small
+        // linear-scan memo replaces ~lanes*cycles*inputs map lookups with
+        // one lookup per distinct name.
+        let mut memo: Vec<(&str, u32)> = Vec::new();
+        let mut input_ids: Vec<Vec<u32>> = Vec::with_capacity(fill);
+        for stim in stimuli {
+            let mut ids = Vec::new();
+            for vector in &stim.vectors {
+                for (name, _) in &vector.assigns {
+                    let id = match memo.iter().find(|(n, _)| *n == name.as_str()) {
+                        Some(&(_, id)) => id,
+                        None => {
+                            let id = netlist
+                                .signal_id(name)
+                                .ok_or_else(|| SimError::UnknownSignal { name: name.clone() })?;
+                            if netlist.signal(id).role != SignalRole::Input {
+                                return Err(SimError::NotAnInput { name: name.clone() });
+                            }
+                            memo.push((name.as_str(), id.0));
+                            id.0
+                        }
+                    };
+                    ids.push(id);
+                }
+            }
+            input_ids.push(ids);
+        }
+        let mut cursors = vec![0usize; fill];
+
+        let code = &*self.code;
+        let ncomb = code.comb.len();
+        let nsig = netlist.signal_count();
+        let state = &mut self.state;
+        let mut values: Vec<BatchValue> = netlist
+            .signals()
+            .iter()
+            .map(|s| BatchValue::zeros(s.width))
+            .collect();
+        state.slab.clear();
+        state.slab.resize(code.slots, BatchValue::zeros(1));
+        state.scratch.resize_with(LANES, Vec::new);
+        state.deferred.resize_with(LANES, Vec::new);
+        for v in &mut state.scratch {
+            v.clear();
+        }
+        for v in &mut state.deferred {
+            v.clear();
+        }
+
+        let mut arena: Vec<Value> = Vec::with_capacity(ncycles * fill * nsig);
+        // The run-wide record arena and segment-descriptor pool: every
+        // fresh record of the run lands in `records` exactly once; each
+        // (cycle, lane) execution list is a `spans` window over `segs`
+        // descriptors into it. Clean lanes re-use their previous
+        // descriptor, so nothing is copied for them.
+        let mut records: Vec<StmtExec> = Vec::new();
+        let mut segs: Vec<(u32, u32)> = Vec::new();
+        let mut spans: Vec<(u32, u32)> = Vec::with_capacity(ncycles * fill);
+        // Last fresh descriptor per (comb process, lane).
+        let mut last_desc: Vec<(u32, u32)> = vec![(0, 0); ncomb * LANES];
+        // Per-signal changed-lanes masks — the scalar engine's dirty set,
+        // one bit per lane. Everything starts dirty, like the scalar
+        // engine's reset state.
+        let mut changed: Vec<u64> = vec![fill_mask; nsig];
+        let mut m_divergences = 0u64;
+        let mut m_ops = 0u64;
+
+        for cycle_idx in 0..ncycles {
+            let cycle = cycle_idx as u32;
+            if cancel.is_cancelled() {
+                return Err(SimError::Cancelled { at_cycle: cycle });
+            }
+
+            // 1. Apply inputs lane by lane (ids were pre-resolved above);
+            // a changed input seeds the lane's dirty bit.
+            for (l, stim) in stimuli.iter().enumerate() {
+                let vector = &stim.vectors[cycle_idx];
+                let ids = &input_ids[l][cursors[l]..cursors[l] + vector.assigns.len()];
+                cursors[l] += vector.assigns.len();
+                for ((_, bits), &id) in vector.assigns.iter().zip(ids) {
+                    let v = &mut values[id as usize];
+                    let next = *bits & Value::mask(v.width());
+                    let word = &mut v.words_mut()[l];
+                    if *word != next {
+                        *word = next;
+                        changed[id as usize] |= 1 << l;
+                    }
+                }
+            }
+
+            // 2. One levelized combinational pass. Each process runs under
+            // a root mask of just its dirty lanes (fanin changed); a lane
+            // outside the mask neither writes nor records — its previous
+            // segment descriptor is re-used below. Cycle 0 forces a full
+            // execution so constant processes (empty fanin) record once.
+            for &pi in &code.order {
+                let pi = pi as usize;
+                let mut dmask = 0u64;
+                for &sig in &code.fanin[pi] {
+                    dmask |= changed[sig as usize];
+                }
+                dmask &= fill_mask;
+                if cycle_idx == 0 {
+                    dmask = fill_mask;
+                }
+                if dmask == 0 {
+                    continue;
+                }
+                exec_bops(
+                    &code.comb[pi],
+                    code,
+                    &mut state.slab,
+                    &mut values,
+                    &mut state.scratch,
+                    fill,
+                    dmask,
+                    None,
+                    &mut state.frames,
+                    &mut changed,
+                    &mut m_divergences,
+                    &mut m_ops,
+                );
+                // Fresh records for the dirty lanes move into the arena
+                // once; the descriptor is all later cycles need.
+                let mut lanes = dmask;
+                while lanes != 0 {
+                    let l = lanes.trailing_zeros() as usize;
+                    lanes &= lanes - 1;
+                    let start = records.len() as u32;
+                    records.append(&mut state.scratch[l]);
+                    last_desc[pi * LANES + l] = (start, records.len() as u32 - start);
+                }
+            }
+
+            // 3. Snapshot pre-edge values: lane-extract into the run-wide
+            // arena, cycle-major then lane-major, so lane `l`'s cycle `c`
+            // window starts at `(c * fill + l) * nsig`.
+            for l in 0..fill {
+                for v in &values {
+                    arena.push(v.lane(l));
+                }
+            }
+
+            // Changes are consumed; anything the edge writes below seeds
+            // the next cycle's gate (scalar-engine parity).
+            for c in changed.iter_mut() {
+                *c = 0;
+            }
+
+            // 4. Clock edge: sequential programs always execute in full
+            // and record fresh; non-blocking writes defer per lane and
+            // commit in push order, like the scalar engine.
+            for prog in &code.seq {
+                exec_bops(
+                    prog,
+                    code,
+                    &mut state.slab,
+                    &mut values,
+                    &mut state.scratch,
+                    fill,
+                    fill_mask,
+                    Some(state.deferred.as_mut_slice()),
+                    &mut state.frames,
+                    &mut changed,
+                    &mut m_divergences,
+                    &mut m_ops,
+                );
+            }
+            for (l, writes) in state.deferred.iter_mut().enumerate().take(fill) {
+                for w in writes.drain(..) {
+                    let t = &mut values[w.target.0 as usize];
+                    let cur = t.lane(l);
+                    let next = w.apply(cur);
+                    if next != cur {
+                        t.set_lane(l, next);
+                        changed[w.target.0 as usize] |= 1 << l;
+                    }
+                }
+            }
+
+            // 5. Describe each lane's cycle: combinational descriptors in
+            // source-process order (fresh or re-used), then this edge's
+            // sequential records.
+            for l in 0..fill {
+                let seg_start = segs.len() as u32;
+                for p in 0..ncomb {
+                    let d = last_desc[p * LANES + l];
+                    if d.1 != 0 {
+                        segs.push(d);
+                    }
+                }
+                let seq_rec = &mut state.scratch[l];
+                if !seq_rec.is_empty() {
+                    let start = records.len() as u32;
+                    records.append(seq_rec);
+                    segs.push((start, records.len() as u32 - start));
+                }
+                spans.push((seg_start, segs.len() as u32 - seg_start));
+            }
+
+            // Cycle 0 executes every process on every lane, so its record
+            // and descriptor counts bound the per-cycle worst case; one
+            // up-front reserve avoids doubling-growth memcpys of the
+            // run-wide arena on later cycles.
+            if cycle_idx == 0 && ncycles > 1 {
+                records.reserve(records.len() * (ncycles - 1));
+                segs.reserve(segs.len() * (ncycles - 1));
+            }
+        }
+
+        metrics::CYCLES.add((ncycles * fill) as u64);
+        metrics::RUNS_BATCH.add(fill as u64);
+        metrics::BATCH_LANES.record(fill as u64);
+        metrics::MASK_DIVERGENCES.add(m_divergences);
+        metrics::BYTECODE_OPS.add(m_ops);
+        metrics::SEQ_EVALS.add((ncycles * code.seq.len()) as u64);
+
+        // Assemble one trace per lane. Snapshots view the shared value
+        // arena at lane-strided offsets; execution lists view the shared
+        // record arena through their descriptor spans. Equality compares
+        // viewed contents, so these compare equal to scalar traces.
+        let arena: Arc<[Value]> = arena.into();
+        let records = Arc::new(records);
+        let segs = Arc::new(segs);
+        let mut lane_cycles: Vec<Vec<crate::trace::CycleRecord>> =
+            (0..fill).map(|_| Vec::with_capacity(ncycles)).collect();
+        for c in 0..ncycles {
+            for (l, cycles) in lane_cycles.iter_mut().enumerate() {
+                let (seg_start, seg_len) = spans[c * fill + l];
+                cycles.push(crate::trace::CycleRecord {
+                    cycle: c as u32,
+                    signals: crate::trace::Snapshot::view(
+                        Arc::clone(&arena),
+                        (c * fill + l) * nsig,
+                        nsig,
+                    ),
+                    execs: crate::trace::Execs::from_parts(
+                        Arc::clone(&records),
+                        Arc::clone(&segs),
+                        seg_start,
+                        seg_len,
+                    ),
+                });
+            }
+        }
+        Ok(lane_cycles
+            .into_iter()
+            .map(|cycles| Trace { cycles })
+            .collect())
+    }
+}
+
+/// Executes one batch program under a root activity mask (the caller's
+/// per-lane dirty mask for combinational processes, the full fill mask for
+/// sequential ones). Infallible by construction, like the scalar
+/// `exec_ops`. Value-changing writes OR the written lane into the
+/// signal's `changed` mask, feeding the per-lane dirty gate.
+#[allow(clippy::too_many_arguments)]
+fn exec_bops(
+    bops: &[BOp],
+    code: &BatchCode,
+    slab: &mut [BatchValue],
+    values: &mut [BatchValue],
+    recorders: &mut [Vec<StmtExec>],
+    fill: usize,
+    root_mask: u64,
+    mut deferred: Option<&mut [Vec<Write>]>,
+    frames: &mut Vec<Frame>,
+    changed: &mut [u64],
+    m_divergences: &mut u64,
+    m_ops: &mut u64,
+) {
+    let metas = &code.metas;
+    let mut mask = root_mask;
+    let mut executed = 0u64;
+    frames.clear();
+    let mut pc = 0usize;
+    while pc < bops.len() {
+        executed += 1;
+        match bops[pc] {
+            BOp::Scalar(op) => exec_scalar_bop(op, slab, values, fill),
+            BOp::Assign { rhs, meta } => {
+                let m = &metas[meta as usize];
+                let value = &slab[rhs as usize];
+                let mut lanes = mask;
+                while lanes != 0 {
+                    let l = lanes.trailing_zeros() as usize;
+                    lanes &= lanes - 1;
+                    let write = match m.sel {
+                        SelKind::Full { width } => Write {
+                            target: m.target,
+                            lo: 0,
+                            width,
+                            bits: value.words()[l] & Value::mask(width),
+                        },
+                        SelKind::Bit { width, idx } => {
+                            let i = slab[idx as usize].words()[l].min(63) as u8;
+                            Write {
+                                target: m.target,
+                                lo: i.min(width - 1),
+                                width: 1,
+                                bits: value.words()[l] & 1,
+                            }
+                        }
+                        SelKind::Part { lo, width } => Write {
+                            target: m.target,
+                            lo,
+                            width,
+                            bits: value.words()[l] & Value::mask(width),
+                        },
+                    };
+                    // Operands are read before the write lands, matching
+                    // the scalar engines' record-then-apply order.
+                    recorders[l].push(StmtExec {
+                        stmt: m.stmt,
+                        operands: Operands::capture(m.read_ids.len(), |k| {
+                            values[m.read_ids[k].0 as usize].lane(l)
+                        }),
+                        result: Value::new(write.bits, write.width),
+                    });
+                    match (&mut deferred, m.nonblocking) {
+                        (Some(d), true) => d[l].push(write),
+                        _ => {
+                            let t = &mut values[write.target.0 as usize];
+                            let cur = t.lane(l);
+                            let next = write.apply(cur);
+                            if next != cur {
+                                t.set_lane(l, next);
+                                changed[write.target.0 as usize] |= 1 << l;
+                            }
+                        }
+                    }
+                }
+            }
+            BOp::BranchIf { cond, else_at } => {
+                let t = mask & slab[cond as usize].truthy_mask();
+                let e = mask & !t;
+                if t != 0 && e != 0 {
+                    *m_divergences += 1;
+                }
+                frames.push(Frame::If {
+                    saved: mask,
+                    else_mask: e,
+                });
+                if t == 0 {
+                    pc = else_at as usize;
+                    continue;
+                }
+                mask = t;
+            }
+            BOp::Else { end_at } => {
+                let Some(Frame::If { else_mask, .. }) = frames.last() else {
+                    unreachable!("Else outside an if frame");
+                };
+                mask = *else_mask;
+                if mask == 0 {
+                    pc = end_at as usize;
+                    continue;
+                }
+            }
+            BOp::EndIf => {
+                let Some(Frame::If { saved, .. }) = frames.pop() else {
+                    unreachable!("EndIf outside an if frame");
+                };
+                mask = saved;
+            }
+            BOp::CaseBegin { subj } => {
+                frames.push(Frame::Case {
+                    saved: mask,
+                    remaining: mask,
+                    subj,
+                    taken: 0,
+                });
+            }
+            BOp::CaseArm {
+                labels_start,
+                labels_len,
+                next_at,
+            } => {
+                let Some(Frame::Case {
+                    remaining,
+                    subj,
+                    taken,
+                    ..
+                }) = frames.last_mut()
+                else {
+                    unreachable!("CaseArm outside a case frame");
+                };
+                let subject = &slab[*subj as usize];
+                let mut matched = 0u64;
+                let range = labels_start as usize..(labels_start + labels_len) as usize;
+                for &label_slot in &code.case_labels[range] {
+                    matched |= subject.eq_mask(&slab[label_slot as usize]);
+                }
+                let arm = *remaining & matched;
+                *remaining &= !arm;
+                if arm == 0 {
+                    pc = next_at as usize;
+                    continue;
+                }
+                *taken += 1;
+                mask = arm;
+            }
+            BOp::CaseDefault { end_at } => {
+                let Some(Frame::Case {
+                    remaining, taken, ..
+                }) = frames.last_mut()
+                else {
+                    unreachable!("CaseDefault outside a case frame");
+                };
+                mask = *remaining;
+                if mask == 0 {
+                    pc = end_at as usize;
+                    continue;
+                }
+                *taken += 1;
+            }
+            BOp::CaseEnd => {
+                let Some(Frame::Case { saved, taken, .. }) = frames.pop() else {
+                    unreachable!("CaseEnd outside a case frame");
+                };
+                if taken > 1 {
+                    *m_divergences += u64::from(taken) - 1;
+                }
+                mask = saved;
+            }
+        }
+        pc += 1;
+    }
+    *m_ops += executed;
+}
+
+/// Evaluates one scalar expression op on the first `n` lanes, writing the
+/// destination slot in place. Expressions for inactive lanes compute
+/// harmless garbage (assignment is the only side effect, and it is
+/// masked); every kernel is total, so no lane can fault. Lanes `n..LANES`
+/// of the destination are left untouched — nothing reads beyond the fill.
+///
+/// The compiler allocates a fresh destination slot *after* its operand
+/// slots (slots are never reused within a program), so `dst` is strictly
+/// greater than every operand slot and `split_at_mut` yields disjoint
+/// borrows without copying 512-byte values through temporaries.
+fn exec_scalar_bop(op: Op, slab: &mut [BatchValue], values: &[BatchValue], n: usize) {
+    match op {
+        Op::Load { dst, sig } => slab[dst as usize].copy_lanes(&values[sig as usize], n),
+        Op::Const { dst, val } => slab[dst as usize].splat_lanes(val, n),
+        Op::Unary { dst, op, a } => {
+            debug_assert!(a < dst);
+            let (lo, hi) = slab.split_at_mut(dst as usize);
+            eval_unary_batch(op, &lo[a as usize], n, &mut hi[0]);
+        }
+        Op::Binary { dst, op, a, b } => {
+            debug_assert!(a < dst && b < dst);
+            let (lo, hi) = slab.split_at_mut(dst as usize);
+            eval_binary_batch(op, &lo[a as usize], &lo[b as usize], n, &mut hi[0]);
+        }
+        Op::Ternary { dst, cond, t, f } => {
+            debug_assert!(cond < dst && t < dst && f < dst);
+            let (lo, hi) = slab.split_at_mut(dst as usize);
+            let c = lo[cond as usize].truthy_mask();
+            let tv = &lo[t as usize];
+            let fv = &lo[f as usize];
+            let w = tv.width().max(fv.width());
+            let out = hi[0].words_mut();
+            let (tw, fw) = (&tv.words()[..n], &fv.words()[..n]);
+            for (l, ((o, &t), &f)) in out.iter_mut().zip(tw).zip(fw).enumerate() {
+                *o = if c >> l & 1 == 1 { t } else { f };
+            }
+            hi[0].set_width(w);
+        }
+        Op::Index { dst, sig, idx } => {
+            debug_assert!(idx < dst);
+            let v = &values[sig as usize];
+            let (lo, hi) = slab.split_at_mut(dst as usize);
+            let i = &lo[idx as usize];
+            let w = u64::from(v.width());
+            let out = hi[0].words_mut();
+            let (iw, vw) = (&i.words()[..n], &v.words()[..n]);
+            for ((o, &bit), &word) in out.iter_mut().zip(iw).zip(vw) {
+                *o = u64::from(bit < w && (word >> bit) & 1 == 1);
+            }
+            hi[0].set_width(1);
+        }
+        Op::Part {
+            dst,
+            sig,
+            lsb,
+            width,
+        } => {
+            let v = &values[sig as usize];
+            let m = Value::mask(width);
+            let d = &mut slab[dst as usize];
+            let out = d.words_mut();
+            for (o, &word) in out.iter_mut().zip(&v.words()[..n]) {
+                *o = (word >> lsb) & m;
+            }
+            d.set_width(width);
+        }
+        Op::Concat { dst, hi, lo } => {
+            debug_assert!(hi < dst && lo < dst);
+            let (rest, d) = slab.split_at_mut(dst as usize);
+            let h = &rest[hi as usize];
+            let l = &rest[lo as usize];
+            let lw = l.width();
+            let out = d[0].words_mut();
+            let (hw, lo_w) = (&h.words()[..n], &l.words()[..n]);
+            for ((o, &hi_word), &lo_word) in out.iter_mut().zip(hw).zip(lo_w) {
+                *o = (hi_word << lw) | lo_word;
+            }
+            d[0].set_width(h.width() + lw);
+        }
+        Op::Jump { .. } | Op::JumpIfFalse { .. } | Op::JumpIfEq { .. } | Op::Assign { .. } => {
+            unreachable!("control/assign ops are never wrapped in BOp::Scalar")
+        }
+    }
+}
+
+/// Lowers one process body into batch bytecode, reusing the scalar
+/// [`Compiler`] for expressions and assignments (ops it emits are drained
+/// through [`BatchCompiler::sync`]) and emitting structured mask ops for
+/// `if`/`case`.
+struct BatchCompiler<'a, 'n> {
+    inner: Compiler<'n>,
+    bops: Vec<BOp>,
+    case_labels: &'a mut Vec<u16>,
+    /// How many of `inner.ops` have been converted into `bops`.
+    synced: usize,
+}
+
+impl BatchCompiler<'_, '_> {
+    /// Converts every scalar op the inner compiler emitted since the last
+    /// sync. Expressions and assignments never emit jumps, so only
+    /// straight-line ops can appear here.
+    fn sync(&mut self) {
+        for &op in &self.inner.ops[self.synced..] {
+            match op {
+                Op::Assign { rhs, meta } => self.bops.push(BOp::Assign { rhs, meta }),
+                Op::Jump { .. } | Op::JumpIfFalse { .. } | Op::JumpIfEq { .. } => {
+                    unreachable!("expression lowering emits no jumps")
+                }
+                other => self.bops.push(BOp::Scalar(other)),
+            }
+        }
+        self.synced = self.inner.ops.len();
+    }
+
+    fn stmts(&mut self, stmts: &[Stmt]) -> Option<()> {
+        for s in stmts {
+            match s {
+                Stmt::Assign(a) => {
+                    self.inner.assign(a)?;
+                    self.sync();
+                }
+                Stmt::If(i) => {
+                    let (cond, _) = self.inner.expr(&i.cond)?;
+                    self.sync();
+                    let branch_at = self.bops.len();
+                    self.bops.push(BOp::BranchIf { cond, else_at: 0 });
+                    self.stmts(&i.then_branch)?;
+                    let else_at = self.bops.len();
+                    // An `Else` op is emitted even for if-without-else: the
+                    // executor restores the else mask there (running zero
+                    // statements under it), keeping the frame protocol
+                    // uniform.
+                    self.bops.push(BOp::Else { end_at: 0 });
+                    self.patch(branch_at, else_at);
+                    self.stmts(&i.else_branch)?;
+                    let end_at = self.bops.len();
+                    self.bops.push(BOp::EndIf);
+                    self.patch(else_at, end_at);
+                }
+                Stmt::Case(c) => {
+                    let (subj, _) = self.inner.expr(&c.subject)?;
+                    // Evaluate ALL labels before any body, exactly like the
+                    // scalar engine (labels are pure, slots are never
+                    // reused within a program, so label slots stay live).
+                    let mut ranges = Vec::with_capacity(c.arms.len());
+                    for arm in &c.arms {
+                        let start = self.case_labels.len();
+                        for label in &arm.labels {
+                            let (slot, _) = self.inner.expr(label)?;
+                            self.case_labels.push(slot);
+                        }
+                        ranges.push((start as u32, arm.labels.len() as u32));
+                    }
+                    self.sync();
+                    self.bops.push(BOp::CaseBegin { subj });
+                    for (arm, (labels_start, labels_len)) in c.arms.iter().zip(ranges) {
+                        let arm_at = self.bops.len();
+                        self.bops.push(BOp::CaseArm {
+                            labels_start,
+                            labels_len,
+                            next_at: 0,
+                        });
+                        self.stmts(&arm.body)?;
+                        self.patch(arm_at, self.bops.len());
+                    }
+                    let default_at = self.bops.len();
+                    self.bops.push(BOp::CaseDefault { end_at: 0 });
+                    self.stmts(&c.default)?;
+                    self.patch(default_at, self.bops.len());
+                    self.bops.push(BOp::CaseEnd);
+                }
+            }
+        }
+        Some(())
+    }
+
+    /// Redirects the forward offset of the structured op at `at` to `to`.
+    fn patch(&mut self, at: usize, to: usize) {
+        let to = to as u32;
+        match &mut self.bops[at] {
+            BOp::BranchIf { else_at: t, .. }
+            | BOp::Else { end_at: t }
+            | BOp::CaseArm { next_at: t, .. }
+            | BOp::CaseDefault { end_at: t } => *t = to,
+            _ => unreachable!("patch target is a structured control op"),
+        }
+    }
+}

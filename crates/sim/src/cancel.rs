@@ -10,15 +10,20 @@
 //! [`CancelToken::is_cancelled`] is a single `Option` check, so batch
 //! pipelines that never cancel pay nothing.
 
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicI64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
-/// Shared cancellation state (explicit flag and/or wall-clock deadline).
+/// Shared cancellation state (explicit flag, wall-clock deadline, and/or a
+/// poll budget).
 #[derive(Debug)]
 struct Inner {
     cancelled: AtomicBool,
     deadline: Option<Instant>,
+    /// When present, [`CancelToken::is_cancelled`] decrements this and the
+    /// token fires once it is exhausted — a deterministic stand-in for a
+    /// wall-clock deadline in tests.
+    poll_budget: Option<AtomicI64>,
 }
 
 /// A cloneable cancellation handle.
@@ -37,6 +42,7 @@ impl CancelToken {
             inner: Some(Arc::new(Inner {
                 cancelled: AtomicBool::new(false),
                 deadline: None,
+                poll_budget: None,
             })),
         }
     }
@@ -47,6 +53,24 @@ impl CancelToken {
             inner: Some(Arc::new(Inner {
                 cancelled: AtomicBool::new(false),
                 deadline: Some(deadline),
+                poll_budget: None,
+            })),
+        }
+    }
+
+    /// A token that fires after `polls` calls to
+    /// [`is_cancelled`](Self::is_cancelled) have returned `false` (or on
+    /// explicit cancel).
+    ///
+    /// Both engines poll once per simulated cycle, so this cancels a run
+    /// deterministically mid-simulation — including mid-batch — where a
+    /// wall-clock deadline would be flaky. Clones share the budget.
+    pub fn after_polls(polls: u64) -> Self {
+        CancelToken {
+            inner: Some(Arc::new(Inner {
+                cancelled: AtomicBool::new(false),
+                deadline: None,
+                poll_budget: Some(AtomicI64::new(polls.min(i64::MAX as u64) as i64)),
             })),
         }
     }
@@ -71,6 +95,10 @@ impl CancelToken {
             Some(inner) => {
                 inner.cancelled.load(Ordering::Relaxed)
                     || inner.deadline.is_some_and(|d| Instant::now() >= d)
+                    || inner
+                        .poll_budget
+                        .as_ref()
+                        .is_some_and(|b| b.fetch_sub(1, Ordering::Relaxed) <= 0)
             }
         }
     }
@@ -96,6 +124,22 @@ mod tests {
         assert!(!c.is_cancelled());
         t.cancel();
         assert!(c.is_cancelled());
+    }
+
+    #[test]
+    fn poll_budget_fires_after_n_false_polls() {
+        let t = CancelToken::after_polls(3);
+        for _ in 0..3 {
+            assert!(!t.is_cancelled());
+        }
+        assert!(t.is_cancelled());
+        // Stays fired.
+        assert!(t.is_cancelled());
+        // A zero budget fires immediately; explicit cancel still works.
+        assert!(CancelToken::after_polls(0).is_cancelled());
+        let t = CancelToken::after_polls(100);
+        t.cancel();
+        assert!(t.is_cancelled());
     }
 
     #[test]

@@ -29,14 +29,18 @@ use crate::eval::{eval_binary, eval_unary, Write};
 use crate::metrics;
 use crate::netlist::{Netlist, Process, SignalId, SignalRole};
 use crate::testbench::Stimulus;
-use crate::trace::{CycleRecord, Snapshot, StmtExec, Trace};
+use crate::trace::{Operands, StmtExec, Trace};
 use crate::value::Value;
 use verilog::{Assignment, BinaryOp, Expr, Select, Stmt, StmtId, UnaryOp};
 
 /// One bytecode instruction. Slots index the value slab; `sig` fields index
 /// the netlist's signal values.
+///
+/// Shared with the batch engine: `crate::batch` reuses every non-jump
+/// variant verbatim (evaluated lane-wise) and replaces the jump encoding
+/// with structured mask operations.
 #[derive(Debug, Clone, Copy)]
-enum Op {
+pub(crate) enum Op {
     /// `slab[dst] = values[sig]`
     Load { dst: u16, sig: u32 },
     /// `slab[dst] = val`
@@ -76,7 +80,7 @@ enum Op {
 
 /// How an assignment's target bits are selected.
 #[derive(Debug, Clone, Copy)]
-enum SelKind {
+pub(crate) enum SelKind {
     /// Whole-signal write at the signal's declared width.
     Full { width: u8 },
     /// Dynamic bit select; the index lives in slot `idx`.
@@ -87,13 +91,14 @@ enum SelKind {
 
 /// Static description of one lowered assignment statement.
 #[derive(Debug, Clone)]
-struct AssignMeta {
-    stmt: StmtId,
-    target: SignalId,
-    sel: SelKind,
-    nonblocking: bool,
-    /// Interned operand names + ids, shared with the netlist's `AssignInfo`.
-    reads: Vec<(Arc<str>, SignalId)>,
+pub(crate) struct AssignMeta {
+    pub(crate) stmt: StmtId,
+    pub(crate) target: SignalId,
+    pub(crate) sel: SelKind,
+    pub(crate) nonblocking: bool,
+    /// Signal ids of the statement's reads, in record read order (matching
+    /// the netlist's `AssignInfo::names` positionally).
+    pub(crate) read_ids: Vec<SignalId>,
 }
 
 /// Everything immutable after `build`.
@@ -145,49 +150,68 @@ pub(crate) struct Engine {
     state: State,
 }
 
+/// The engine-independent half of compilation: levelization plus the
+/// eligibility checks that prove a single ordered combinational pass
+/// equivalent to the fixpoint settle. Shared by the scalar [`Engine`] and
+/// the batch engine so both fall back under exactly the same conditions.
+#[derive(Debug)]
+pub(crate) struct Analysis {
+    /// Topological evaluation order over combinational process indices.
+    pub(crate) order: Vec<u32>,
+    /// Per-comb-process exposed-read signal ids (the dirty-set gate).
+    pub(crate) fanin: Vec<Vec<u32>>,
+}
+
+/// Levelizes and vets a netlist, or `None` when single-pass equivalence
+/// with the fixpoint interpreter cannot be proven (the caller then falls
+/// back to the interpreter).
+pub(crate) fn analyze(netlist: &Netlist) -> Option<Analysis> {
+    let lev = cdfg::levelize(&netlist.module);
+    if lev.processes.len() != netlist.comb.len() {
+        return None;
+    }
+    let order: Vec<u32> = lev.order.as_ref()?.iter().map(|&i| i as u32).collect();
+
+    // Resolve the name-based summaries to ids. Unknown names, inputs
+    // driven by combinational logic, multi-driver signals, and
+    // comb/seq write overlap all void the single-pass argument.
+    let mut fanin: Vec<Vec<u32>> = Vec::with_capacity(lev.processes.len());
+    let mut comb_written: BTreeSet<u32> = BTreeSet::new();
+    for p in &lev.processes {
+        let mut f = Vec::with_capacity(p.reads.len());
+        for name in &p.reads {
+            f.push(netlist.signal_id(name)?.0);
+        }
+        fanin.push(f);
+        for name in &p.writes {
+            let id = netlist.signal_id(name)?;
+            if netlist.signal(id).role == SignalRole::Input {
+                return None;
+            }
+            if !comb_written.insert(id.0) {
+                return None;
+            }
+        }
+    }
+    for p in &netlist.seq {
+        let Process::Seq(blk) = p else { continue };
+        let mut bases = Vec::new();
+        collect_write_bases(&blk.body, &mut bases);
+        for base in bases {
+            let id = netlist.signal_id(base)?;
+            if comb_written.contains(&id.0) {
+                return None;
+            }
+        }
+    }
+    Some(Analysis { order, fanin })
+}
+
 impl Engine {
-    /// Compiles a netlist, or `None` when equivalence with the fixpoint
-    /// interpreter cannot be proven (the caller then falls back).
-    pub(crate) fn build(netlist: &Netlist) -> Option<Engine> {
-        let lev = cdfg::levelize(&netlist.module);
-        if lev.processes.len() != netlist.comb.len() {
-            return None;
-        }
-        let order: Vec<u32> = lev.order.as_ref()?.iter().map(|&i| i as u32).collect();
-
-        // Resolve the name-based summaries to ids. Unknown names, inputs
-        // driven by combinational logic, multi-driver signals, and
-        // comb/seq write overlap all void the single-pass argument.
-        let mut fanin: Vec<Vec<u32>> = Vec::with_capacity(lev.processes.len());
-        let mut comb_written: BTreeSet<u32> = BTreeSet::new();
-        for p in &lev.processes {
-            let mut f = Vec::with_capacity(p.reads.len());
-            for name in &p.reads {
-                f.push(netlist.signal_id(name)?.0);
-            }
-            fanin.push(f);
-            for name in &p.writes {
-                let id = netlist.signal_id(name)?;
-                if netlist.signal(id).role == SignalRole::Input {
-                    return None;
-                }
-                if !comb_written.insert(id.0) {
-                    return None;
-                }
-            }
-        }
-        for p in &netlist.seq {
-            let Process::Seq(blk) = p else { continue };
-            let mut bases = Vec::new();
-            collect_write_bases(&blk.body, &mut bases);
-            for base in bases {
-                let id = netlist.signal_id(base)?;
-                if comb_written.contains(&id.0) {
-                    return None;
-                }
-            }
-        }
-
+    /// Compiles a netlist against a precomputed [`Analysis`], or `None`
+    /// when lowering hits a construct whose compiled behavior would differ
+    /// from the interpreter's (the caller then falls back).
+    pub(crate) fn build(netlist: &Netlist, analysis: &Analysis) -> Option<Engine> {
         let mut metas = Vec::new();
         let mut slots = 0usize;
         let mut compile = |body: &Process| -> Option<Vec<Op>> {
@@ -220,8 +244,8 @@ impl Engine {
             code: Arc::new(Code {
                 comb,
                 seq,
-                order,
-                fanin,
+                order: analysis.order.clone(),
+                fanin: analysis.fanin.clone(),
                 metas,
                 slots,
             }),
@@ -322,21 +346,18 @@ impl Engine {
                     &mut values,
                     dirty,
                     cache,
-                    cycle,
                     None,
                     &mut m_ops,
                 );
             }
 
             // Assemble records in source-process order, as the
-            // interpreter's recording pass does.
+            // interpreter's recording pass does. Records carry no cycle
+            // index, so replaying a skipped process's cache is a straight
+            // copy.
             let mut execs: Vec<StmtExec> = Vec::new();
             for cache in exec_cache.iter() {
-                for e in cache {
-                    let mut e = e.clone();
-                    e.cycle = cycle;
-                    execs.push(e);
-                }
+                execs.extend_from_slice(cache);
             }
 
             // 3. Snapshot pre-edge values into the run-wide arena.
@@ -358,7 +379,6 @@ impl Engine {
                     &mut values,
                     dirty,
                     &mut execs,
-                    cycle,
                     Some(deferred),
                     &mut m_ops,
                 );
@@ -382,17 +402,7 @@ impl Engine {
         metrics::BYTECODE_OPS.add(m_ops);
         metrics::SEQ_EVALS.add((ncycles * code.seq.len()) as u64);
 
-        let arena: Arc<[Value]> = arena.into();
-        let cycles = cycle_execs
-            .into_iter()
-            .enumerate()
-            .map(|(i, execs)| CycleRecord {
-                cycle: i as u32,
-                signals: Snapshot::view(arena.clone(), i * nsig, nsig),
-                execs,
-            })
-            .collect();
-        Ok(Trace { cycles })
+        Ok(Trace::assemble(arena.into(), nsig, cycle_execs))
     }
 }
 
@@ -407,7 +417,6 @@ fn exec_ops(
     values: &mut [Value],
     dirty: &mut [bool],
     recorder: &mut Vec<StmtExec>,
-    cycle: u32,
     mut deferred: Option<&mut Vec<Write>>,
     op_count: &mut u64,
 ) {
@@ -498,12 +507,9 @@ fn exec_ops(
                 // interpreter's record-then-apply order.
                 recorder.push(StmtExec {
                     stmt: m.stmt,
-                    cycle,
-                    operands: m
-                        .reads
-                        .iter()
-                        .map(|(n, id)| (n.clone(), values[id.0 as usize]))
-                        .collect(),
+                    operands: Operands::capture(m.read_ids.len(), |k| {
+                        values[m.read_ids[k].0 as usize]
+                    }),
                     result: Value::new(write.bits, write.width),
                 });
                 match (&mut deferred, m.nonblocking) {
@@ -546,11 +552,16 @@ fn collect_write_bases<'s>(stmts: &'s [Stmt], out: &mut Vec<&'s str>) {
 
 /// Lowers one process body into bytecode. Every method returns `None` to
 /// request interpreter fallback.
-struct Compiler<'a> {
-    netlist: &'a Netlist,
-    ops: Vec<Op>,
-    metas: &'a mut Vec<AssignMeta>,
-    next_slot: u32,
+///
+/// The batch engine drives this same lowerer for expressions and
+/// assignments (so fallback conditions and slot allocation are decided in
+/// exactly one place) and converts the emitted ops; only `if`/`case`
+/// control flow is lowered differently there.
+pub(crate) struct Compiler<'a> {
+    pub(crate) netlist: &'a Netlist,
+    pub(crate) ops: Vec<Op>,
+    pub(crate) metas: &'a mut Vec<AssignMeta>,
+    pub(crate) next_slot: u32,
 }
 
 impl Compiler<'_> {
@@ -571,7 +582,7 @@ impl Compiler<'_> {
     /// Compiles an expression; returns its result slot and static width
     /// (widths are fully static in this Verilog subset, so the returned
     /// width always equals the runtime `Value` width).
-    fn expr(&mut self, e: &Expr) -> Option<(u16, u8)> {
+    pub(crate) fn expr(&mut self, e: &Expr) -> Option<(u16, u8)> {
         match e {
             Expr::Ident { name, .. } => {
                 let (sig, w) = self.signal(name)?;
@@ -705,7 +716,7 @@ impl Compiler<'_> {
         Some((acc, width))
     }
 
-    fn assign(&mut self, a: &Assignment) -> Option<()> {
+    pub(crate) fn assign(&mut self, a: &Assignment) -> Option<()> {
         let (rhs, _) = self.expr(&a.rhs)?;
         let info = self.netlist.assign_info(a.id)?;
         let target = info.target?;
@@ -734,7 +745,7 @@ impl Compiler<'_> {
             target,
             sel,
             nonblocking: a.kind == verilog::AssignKind::NonBlocking,
-            reads: info.reads.clone(),
+            read_ids: info.read_ids.clone(),
         });
         self.ops.push(Op::Assign { rhs, meta });
         Some(())

@@ -7,9 +7,8 @@
 
 use crate::error::SimError;
 use crate::netlist::{Netlist, SignalId};
-use crate::trace::StmtExec;
-use crate::value::Value;
-use std::sync::Arc;
+use crate::trace::{Operands, StmtExec};
+use crate::value::{BatchValue, Value};
 use verilog::{Assignment, BinaryOp, CaseStmt, Expr, IfStmt, LValue, Select, Stmt, UnaryOp};
 
 /// A pending (possibly partial) write to a signal.
@@ -79,6 +78,197 @@ pub(crate) fn eval_binary(op: BinaryOp, a: Value, b: Value) -> Value {
             Value::new(a.bits().checked_shr(sh).unwrap_or(0), a.width())
         }
     }
+}
+
+/// Batched [`eval_unary`]: applies the operator to the first `n` lanes of
+/// `v`, writing the result into `out` in place (no 512-byte temporary, no
+/// copy-out). Lanes `n..LANES` of `out` are left untouched — they may hold
+/// garbage from a previous op, and the batch engine never reads beyond the
+/// batch fill.
+///
+/// The operator match sits outside the lane loop so each arm is a tight,
+/// auto-vectorizable pass over the word planes. Every arm restates the
+/// scalar formula verbatim; the differential suite holds the two paths
+/// bit-identical.
+pub(crate) fn eval_unary_batch(op: UnaryOp, v: &BatchValue, n: usize, out: &mut BatchValue) {
+    let w = v.width();
+    let m = Value::mask(w);
+    // Slicing to the fill bound lets the optimizer drop per-lane bounds
+    // checks and vectorize the lane loops.
+    let a = &v.words()[..n];
+    let o = &mut out.words_mut()[..n];
+    let mut width = 1;
+    match op {
+        UnaryOp::Not => {
+            for l in 0..n {
+                o[l] = !a[l] & m;
+            }
+            width = w;
+        }
+        UnaryOp::LogicalNot => {
+            for l in 0..n {
+                o[l] = u64::from(a[l] == 0);
+            }
+        }
+        UnaryOp::Negate => {
+            for l in 0..n {
+                o[l] = a[l].wrapping_neg() & m;
+            }
+            width = w;
+        }
+        UnaryOp::RedAnd => {
+            for l in 0..n {
+                o[l] = u64::from(a[l] == m);
+            }
+        }
+        UnaryOp::RedOr => {
+            for l in 0..n {
+                o[l] = u64::from(a[l] != 0);
+            }
+        }
+        UnaryOp::RedXor => {
+            for l in 0..n {
+                o[l] = u64::from(a[l].count_ones() & 1 == 1);
+            }
+        }
+        UnaryOp::RedXnor => {
+            for l in 0..n {
+                o[l] = u64::from(a[l].count_ones() & 1 == 0);
+            }
+        }
+    }
+    out.set_width(width);
+}
+
+/// Batched [`eval_binary`]: applies the operator to the first `n` lanes at
+/// the combined width, writing into `out` in place (see
+/// [`eval_unary_batch`] for the lane/garbage contract). Shift amounts,
+/// divisors, and comparison operands vary per lane.
+pub(crate) fn eval_binary_batch(
+    op: BinaryOp,
+    a: &BatchValue,
+    b: &BatchValue,
+    n: usize,
+    out: &mut BatchValue,
+) {
+    let w = a.width().max(b.width());
+    let m = Value::mask(w);
+    let (x, y) = (&a.words()[..n], &b.words()[..n]);
+    let o = &mut out.words_mut()[..n];
+    let mut width = 1;
+    match op {
+        BinaryOp::And => {
+            for l in 0..n {
+                o[l] = x[l] & y[l];
+            }
+            width = w;
+        }
+        BinaryOp::Or => {
+            for l in 0..n {
+                o[l] = x[l] | y[l];
+            }
+            width = w;
+        }
+        BinaryOp::Xor => {
+            for l in 0..n {
+                o[l] = x[l] ^ y[l];
+            }
+            width = w;
+        }
+        BinaryOp::Xnor => {
+            for l in 0..n {
+                o[l] = !(x[l] ^ y[l]) & m;
+            }
+            width = w;
+        }
+        BinaryOp::LogAnd => {
+            for l in 0..n {
+                o[l] = u64::from(x[l] != 0 && y[l] != 0);
+            }
+        }
+        BinaryOp::LogOr => {
+            for l in 0..n {
+                o[l] = u64::from(x[l] != 0 || y[l] != 0);
+            }
+        }
+        BinaryOp::Eq | BinaryOp::CaseEq => {
+            for l in 0..n {
+                o[l] = u64::from(x[l] == y[l]);
+            }
+        }
+        BinaryOp::Neq | BinaryOp::CaseNeq => {
+            for l in 0..n {
+                o[l] = u64::from(x[l] != y[l]);
+            }
+        }
+        BinaryOp::Lt => {
+            for l in 0..n {
+                o[l] = u64::from(x[l] < y[l]);
+            }
+        }
+        BinaryOp::Le => {
+            for l in 0..n {
+                o[l] = u64::from(x[l] <= y[l]);
+            }
+        }
+        BinaryOp::Gt => {
+            for l in 0..n {
+                o[l] = u64::from(x[l] > y[l]);
+            }
+        }
+        BinaryOp::Ge => {
+            for l in 0..n {
+                o[l] = u64::from(x[l] >= y[l]);
+            }
+        }
+        BinaryOp::Add => {
+            for l in 0..n {
+                o[l] = x[l].wrapping_add(y[l]) & m;
+            }
+            width = w;
+        }
+        BinaryOp::Sub => {
+            for l in 0..n {
+                o[l] = x[l].wrapping_sub(y[l]) & m;
+            }
+            width = w;
+        }
+        BinaryOp::Mul => {
+            for l in 0..n {
+                o[l] = x[l].wrapping_mul(y[l]) & m;
+            }
+            width = w;
+        }
+        BinaryOp::Div => {
+            for l in 0..n {
+                o[l] = x[l].checked_div(y[l]).unwrap_or(0);
+            }
+            width = w;
+        }
+        BinaryOp::Mod => {
+            for l in 0..n {
+                o[l] = x[l].checked_rem(y[l]).unwrap_or(0);
+            }
+            width = w;
+        }
+        BinaryOp::Shl => {
+            let wa = a.width();
+            let ma = Value::mask(wa);
+            for l in 0..n {
+                let sh = y[l].min(64) as u32;
+                o[l] = x[l].checked_shl(sh).unwrap_or(0) & ma;
+            }
+            width = wa;
+        }
+        BinaryOp::Shr => {
+            for l in 0..n {
+                let sh = y[l].min(64) as u32;
+                o[l] = x[l].checked_shr(sh).unwrap_or(0);
+            }
+            width = a.width();
+        }
+    }
+    out.set_width(width);
 }
 
 /// Mutable evaluation state over a netlist.
@@ -247,7 +437,6 @@ impl<'n> EvalCtx<'n> {
     pub(crate) fn exec_assign(
         &mut self,
         a: &Assignment,
-        cycle: u32,
         defer: Option<&mut Vec<Write>>,
         recorder: Option<&mut Vec<StmtExec>>,
     ) -> Result<(), SimError> {
@@ -264,34 +453,35 @@ impl<'n> EvalCtx<'n> {
         };
         let write = self.resolve_write(target, &a.lhs, value)?;
         if let Some(rec) = recorder {
-            let operands: Vec<(Arc<str>, Value)> = match info {
-                Some(i) => i
-                    .reads
-                    .iter()
-                    .map(|(n, id)| (n.clone(), self.values[id.0 as usize]))
-                    .collect(),
+            let operands = match info {
+                Some(i) => {
+                    Operands::capture(i.read_ids.len(), |k| self.values[i.read_ids[k].0 as usize])
+                }
                 // Statement not elaborated with this netlist (foreign id):
-                // fall back to walking the expression tree.
+                // fall back to walking the expression tree, in the same
+                // record read order `AssignInfo` would use.
                 None => {
-                    let mut operands: Vec<(Arc<str>, Value)> = Vec::new();
+                    let mut seen: Vec<&str> = Vec::new();
+                    let mut vals: Vec<Value> = Vec::new();
                     for name in a.rhs.referenced_signals() {
-                        if operands.iter().all(|(n, _)| n.as_ref() != name) {
-                            operands.push((Arc::from(name), self.value_of(name)?));
+                        if !seen.contains(&name) {
+                            seen.push(name);
+                            vals.push(self.value_of(name)?);
                         }
                     }
                     if let Some(Select::Bit(idx)) = &a.lhs.select {
                         for name in idx.referenced_signals() {
-                            if operands.iter().all(|(n, _)| n.as_ref() != name) {
-                                operands.push((Arc::from(name), self.value_of(name)?));
+                            if !seen.contains(&name) {
+                                seen.push(name);
+                                vals.push(self.value_of(name)?);
                             }
                         }
                     }
-                    operands
+                    Operands::from_values(&vals)
                 }
             };
             rec.push(StmtExec {
                 stmt: a.id,
-                cycle,
                 operands,
                 result: Value::new(write.bits, write.width),
             });
@@ -313,14 +503,13 @@ impl<'n> EvalCtx<'n> {
     pub fn exec_stmts(
         &mut self,
         stmts: &[Stmt],
-        cycle: u32,
         mut defer: Option<&mut Vec<Write>>,
         mut recorder: Option<&mut Vec<StmtExec>>,
     ) -> Result<(), SimError> {
         for s in stmts {
             match s {
                 Stmt::Assign(a) => {
-                    self.exec_assign(a, cycle, defer.as_deref_mut(), recorder.as_deref_mut())?;
+                    self.exec_assign(a, defer.as_deref_mut(), recorder.as_deref_mut())?;
                 }
                 Stmt::If(IfStmt {
                     cond,
@@ -333,7 +522,7 @@ impl<'n> EvalCtx<'n> {
                     } else {
                         else_branch
                     };
-                    self.exec_stmts(taken, cycle, defer.as_deref_mut(), recorder.as_deref_mut())?;
+                    self.exec_stmts(taken, defer.as_deref_mut(), recorder.as_deref_mut())?;
                 }
                 Stmt::Case(CaseStmt {
                     subject,
@@ -353,7 +542,6 @@ impl<'n> EvalCtx<'n> {
                         if matched {
                             self.exec_stmts(
                                 &arm.body,
-                                cycle,
                                 defer.as_deref_mut(),
                                 recorder.as_deref_mut(),
                             )?;
@@ -361,12 +549,7 @@ impl<'n> EvalCtx<'n> {
                         }
                     }
                     if !matched {
-                        self.exec_stmts(
-                            default,
-                            cycle,
-                            defer.as_deref_mut(),
-                            recorder.as_deref_mut(),
-                        )?;
+                        self.exec_stmts(default, defer.as_deref_mut(), recorder.as_deref_mut())?;
                     }
                 }
             }
@@ -379,6 +562,7 @@ impl<'n> EvalCtx<'n> {
 mod tests {
     use super::*;
     use crate::netlist::Netlist;
+    use crate::value::LANES;
 
     fn ctx_for(src: &str) -> (Netlist, Vec<(String, u64)>) {
         let nl = Netlist::elaborate(verilog::parse(src).unwrap().top()).unwrap();
@@ -582,5 +766,90 @@ mod tests {
         let sum = eval_binary(BinaryOp::Add, a, b);
         assert_eq!(sum.width(), 8);
         assert_eq!(sum.bits(), 9);
+    }
+
+    /// A deterministic per-lane bit pattern covering zero, all-ones, and
+    /// mixed words (xorshift over the lane index).
+    fn lane_pattern(width: u8, salt: u64) -> BatchValue {
+        let mut words = [0u64; LANES];
+        let mut s = salt | 1;
+        for (l, w) in words.iter_mut().enumerate() {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            *w = match l % 4 {
+                0 => 0,
+                1 => u64::MAX,
+                2 => s,
+                _ => l as u64,
+            };
+        }
+        BatchValue::from_words(words, width)
+    }
+
+    #[test]
+    fn unary_batch_matches_scalar_on_every_lane() {
+        use UnaryOp::*;
+        for op in [Not, LogicalNot, Negate, RedAnd, RedOr, RedXor, RedXnor] {
+            for width in [1u8, 3, 7, 32, 63, 64] {
+                let v = lane_pattern(width, u64::from(width) * 31 + 7);
+                let mut batch = BatchValue::zeros(1);
+                eval_unary_batch(op, &v, LANES, &mut batch);
+                for l in 0..LANES {
+                    let scalar = eval_unary(op, v.lane(l));
+                    assert_eq!(
+                        batch.lane(l),
+                        scalar,
+                        "op {op:?} width {width} lane {l} diverged"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn binary_batch_matches_scalar_on_every_lane() {
+        use BinaryOp::*;
+        let ops = [
+            And, Or, Xor, Xnor, LogAnd, LogOr, Eq, Neq, CaseEq, CaseNeq, Lt, Le, Gt, Ge, Add, Sub,
+            Mul, Div, Mod, Shl, Shr,
+        ];
+        for op in ops {
+            for (wa, wb) in [(1u8, 1u8), (4, 8), (8, 4), (63, 64), (64, 64), (64, 7)] {
+                let a = lane_pattern(wa, 0x9E37_79B9);
+                let b = lane_pattern(wb, 0x85EB_CA6B);
+                let mut batch = BatchValue::zeros(1);
+                eval_binary_batch(op, &a, &b, LANES, &mut batch);
+                for l in 0..LANES {
+                    let scalar = eval_binary(op, a.lane(l), b.lane(l));
+                    assert_eq!(
+                        batch.lane(l),
+                        scalar,
+                        "op {op:?} widths ({wa},{wb}) lane {l} diverged"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn shift_batch_per_lane_amounts_cover_width_and_beyond() {
+        // Shift amounts 0..=LANES-1 per lane: amounts >= the operand width
+        // (and >= 64) must flush to zero, exactly like the scalar engine.
+        let mut amounts = [0u64; LANES];
+        for (l, a) in amounts.iter_mut().enumerate() {
+            *a = l as u64;
+        }
+        amounts[62] = 64;
+        amounts[63] = 100;
+        let sh = BatchValue::from_words(amounts, 7);
+        let a = BatchValue::splat(Value::new(u64::MAX, 64));
+        for op in [BinaryOp::Shl, BinaryOp::Shr] {
+            let mut batch = BatchValue::zeros(1);
+            eval_binary_batch(op, &a, &sh, LANES, &mut batch);
+            for l in 0..LANES {
+                assert_eq!(batch.lane(l), eval_binary(op, a.lane(l), sh.lane(l)));
+            }
+        }
     }
 }

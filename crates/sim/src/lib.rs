@@ -35,6 +35,7 @@
 
 #![warn(missing_docs)]
 
+mod batch;
 pub mod cancel;
 mod compile;
 pub mod error;
@@ -53,6 +54,6 @@ pub use eval::{EvalCtx, Write};
 pub use netlist::{Netlist, Process, Signal, SignalId, SignalRole};
 pub use sched::{simulate, EngineKind, Simulator};
 pub use testbench::{InputVector, Stimulus, TestbenchGen};
-pub use trace::{CycleRecord, Snapshot, StmtExec, Trace, TraceLabel};
-pub use value::Value;
+pub use trace::{CycleRecord, Execs, ExecsIter, Operands, Snapshot, StmtExec, Trace, TraceLabel};
+pub use value::{BatchValue, Value, LANES};
 pub use vcd::to_vcd;

@@ -4,7 +4,7 @@
 //! hot loops accumulate into locals and flush once per run, so the disabled
 //! cost is a handful of register adds per simulation.
 
-use obs::LazyCounter;
+use obs::{LazyCounter, LazyHistogram};
 
 /// Simulated clock cycles.
 pub(crate) static CYCLES: LazyCounter = LazyCounter::new("sim.cycles");
@@ -24,3 +24,9 @@ pub(crate) static SETTLE_ITERS: LazyCounter = LazyCounter::new("sim.settle_iters
 pub(crate) static RUNS_COMPILED: LazyCounter = LazyCounter::new("sim.runs_compiled");
 /// Simulations that fell back to the fixpoint interpreter.
 pub(crate) static RUNS_INTERPRETED: LazyCounter = LazyCounter::new("sim.runs_interpreted");
+/// Stimuli simulated by the batch engine (lanes, not batches).
+pub(crate) static RUNS_BATCH: LazyCounter = LazyCounter::new("sim.runs_batch");
+/// Lane fill per batch-engine invocation (64 = full batch).
+pub(crate) static BATCH_LANES: LazyHistogram = LazyHistogram::new("sim.batch_lanes");
+/// Branch/case points where lanes split onto different paths.
+pub(crate) static MASK_DIVERGENCES: LazyCounter = LazyCounter::new("sim.mask_divergences");

@@ -53,10 +53,15 @@ pub enum Process {
 /// or re-hashes signal names.
 #[derive(Debug, Clone)]
 pub struct AssignInfo {
-    /// Distinct declared signals the statement reads (RHS references first,
-    /// then LHS bit-select index references), with interned names, in the
-    /// order execution records report them.
-    pub reads: Vec<(Arc<str>, SignalId)>,
+    /// Interned names of the distinct declared signals the statement reads
+    /// (RHS references in first-occurrence order, then LHS bit-select index
+    /// references) — the **record read order**. Execution records store
+    /// operand values positionally in this order and carry no names of
+    /// their own; resolve a name to a position here once per statement
+    /// instead of per record.
+    pub names: Arc<[Arc<str>]>,
+    /// Signal ids matching `names` positionally.
+    pub read_ids: Vec<SignalId>,
     /// The LHS base signal, when it resolves to a declared signal.
     /// `None` surfaces as [`SimError::UnknownSignal`] at execution time.
     pub target: Option<SignalId>,
@@ -200,20 +205,29 @@ impl Netlist {
             if let Some(Select::Bit(idx)) = &a.lhs.select {
                 names.extend(idx.referenced_signals());
             }
-            let mut reads: Vec<(Arc<str>, SignalId)> = Vec::new();
+            let mut read_names: Vec<Arc<str>> = Vec::new();
+            let mut read_ids: Vec<SignalId> = Vec::new();
             for name in names {
                 let Some(&id) = index.get(name) else { continue };
-                if reads.iter().any(|(n, _)| n.as_ref() == name) {
+                if read_names.iter().any(|n| n.as_ref() == name) {
                     continue;
                 }
                 let arc = interned
                     .entry(name)
                     .or_insert_with(|| Arc::from(name))
                     .clone();
-                reads.push((arc, id));
+                read_names.push(arc);
+                read_ids.push(id);
             }
             let target = index.get(&a.lhs.base).copied();
-            assign_info.insert(a.id, AssignInfo { reads, target });
+            assign_info.insert(
+                a.id,
+                AssignInfo {
+                    names: read_names.into(),
+                    read_ids,
+                    target,
+                },
+            );
         }
 
         Ok(Netlist {
@@ -358,10 +372,7 @@ mod tests {
         let cont = n.assign_info(assigns[0].id).expect("continuous assign");
         assert_eq!(cont.target, n.signal_id("w"));
         assert_eq!(
-            cont.reads
-                .iter()
-                .map(|(s, _)| s.as_ref())
-                .collect::<Vec<_>>(),
+            cont.names.iter().map(|s| s.as_ref()).collect::<Vec<_>>(),
             vec!["a"],
             "reads are deduped"
         );
@@ -369,9 +380,9 @@ mod tests {
         assert_eq!(proc.target, n.signal_id("y"));
         // RHS reads first (a, then its index i), deduped against the
         // LHS bit-select index (i again).
-        let names: Vec<&str> = proc.reads.iter().map(|(s, _)| s.as_ref()).collect();
+        let names: Vec<&str> = proc.names.iter().map(|s| s.as_ref()).collect();
         assert_eq!(names, vec!["a", "i"]);
-        assert_eq!(proc.reads[1].1, n.signal_id("i").unwrap());
+        assert_eq!(proc.read_ids[1], n.signal_id("i").unwrap());
         assert!(n.assign_info(verilog::StmtId(999)).is_none());
     }
 

@@ -13,22 +13,26 @@
 //! every clock edge with the current reset value, which matches the paper's
 //! usage (reset held during the first cycles of each GOLDMINE testbench).
 
-use std::sync::Arc;
-
+use crate::batch::BatchEngine;
 use crate::cancel::CancelToken;
 use crate::compile::Engine;
 use crate::error::SimError;
 use crate::eval::{EvalCtx, Write};
 use crate::netlist::{Netlist, Process};
 use crate::testbench::Stimulus;
-use crate::trace::{CycleRecord, Snapshot, StmtExec, Trace};
-use crate::value::Value;
+use crate::trace::{StmtExec, Trace};
+use crate::value::{Value, LANES};
 use verilog::Module;
 
 /// Which execution strategy a [`Simulator`] settled on at elaboration time.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum EngineKind {
-    /// Levelized bytecode with dirty-set re-evaluation (the fast path).
+    /// Bit-parallel bytecode evaluating up to [`LANES`] stimuli at once
+    /// (the fast path for batch-shaped work; see
+    /// [`Simulator::run_batch`]).
+    Batch,
+    /// Levelized bytecode with dirty-set re-evaluation (the fast path for
+    /// one stimulus at a time).
     Compiled,
     /// AST-walking fixpoint interpreter (fallback for static combinational
     /// cycles and constructs whose single-pass equivalence is unprovable).
@@ -46,6 +50,7 @@ pub enum EngineKind {
 pub struct Simulator {
     netlist: Netlist,
     engine: Option<Engine>,
+    batch: Option<BatchEngine>,
     cancel: CancelToken,
 }
 
@@ -76,10 +81,17 @@ impl Simulator {
     /// ```
     pub fn new(module: &Module) -> Result<Self, SimError> {
         let netlist = Netlist::elaborate(module)?;
-        let engine = Engine::build(&netlist);
+        // One analysis pass feeds both engines, so they compile (or fall
+        // back) under identical conditions.
+        let analysis = crate::compile::analyze(&netlist);
+        let engine = analysis.as_ref().and_then(|a| Engine::build(&netlist, a));
+        let batch = analysis
+            .as_ref()
+            .and_then(|a| BatchEngine::build(&netlist, a));
         Ok(Simulator {
             netlist,
             engine,
+            batch,
             cancel: CancelToken::inert(),
         })
     }
@@ -95,6 +107,7 @@ impl Simulator {
         Ok(Simulator {
             netlist: Netlist::elaborate(module)?,
             engine: None,
+            batch: None,
             cancel: CancelToken::inert(),
         })
     }
@@ -109,6 +122,7 @@ impl Simulator {
         Simulator {
             netlist: self.netlist.clone(),
             engine: self.engine.as_ref().map(Engine::fork),
+            batch: self.batch.as_ref().map(BatchEngine::fork),
             cancel: CancelToken::inert(),
         }
     }
@@ -121,13 +135,32 @@ impl Simulator {
         self.cancel = token;
     }
 
-    /// Which engine this simulator runs on.
+    /// Which engine [`run`](Self::run) uses for a single stimulus.
     pub fn engine_kind(&self) -> EngineKind {
         if self.engine.is_some() {
             EngineKind::Compiled
         } else {
             EngineKind::Interpreted
         }
+    }
+
+    /// Which engine [`run_batch`](Self::run_batch) uses:
+    /// [`EngineKind::Batch`] when the design compiled, otherwise the same
+    /// fallback [`engine_kind`](Self::engine_kind) reports.
+    pub fn batch_engine_kind(&self) -> EngineKind {
+        if self.batch.is_some() {
+            EngineKind::Batch
+        } else {
+            self.engine_kind()
+        }
+    }
+
+    /// The installed cancellation token (inert unless
+    /// [`set_cancel`](Self::set_cancel) was called). Lets batch pipelines
+    /// propagate a parent simulator's token onto forks, which reset to
+    /// inert.
+    pub fn cancel_token(&self) -> &CancelToken {
+        &self.cancel
     }
 
     /// The elaborated design.
@@ -154,6 +187,41 @@ impl Simulator {
                 self.run_interpreted(stimulus)
             }
         }
+    }
+
+    /// Runs many stimuli and returns one trace per stimulus, in order.
+    ///
+    /// When the design compiled, consecutive stimuli of equal cycle count
+    /// are grouped into batches of up to [`LANES`] and simulated
+    /// bit-parallel — one bytecode op evaluates every lane at once — which
+    /// is how campaigns, dataset builds, and localization amortize
+    /// per-stimulus cost. Traces, snapshots, and [`StmtExec`] records are
+    /// bit-identical to running each stimulus through [`run`](Self::run).
+    /// Designs that fell back to the interpreter run sequentially.
+    ///
+    /// # Errors
+    ///
+    /// The same errors as [`run`](Self::run); the first failing stimulus
+    /// (in order) aborts the remainder, and any partial results are
+    /// discarded.
+    pub fn run_batch(&mut self, stimuli: &[Stimulus]) -> Result<Vec<Trace>, SimError> {
+        let Some(batch) = &mut self.batch else {
+            return stimuli.iter().map(|s| self.run(s)).collect();
+        };
+        let mut traces = Vec::with_capacity(stimuli.len());
+        let mut rest = stimuli;
+        while !rest.is_empty() {
+            // Maximal run of equal-cycle-count stimuli, capped at LANES.
+            let cycles = rest[0].vectors.len();
+            let mut take = 1;
+            while take < rest.len().min(LANES) && rest[take].vectors.len() == cycles {
+                take += 1;
+            }
+            let (chunk, tail) = rest.split_at(take);
+            traces.extend(batch.run(&self.netlist, chunk, &self.cancel)?);
+            rest = tail;
+        }
+        Ok(traces)
     }
 
     /// The fixpoint-interpreter path: settle combinational logic by
@@ -186,7 +254,7 @@ impl Simulator {
             let mut execs: Vec<StmtExec> = Vec::new();
             self.settle_comb(&mut ctx)?;
             for p in &self.netlist.comb {
-                self.run_comb_process(&mut ctx, p, cycle, Some(&mut execs))?;
+                self.run_comb_process(&mut ctx, p, Some(&mut execs))?;
             }
 
             // 3. Snapshot pre-edge values into the arena.
@@ -196,7 +264,7 @@ impl Simulator {
             let mut deferred: Vec<Write> = Vec::new();
             for p in &self.netlist.seq {
                 let Process::Seq(blk) = p else { continue };
-                ctx.exec_stmts(&blk.body, cycle, Some(&mut deferred), Some(&mut execs))?;
+                ctx.exec_stmts(&blk.body, Some(&mut deferred), Some(&mut execs))?;
             }
             for w in deferred {
                 let cur = ctx.values[w.target.0 as usize];
@@ -206,29 +274,18 @@ impl Simulator {
             cycle_execs.push(execs);
         }
         crate::metrics::CYCLES.add(ncycles as u64);
-        let arena: Arc<[Value]> = arena.into();
-        let cycles = cycle_execs
-            .into_iter()
-            .enumerate()
-            .map(|(i, execs)| CycleRecord {
-                cycle: i as u32,
-                signals: Snapshot::view(arena.clone(), i * nsig, nsig),
-                execs,
-            })
-            .collect();
-        Ok(Trace { cycles })
+        Ok(Trace::assemble(arena.into(), nsig, cycle_execs))
     }
 
     fn run_comb_process(
         &self,
         ctx: &mut EvalCtx<'_>,
         p: &Process,
-        cycle: u32,
         recorder: Option<&mut Vec<StmtExec>>,
     ) -> Result<(), SimError> {
         match p {
-            Process::Assign(a) => ctx.exec_assign(a, cycle, None, recorder),
-            Process::Comb(blk) => ctx.exec_stmts(&blk.body, cycle, None, recorder),
+            Process::Assign(a) => ctx.exec_assign(a, None, recorder),
+            Process::Comb(blk) => ctx.exec_stmts(&blk.body, None, recorder),
             Process::Seq(_) => Ok(()),
         }
     }
@@ -242,7 +299,7 @@ impl Simulator {
         for iter in 0..max_iters {
             before.clone_from(&ctx.values);
             for p in &self.netlist.comb {
-                self.run_comb_process(ctx, p, 0, None)?;
+                self.run_comb_process(ctx, p, None)?;
             }
             if ctx.values == before {
                 crate::metrics::SETTLE_ITERS.add(u64::from(iter) + 1);
@@ -359,9 +416,11 @@ mod tests {
         let (_, t) = run(src, vec![vec![("c", 1), ("a", 1), ("b", 0)]]);
         let execs = &t.cycles[0].execs;
         assert_eq!(execs.len(), 1, "only the taken branch records");
-        let e = &execs[0];
+        let e = execs.iter().next().unwrap();
         assert_eq!(e.stmt, verilog::StmtId(0));
-        assert_eq!(e.operand("a").unwrap().bits(), 1);
+        // `y = a` reads only `a`, so record position 0 holds its value.
+        assert_eq!(e.operand(0).unwrap().bits(), 1);
+        assert_eq!(e.operands.len(), 1);
         assert_eq!(e.result.bits(), 1);
     }
 
@@ -455,6 +514,90 @@ mod tests {
         assert_eq!(fresh.engine_kind(), EngineKind::Compiled);
         let mut fresh = fresh;
         assert_eq!(fresh.run(&vectors).unwrap(), a);
+    }
+
+    #[test]
+    fn run_batch_matches_sequential_runs_with_divergent_branches() {
+        // A design whose control flow actually diverges across stimuli:
+        // if/else plus a case over a 2-bit selector.
+        let src = "module m(input clk, input [1:0] s, input [3:0] a, output reg [3:0] y, output reg [3:0] n);\n\
+                   always @(*) begin\nif (s[0]) y = a + 4'd1; else y = a - 4'd1;\nend\n\
+                   always @(posedge clk) begin\ncase (s)\n2'b00: n <= n + 4'd1;\n2'b01: n <= a;\ndefault: n <= 4'd0;\nendcase\nend\nendmodule";
+        let unit = verilog::parse(src).unwrap();
+        let mut sim = Simulator::new(unit.top()).unwrap();
+        assert_eq!(sim.batch_engine_kind(), EngineKind::Batch);
+        let gen = crate::testbench::TestbenchGen::new(11);
+        let stimuli = gen.generate_many(sim.netlist(), 9, 7);
+        let batched = sim.run_batch(&stimuli).unwrap();
+        let sequential: Vec<Trace> = stimuli.iter().map(|s| sim.run(s).unwrap()).collect();
+        assert_eq!(batched, sequential);
+    }
+
+    #[test]
+    fn run_batch_splits_uneven_cycle_counts_into_chunks() {
+        let src = "module m(input clk, input d, output reg q);\n\
+                   always @(posedge clk) q <= d;\nendmodule";
+        let unit = verilog::parse(src).unwrap();
+        let mut sim = Simulator::new(unit.top()).unwrap();
+        // 3-cycle, 3-cycle, 5-cycle, 3-cycle: three batch chunks.
+        let stimuli = vec![
+            stim(vec![vec![("d", 1)]; 3]),
+            stim(vec![vec![("d", 0)]; 3]),
+            stim(vec![vec![("d", 1)]; 5]),
+            stim(vec![vec![("d", 1)]; 3]),
+        ];
+        let batched = sim.run_batch(&stimuli).unwrap();
+        assert_eq!(batched.len(), 4);
+        for (t, s) in batched.iter().zip(&stimuli) {
+            assert_eq!(t.len(), s.vectors.len());
+            assert_eq!(t, &sim.run(s).unwrap());
+        }
+        // Empty input is a no-op.
+        assert!(sim.run_batch(&[]).unwrap().is_empty());
+    }
+
+    #[test]
+    fn run_batch_falls_back_for_interpreted_designs() {
+        let src = "module m(input a, output y);\nassign y = a;\nendmodule";
+        let unit = verilog::parse(src).unwrap();
+        let mut sim = Simulator::interpreted(unit.top()).unwrap();
+        assert_eq!(sim.batch_engine_kind(), EngineKind::Interpreted);
+        let stimuli = vec![stim(vec![vec![("a", 1)]]), stim(vec![vec![("a", 0)]])];
+        let traces = sim.run_batch(&stimuli).unwrap();
+        assert_eq!(traces.len(), 2);
+        assert_eq!(traces[0], sim.run(&stimuli[0]).unwrap());
+    }
+
+    #[test]
+    fn run_batch_reports_scalar_input_errors() {
+        let src = "module m(input a, output y);\nassign y = a;\nendmodule";
+        let unit = verilog::parse(src).unwrap();
+        let mut sim = Simulator::new(unit.top()).unwrap();
+        let stimuli = vec![stim(vec![vec![("a", 1)]]), stim(vec![vec![("ghost", 1)]])];
+        let err = sim.run_batch(&stimuli).unwrap_err();
+        assert!(matches!(err, SimError::UnknownSignal { name } if name == "ghost"));
+        let stimuli = vec![stim(vec![vec![("y", 1)]])];
+        assert!(matches!(
+            sim.run_batch(&stimuli).unwrap_err(),
+            SimError::NotAnInput { .. }
+        ));
+    }
+
+    #[test]
+    fn run_batch_cancels_mid_batch_deterministically() {
+        let src = "module m(input clk, input d, output reg q);\n\
+                   always @(posedge clk) q <= d;\nendmodule";
+        let unit = verilog::parse(src).unwrap();
+        let mut sim = Simulator::new(unit.top()).unwrap();
+        let stimuli = vec![stim(vec![vec![("d", 1)]; 8]); 5];
+        // The batch engine polls once per cycle per chunk; a 2-poll budget
+        // cancels at cycle 2 of the single 5-lane chunk.
+        sim.set_cancel(CancelToken::after_polls(2));
+        let err = sim.run_batch(&stimuli).unwrap_err();
+        assert!(matches!(err, SimError::Cancelled { at_cycle: 2 }));
+        // Clearing the token makes the batch runnable again.
+        sim.set_cancel(CancelToken::inert());
+        assert_eq!(sim.run_batch(&stimuli).unwrap().len(), 5);
     }
 
     #[test]

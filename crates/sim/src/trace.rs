@@ -8,30 +8,126 @@ use crate::netlist::{Netlist, SignalId};
 use crate::value::Value;
 use verilog::StmtId;
 
+/// Operand values stored inline up to [`INLINE_OPERANDS`]; wider statements
+/// spill to a boxed slice.
+const INLINE_OPERANDS: usize = 4;
+
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+enum OperandValues {
+    Inline {
+        len: u8,
+        vals: [Value; INLINE_OPERANDS],
+    },
+    Spill(Box<[Value]>),
+}
+
+/// Execution-time operand values of one statement execution, in the
+/// statement's record read order: distinct right-hand-side signal
+/// references in first-occurrence order, then distinct LHS bit-select
+/// index references (the statement's [`AssignInfo::names`] list holds the
+/// matching names; resolve names to positions there, once per statement).
+///
+/// [`AssignInfo::names`]: crate::netlist::AssignInfo::names
+///
+/// Values are stored inline for up to four operands, and no name storage
+/// or reference counting is attached: recording or cloning a record is a
+/// fixed-size copy with no heap allocation and no atomics in the common
+/// case. Traces are record-dense — every statement execution of every
+/// simulated cycle carries one of these — so this representation is what
+/// keeps trace construction off the simulator's critical path.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct Operands {
+    values: OperandValues,
+}
+
+impl Operands {
+    /// A record with no operands (e.g. a constant right-hand side).
+    pub fn empty() -> Operands {
+        Operands {
+            values: OperandValues::Inline {
+                len: 0,
+                vals: [Value::bit(false); INLINE_OPERANDS],
+            },
+        }
+    }
+
+    /// Captures `n` operand values via `value_at` (called with each
+    /// position in record read order).
+    pub fn capture(n: usize, mut value_at: impl FnMut(usize) -> Value) -> Operands {
+        let values = if n <= INLINE_OPERANDS {
+            let mut vals = [Value::bit(false); INLINE_OPERANDS];
+            for (i, v) in vals.iter_mut().enumerate().take(n) {
+                *v = value_at(i);
+            }
+            OperandValues::Inline { len: n as u8, vals }
+        } else {
+            OperandValues::Spill((0..n).map(&mut value_at).collect())
+        };
+        Operands { values }
+    }
+
+    /// Builds from an explicit value list (tests and callers that already
+    /// hold the values).
+    pub fn from_values(values: &[Value]) -> Operands {
+        Operands::capture(values.len(), |i| values[i])
+    }
+
+    /// Operand values, positionally matching the statement's record read
+    /// order.
+    pub fn values(&self) -> &[Value] {
+        match &self.values {
+            OperandValues::Inline { len, vals } => &vals[..*len as usize],
+            OperandValues::Spill(v) => v,
+        }
+    }
+
+    /// Number of operands.
+    pub fn len(&self) -> usize {
+        self.values().len()
+    }
+
+    /// True when the statement read no signals.
+    pub fn is_empty(&self) -> bool {
+        self.values().is_empty()
+    }
+
+    /// The value at `position` in record read order, if recorded.
+    pub fn get(&self, position: usize) -> Option<Value> {
+        self.values().get(position).copied()
+    }
+}
+
+impl PartialEq for Operands {
+    fn eq(&self, other: &Self) -> bool {
+        self.values() == other.values()
+    }
+}
+
 /// One execution of one assignment statement.
+///
+/// Carries no cycle index: the enclosing [`CycleRecord`] provides it. That
+/// makes a record a pure function of the statement and the values it read,
+/// so identical executions in different cycles are byte-identical — which
+/// is what lets the batch engine share one stored record run across every
+/// cycle (and lane) whose fanin did not change, instead of cloning records
+/// the way the scalar engine's replay cache does.
 #[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct StmtExec {
     /// Which statement executed.
     pub stmt: StmtId,
-    /// Cycle index the execution belongs to.
-    pub cycle: u32,
     /// Values of the distinct signals read by the right-hand side (and any
-    /// LHS index expression), keyed by name, at execution time.
-    ///
-    /// Names are interned `Arc<str>`s shared with the netlist's per-statement
-    /// read sets, so recording an execution never allocates string storage.
-    pub operands: Vec<(Arc<str>, Value)>,
+    /// LHS index expression) at execution time, in record read order.
+    pub operands: Operands,
     /// The value assigned to the left-hand side.
     pub result: Value,
 }
 
 impl StmtExec {
-    /// The recorded value of a named operand, if the statement read it.
-    pub fn operand(&self, name: &str) -> Option<Value> {
-        self.operands
-            .iter()
-            .find(|(n, _)| n.as_ref() == name)
-            .map(|(_, v)| *v)
+    /// The recorded value of the operand at `position` in the statement's
+    /// record read order (resolve names to positions once per statement via
+    /// [`crate::netlist::AssignInfo::names`]).
+    pub fn operand(&self, position: usize) -> Option<Value> {
+        self.operands.get(position)
     }
 }
 
@@ -91,6 +187,133 @@ impl From<Vec<Value>> for Snapshot {
     }
 }
 
+/// One cycle's statement executions: an ordered sequence of segments
+/// viewing a run-wide record arena.
+///
+/// The simulator engines write every [`StmtExec`] of a run into **one**
+/// flat arena and describe each cycle's execution list as `(start, len)`
+/// segment descriptors into it. A cycle whose process fanin did not change
+/// re-uses the previous cycle's descriptors verbatim — the records are
+/// shared, not copied — so the batch engine's per-lane "replay" costs one
+/// 8-byte descriptor where the scalar engine's cache replay memcpys whole
+/// record runs. Cloning is three `Arc` bumps; equality compares the
+/// logical record sequence, not arena identity, so segmented and
+/// contiguous traces of the same run compare equal.
+///
+/// Scalar engines build cycles from plain record vectors via
+/// `From<Vec<StmtExec>>` (a single segment spanning the whole vector).
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct Execs {
+    records: Arc<Vec<StmtExec>>,
+    /// `(start, len)` windows into `records`, shared run-wide.
+    segs: Arc<Vec<(u32, u32)>>,
+    /// This cycle's descriptors: `segs[seg_start..seg_start + seg_len]`.
+    seg_start: u32,
+    seg_len: u32,
+    /// Total record count across this cycle's segments.
+    total: u32,
+}
+
+impl Execs {
+    /// A cycle view over a shared record arena and descriptor pool.
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds) if a descriptor exceeds the arena or the
+    /// descriptor window exceeds the pool.
+    pub(crate) fn from_parts(
+        records: Arc<Vec<StmtExec>>,
+        segs: Arc<Vec<(u32, u32)>>,
+        seg_start: u32,
+        seg_len: u32,
+    ) -> Execs {
+        debug_assert!((seg_start + seg_len) as usize <= segs.len());
+        let total = segs[seg_start as usize..(seg_start + seg_len) as usize]
+            .iter()
+            .map(|&(s, n)| {
+                debug_assert!((s + n) as usize <= records.len());
+                n
+            })
+            .sum();
+        Execs {
+            records,
+            segs,
+            seg_start,
+            seg_len,
+            total,
+        }
+    }
+
+    /// The records in execution order.
+    pub fn iter(&self) -> ExecsIter<'_> {
+        ExecsIter {
+            records: &self.records,
+            segs: self.segs[self.seg_start as usize..(self.seg_start + self.seg_len) as usize]
+                .iter(),
+            cur: [].iter(),
+        }
+    }
+
+    /// Number of records this cycle.
+    pub fn len(&self) -> usize {
+        self.total as usize
+    }
+
+    /// True when nothing executed this cycle.
+    pub fn is_empty(&self) -> bool {
+        self.total == 0
+    }
+}
+
+/// Iterator over one cycle's records, walking its segment descriptors.
+pub struct ExecsIter<'a> {
+    records: &'a [StmtExec],
+    segs: std::slice::Iter<'a, (u32, u32)>,
+    cur: std::slice::Iter<'a, StmtExec>,
+}
+
+impl<'a> Iterator for ExecsIter<'a> {
+    type Item = &'a StmtExec;
+
+    fn next(&mut self) -> Option<&'a StmtExec> {
+        loop {
+            if let Some(e) = self.cur.next() {
+                return Some(e);
+            }
+            let &(s, n) = self.segs.next()?;
+            self.cur = self.records[s as usize..(s + n) as usize].iter();
+        }
+    }
+}
+
+impl<'a> IntoIterator for &'a Execs {
+    type Item = &'a StmtExec;
+    type IntoIter = ExecsIter<'a>;
+
+    fn into_iter(self) -> ExecsIter<'a> {
+        self.iter()
+    }
+}
+
+impl PartialEq for Execs {
+    fn eq(&self, other: &Self) -> bool {
+        self.total == other.total && self.iter().eq(other.iter())
+    }
+}
+
+impl From<Vec<StmtExec>> for Execs {
+    fn from(records: Vec<StmtExec>) -> Execs {
+        let n = records.len() as u32;
+        Execs {
+            records: Arc::new(records),
+            segs: Arc::new(vec![(0, n)]),
+            seg_start: 0,
+            seg_len: 1,
+            total: n,
+        }
+    }
+}
+
 /// Everything observed in one clock cycle.
 #[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct CycleRecord {
@@ -99,7 +322,7 @@ pub struct CycleRecord {
     /// Post-settle value of every signal, indexed by [`SignalId`].
     pub signals: Snapshot,
     /// Statement executions this cycle (combinational settle + clock edge).
-    pub execs: Vec<StmtExec>,
+    pub execs: Execs,
 }
 
 impl CycleRecord {
@@ -117,6 +340,28 @@ pub struct Trace {
 }
 
 impl Trace {
+    /// Assembles a trace from a run-wide snapshot arena holding one
+    /// contiguous `nsig`-value window per cycle, plus per-cycle execution
+    /// records. Shared by the interpreter and the compiled engine; the
+    /// batch engine views the same kind of arena at lane-strided offsets
+    /// instead.
+    pub(crate) fn assemble(
+        arena: Arc<[Value]>,
+        nsig: usize,
+        cycle_execs: Vec<Vec<StmtExec>>,
+    ) -> Trace {
+        let cycles = cycle_execs
+            .into_iter()
+            .enumerate()
+            .map(|(i, execs)| CycleRecord {
+                cycle: i as u32,
+                signals: Snapshot::view(arena.clone(), i * nsig, nsig),
+                execs: execs.into(),
+            })
+            .collect();
+        Trace { cycles }
+    }
+
     /// The sequence of settled values a signal took, one per cycle.
     pub fn signal_values(&self, id: SignalId) -> Vec<Value> {
         self.cycles.iter().map(|c| c.value(id)).collect()
@@ -176,11 +421,10 @@ pub enum TraceLabel {
 mod tests {
     use super::*;
 
-    fn exec(stmt: u32, cycle: u32, result: u64) -> StmtExec {
+    fn exec(stmt: u32, result: u64) -> StmtExec {
         StmtExec {
             stmt: StmtId(stmt),
-            cycle,
-            operands: vec![(Arc::from("a"), Value::bit(true))],
+            operands: Operands::from_values(&[Value::bit(true)]),
             result: Value::new(result, 1),
         }
     }
@@ -192,12 +436,12 @@ mod tests {
                 CycleRecord {
                     cycle: 0,
                     signals: vec![Value::bit(false)].into(),
-                    execs: vec![exec(0, 0, 1), exec(1, 0, 0)],
+                    execs: vec![exec(0, 1), exec(1, 0)].into(),
                 },
                 CycleRecord {
                     cycle: 1,
                     signals: vec![Value::bit(true)].into(),
-                    execs: vec![exec(0, 1, 1)],
+                    execs: vec![exec(0, 1)].into(),
                 },
             ],
         };
@@ -213,7 +457,7 @@ mod tests {
             cycles: vec![CycleRecord {
                 cycle: 0,
                 signals: vec![Value::bit(v)].into(),
-                execs: vec![],
+                execs: Vec::new().into(),
             }],
         };
         assert!(mk(true).differs_at(&mk(false), SignalId(0)));
@@ -222,8 +466,31 @@ mod tests {
 
     #[test]
     fn operand_lookup() {
-        let e = exec(0, 0, 1);
-        assert_eq!(e.operand("a"), Some(Value::bit(true)));
-        assert_eq!(e.operand("b"), None);
+        let e = exec(0, 1);
+        assert_eq!(e.operand(0), Some(Value::bit(true)));
+        assert_eq!(e.operand(1), None);
+        let wide = Operands::capture(6, |i| Value::new(i as u64, 8));
+        assert_eq!(wide.len(), 6);
+        assert_eq!(wide.get(5), Some(Value::new(5, 8)));
+        assert_eq!(wide, Operands::from_values(wide.values()));
+    }
+
+    #[test]
+    fn segmented_execs_match_contiguous() {
+        // Records [a, b, c] described as segments [c], [a, b] must equal
+        // the contiguous vector [c, a, b] — and reusing one descriptor
+        // window twice shares records without copying.
+        let arena = Arc::new(vec![exec(0, 1), exec(1, 0), exec(2, 1)]);
+        let segs = Arc::new(vec![(2u32, 1u32), (0u32, 2u32), (2u32, 1u32)]);
+        let seg = Execs::from_parts(arena.clone(), segs.clone(), 0, 2);
+        assert_eq!(seg.len(), 3);
+        let flat: Execs = vec![exec(2, 1), exec(0, 1), exec(1, 0)].into();
+        assert_eq!(seg, flat);
+        assert_ne!(seg, vec![exec(0, 1)].into());
+        // A different descriptor window over the same arena.
+        let tail = Execs::from_parts(arena, segs, 2, 1);
+        assert_eq!(tail.len(), 1);
+        assert_eq!(tail, vec![exec(2, 1)].into());
+        assert!(Execs::from(Vec::new()).is_empty());
     }
 }
