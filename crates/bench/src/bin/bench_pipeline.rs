@@ -21,8 +21,10 @@
 //!
 //! `--smoke` shrinks the workload for CI and exits non-zero when any stage's
 //! result differs across thread counts (without rewriting the JSON), when
-//! the batch engine's traces diverge from the scalar compiled engine, or
-//! when the measured observability overhead exceeds 5%.
+//! the batch engine's traces diverge from the scalar compiled engine, when
+//! the verdict pass disagrees with the full-trace oracle (inline check or
+//! the time-boxed RVDG fuzz) or regresses below 3x full-trace batch
+//! throughput, or when the measured observability overhead exceeds 5%.
 //!
 //! The runner also times the simulation workload with metrics collection
 //! enabled vs disabled and records the relative overhead as `obs_overhead`
@@ -34,7 +36,9 @@ use std::fmt::Write as _;
 use std::time::Instant;
 
 use rvdg::{Generator, RvdgConfig};
-use sim::{EngineKind, Simulator, TestbenchGen, Trace};
+use sim::{
+    EngineKind, SignalRole, SignalSet, Simulator, TestbenchGen, Trace, TraceLabel, VerdictTrace,
+};
 use veribug::model::{ModelConfig, VeriBugModel};
 use veribug::train::{self, Dataset, TrainConfig};
 use verilog::Module;
@@ -118,6 +122,13 @@ struct EngineCompare {
     stimuli: usize,
     /// Batch-extracted traces bit-identical to the scalar compiled runs.
     batch_identical: bool,
+    /// Batch-engine time on the same workload in verdict mode (observed =
+    /// the design's campaign target only, no execution records).
+    verdict_s: f64,
+    /// Verdict values equal the observed columns of the full traces.
+    verdict_identical: bool,
+    /// Execution records the verdict pass never materialized.
+    verdict_records_elided: u64,
 }
 
 /// Relative cost of leaving metrics collection enabled on the simulation
@@ -180,7 +191,7 @@ fn measure_obs_overhead(
 }
 
 fn compare_engines(cycles: usize, runs: usize, reps: usize) -> EngineCompare {
-    let workload: Vec<(Module, Vec<sim::Stimulus>)> = designs::catalog()
+    let workload: Vec<(Module, Vec<sim::Stimulus>, SignalSet)> = designs::catalog()
         .iter()
         .map(|d| {
             let module = d.module().expect("parses");
@@ -189,7 +200,13 @@ fn compare_engines(cycles: usize, runs: usize, reps: usize) -> EngineCompare {
             let stimuli = TestbenchGen::new(0xD1CE_F00D)
                 .with_hold_probability(0.8)
                 .generate_many(probe.netlist(), cycles, runs);
-            (module, stimuli)
+            // Verdict workload observes what a campaign observes: the
+            // design's first localization target, nothing else.
+            let target = probe
+                .netlist()
+                .signal_id(d.targets[0])
+                .expect("catalog target resolves");
+            (module, stimuli, SignalSet::from_ids([target]))
         })
         .collect();
     // Simulators are built outside the timed region: a campaign compiles
@@ -198,7 +215,7 @@ fn compare_engines(cycles: usize, runs: usize, reps: usize) -> EngineCompare {
     let time = |interpreted: bool| -> (f64, Vec<Trace>) {
         let mut sims: Vec<Simulator> = workload
             .iter()
-            .map(|(module, _)| {
+            .map(|(module, _, _)| {
                 if interpreted {
                     Simulator::interpreted(module).expect("elaborates")
                 } else {
@@ -211,7 +228,7 @@ fn compare_engines(cycles: usize, runs: usize, reps: usize) -> EngineCompare {
         for _ in 0..reps {
             traces.clear();
             let start = Instant::now();
-            for ((_, stimuli), s) in workload.iter().zip(&mut sims) {
+            for ((_, stimuli, _), s) in workload.iter().zip(&mut sims) {
                 for stim in stimuli {
                     traces.push(s.run(stim).expect("simulates"));
                 }
@@ -223,7 +240,7 @@ fn compare_engines(cycles: usize, runs: usize, reps: usize) -> EngineCompare {
     let time_batch = || -> (f64, Vec<Trace>) {
         let mut sims: Vec<Simulator> = workload
             .iter()
-            .map(|(module, _)| {
+            .map(|(module, _, _)| {
                 let s = Simulator::new(module).expect("elaborates");
                 assert_eq!(s.batch_engine_kind(), EngineKind::Batch);
                 s
@@ -234,24 +251,61 @@ fn compare_engines(cycles: usize, runs: usize, reps: usize) -> EngineCompare {
         for _ in 0..reps {
             traces.clear();
             let start = Instant::now();
-            for ((_, stimuli), s) in workload.iter().zip(&mut sims) {
+            for ((_, stimuli, _), s) in workload.iter().zip(&mut sims) {
                 traces.extend(s.run_batch(stimuli).expect("simulates"));
             }
             best = best.min(start.elapsed().as_secs_f64());
         }
         (best, traces)
     };
+    let time_batch_verdict = || -> (f64, Vec<VerdictTrace>) {
+        let mut sims: Vec<Simulator> = workload
+            .iter()
+            .map(|(module, _, _)| Simulator::new(module).expect("elaborates"))
+            .collect();
+        let mut best = f64::INFINITY;
+        let mut verdicts = Vec::new();
+        for _ in 0..reps {
+            verdicts.clear();
+            let start = Instant::now();
+            for ((_, stimuli, observed), s) in workload.iter().zip(&mut sims) {
+                verdicts.extend(s.run_batch_verdict(stimuli, observed).expect("simulates"));
+            }
+            best = best.min(start.elapsed().as_secs_f64());
+        }
+        (best, verdicts)
+    };
     let (compiled_s, compiled_traces) = time(false);
     let (interpreted_s, interpreted_traces) = time(true);
     let (batch_s, batch_traces) = time_batch();
+    let (verdict_s, verdicts) = time_batch_verdict();
     let traces_identical = compiled_traces == interpreted_traces;
     let batch_identical = batch_traces == compiled_traces;
-    let stimuli: usize = workload.iter().map(|(_, st)| st.len()).sum();
+    // Verdict values must equal the observed columns of the full traces —
+    // an inline version of the differential suite's verdict oracle.
+    let expected_verdicts: Vec<VerdictTrace> = workload
+        .iter()
+        .flat_map(|(_, stimuli, observed)| stimuli.iter().map(move |_| observed))
+        .zip(&compiled_traces)
+        .map(|(observed, trace)| VerdictTrace {
+            values: trace
+                .cycles
+                .iter()
+                .flat_map(|c| observed.ids().iter().map(|&id| c.value(id)))
+                .collect(),
+            nobs: observed.len(),
+            records_elided: 0,
+        })
+        .collect();
+    let verdict_identical = verdicts == expected_verdicts;
+    let verdict_records_elided: u64 = verdicts.iter().map(|v| v.records_elided).sum();
+    let stimuli: usize = workload.iter().map(|(_, st, _)| st.len()).sum();
     obs::progress!(
-        "engine         batch={batch_s:.3}s compiled={compiled_s:.3}s \
-         interpreted={interpreted_s:.3}s batch_speedup={:.2}x identical={}",
+        "engine         verdict={verdict_s:.3}s batch={batch_s:.3}s compiled={compiled_s:.3}s \
+         interpreted={interpreted_s:.3}s batch_speedup={:.2}x verdict_speedup={:.2}x identical={}",
         compiled_s / batch_s.max(1e-12),
-        traces_identical && batch_identical
+        batch_s / verdict_s.max(1e-12),
+        traces_identical && batch_identical && verdict_identical
     );
     EngineCompare {
         compiled_s,
@@ -261,7 +315,105 @@ fn compare_engines(cycles: usize, runs: usize, reps: usize) -> EngineCompare {
         lane_fill: runs,
         stimuli,
         batch_identical,
+        verdict_s,
+        verdict_identical,
+        verdict_records_elided,
     }
+}
+
+/// Outcome of the time-boxed RVDG verdict fuzz: random designs and random
+/// mutants screened in verdict mode, with every verdict (diverged? first
+/// divergence cycle?) checked against a full-trace cosimulation oracle at
+/// 1/2/8 worker threads.
+struct VerdictFuzz {
+    designs: usize,
+    mutants: usize,
+    runs_checked: usize,
+    mismatches: usize,
+    elapsed_s: f64,
+}
+
+fn fuzz_verdicts(budget_s: f64) -> VerdictFuzz {
+    let _span = obs::span("bench.verdict_fuzz");
+    let start = Instant::now();
+    let mut out = VerdictFuzz {
+        designs: 0,
+        mutants: 0,
+        runs_checked: 0,
+        mismatches: 0,
+        elapsed_s: 0.0,
+    };
+    let mut seed = 0xF02Du64;
+    'budget: loop {
+        for &threads in &[1usize, 2, 8] {
+            if start.elapsed().as_secs_f64() >= budget_s {
+                break 'budget;
+            }
+            let design = Generator::new(RvdgConfig::default(), seed)
+                .generate_corpus(1)
+                .expect("rvdg generates")
+                .remove(0);
+            let mut golden_sim = Simulator::new(&design.module).expect("elaborates");
+            let target_id = golden_sim
+                .netlist()
+                .signals()
+                .iter()
+                .position(|s| s.role == SignalRole::Output)
+                .map(|i| sim::SignalId(i as u32))
+                .expect("rvdg designs have outputs");
+            // More stimuli than `sim::LANES` so the verdict pass spills
+            // into a second lane group and the worker pool actually fans
+            // out at 2/8 threads.
+            let stimuli = TestbenchGen::new(seed ^ 0xF155)
+                .with_hold_probability(0.8)
+                .generate_many(golden_sim.netlist(), 24, sim::LANES + 6);
+            par::with_threads(threads, || {
+                let golden_vs = mutate::golden_verdicts(&mut golden_sim, &stimuli, target_id)
+                    .expect("golden verdicts");
+                let golden_runs =
+                    mutate::golden_traces(&mut golden_sim, &stimuli).expect("golden traces");
+                out.designs += 1;
+                for site in mutate::enumerate_sites(&design.module, None).iter().take(4) {
+                    let Some(mutant) = mutate::apply(&design.module, site) else {
+                        continue;
+                    };
+                    // Both flows must agree even on which mutants simulate
+                    // at all (e.g. injected combinational loops).
+                    let screened = mutate::screen_against(&golden_vs, target_id, &mutant, &stimuli);
+                    let full =
+                        mutate::cosimulate_against(&golden_runs, target_id, &mutant, &stimuli);
+                    out.mutants += 1;
+                    let (verdicts, labelled) = match (screened, full) {
+                        (Ok(v), Ok(l)) => (v, l),
+                        (Err(_), Err(_)) => continue,
+                        _ => {
+                            out.mismatches += 1;
+                            continue;
+                        }
+                    };
+                    for (v, l) in verdicts.iter().zip(&labelled) {
+                        out.runs_checked += 1;
+                        let full_diverged = l.label == TraceLabel::Failing;
+                        let full_first = l.failure_cycles().first().copied();
+                        if v.diverged() != full_diverged || v.first_divergence() != full_first {
+                            out.mismatches += 1;
+                        }
+                    }
+                }
+            });
+            seed = seed.wrapping_mul(0x9E37_79B9).wrapping_add(1);
+        }
+    }
+    out.elapsed_s = start.elapsed().as_secs_f64();
+    obs::progress!(
+        "verdict_fuzz   designs={} mutants={} runs={} mismatches={} in {:.1}s",
+        out.designs,
+        out.mutants,
+        out.runs_checked,
+        out.mismatches,
+        out.elapsed_s
+    );
+    out
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -305,8 +457,24 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             reps,
             || {
                 mutate::Campaign::new(7)
-                    .with_runs_per_mutant(8)
+                    .with_runs_per_mutant(64)
                     .run(&campaign_module, "wbs0_we_o", &budget)
+                    .expect("campaign runs")
+            },
+            |mutants| {
+                mutants
+                    .iter()
+                    .map(|m| (m.source.clone(), m.observable))
+                    .collect::<Vec<_>>()
+            },
+        ),
+        run_stage(
+            "campaign_1pass",
+            reps,
+            || {
+                mutate::Campaign::new(7)
+                    .with_runs_per_mutant(64)
+                    .run_single_pass(&campaign_module, "wbs0_we_o", &budget)
                     .expect("campaign runs")
             },
             |mutants| {
@@ -366,7 +534,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ),
     ];
 
-    let engine = par::with_threads(1, || compare_engines(16, if smoke { 8 } else { 64 }, reps));
+    // Full 64-lane fill even in smoke mode: the verdict-vs-full gate below
+    // compares trace-production cost against lane-parallel compute, and a
+    // partial fill understates the former (partial fills are covered by the
+    // differential suite). 64 cycles keeps each timed region well above
+    // timer/allocator noise so the min-of-reps ratio gate is stable.
+    let engine = par::with_threads(1, || compare_engines(64, 64, reps.max(3)));
 
     // The overhead measurement needs enough work per rep to dwarf timer and
     // scheduling noise, so it keeps a fixed per-module workload and extra
@@ -375,7 +548,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         measure_obs_overhead(&sim_modules, 32, 32, reps.max(5))
     });
 
-    let json = render_json(host_cores, reps, &stages, &engine, &overhead);
+    // Time-boxed RVDG verdict fuzz: verdict-pass answers vs the full-trace
+    // oracle on random designs and mutants, at 1/2/8 threads.
+    let fuzz = fuzz_verdicts(if smoke { 3.0 } else { 8.0 });
+
+    let json = render_json(host_cores, reps, &stages, &engine, &overhead, &fuzz);
     std::fs::write("BENCH_pipeline.json", &json)?;
     println!("{json}");
     obs::progress!("wrote BENCH_pipeline.json");
@@ -394,6 +571,25 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             );
             std::process::exit(1);
         }
+        if !engine.verdict_identical {
+            eprintln!("smoke FAILED: verdict-pass values diverge from the full-trace oracle");
+            std::process::exit(1);
+        }
+        let verdict_speedup = engine.batch_s / engine.verdict_s.max(1e-12);
+        if verdict_speedup < 3.0 {
+            eprintln!(
+                "smoke FAILED: verdict pass is only {verdict_speedup:.2}x the full-trace \
+                 batch (gate: 3x)"
+            );
+            std::process::exit(1);
+        }
+        if fuzz.mismatches > 0 {
+            eprintln!(
+                "smoke FAILED: verdict fuzz found {} mismatches across {} runs",
+                fuzz.mismatches, fuzz.runs_checked
+            );
+            std::process::exit(1);
+        }
         if overhead.overhead_frac > 0.05 {
             eprintln!(
                 "smoke FAILED: observability overhead {:.2}% exceeds the 5% budget",
@@ -402,7 +598,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             std::process::exit(1);
         }
         obs::progress!(
-            "smoke OK: all stages deterministic across thread counts, obs overhead {:.2}%",
+            "smoke OK: all stages deterministic across thread counts, verdict pass \
+             {verdict_speedup:.2}x full-trace batch and fuzz-clean, obs overhead {:.2}%",
             overhead.overhead_frac * 100.0
         );
     }
@@ -418,6 +615,7 @@ fn render_json(
     stages: &[StageResult],
     engine: &EngineCompare,
     overhead: &ObsOverhead,
+    fuzz: &VerdictFuzz,
 ) -> String {
     let mut out = String::new();
     out.push_str("{\n");
@@ -519,6 +717,55 @@ fn render_json(
          records and per-cycle snapshots, a memory-bound cost that dominates both \
          and bounds the bit-parallel gain well below the 64-lane compute speedup\"\n",
     );
+    out.push_str("  },\n");
+    out.push_str("  \"engine_batch_verdict\": {\n");
+    out.push_str(
+        "    \"workload\": \"same stimuli as engine_batch, TraceMode::Verdict with \
+         observed = the design's campaign target\",\n",
+    );
+    let _ = writeln!(out, "    \"verdict_s\": {:.6},", engine.verdict_s);
+    let _ = writeln!(
+        out,
+        "    \"stimuli_per_s\": {:.1},",
+        n / engine.verdict_s.max(1e-12)
+    );
+    let _ = writeln!(
+        out,
+        "    \"speedup_vs_full_batch\": {:.3},",
+        engine.batch_s / engine.verdict_s.max(1e-12)
+    );
+    let _ = writeln!(
+        out,
+        "    \"speedup_vs_compiled\": {:.3},",
+        engine.compiled_s / engine.verdict_s.max(1e-12)
+    );
+    let _ = writeln!(
+        out,
+        "    \"records_elided\": {},",
+        engine.verdict_records_elided
+    );
+    let _ = writeln!(
+        out,
+        "    \"values_match_full_trace\": {},",
+        engine.verdict_identical
+    );
+    out.push_str(
+        "    \"note\": \"verdict mode emits no execution records and snapshots only \
+         the observed signals, so the hot loop is pure 64-lane compute plus an \
+         O(observed) per-cycle copy; the two-pass campaign screens every candidate \
+         this way and pays full-trace cost only for mutants it keeps\"\n",
+    );
+    out.push_str("  },\n");
+    out.push_str("  \"verdict_fuzz\": {\n");
+    out.push_str(
+        "    \"workload\": \"time-boxed RVDG designs + mutants, verdict screen vs \
+         full-trace cosimulation oracle at 1/2/8 threads\",\n",
+    );
+    let _ = writeln!(out, "    \"designs\": {},", fuzz.designs);
+    let _ = writeln!(out, "    \"mutants\": {},", fuzz.mutants);
+    let _ = writeln!(out, "    \"runs_checked\": {},", fuzz.runs_checked);
+    let _ = writeln!(out, "    \"mismatches\": {},", fuzz.mismatches);
+    let _ = writeln!(out, "    \"elapsed_s\": {:.3}", fuzz.elapsed_s);
     out.push_str("  },\n");
     out.push_str("  \"obs_overhead\": {\n");
     out.push_str(

@@ -5,8 +5,12 @@
 //! oracle: traces extracted from any lane of any batch shape must equal the
 //! scalar compiled engine's output bit-for-bit.
 
+use mutate::{BugBudget, Campaign};
 use rvdg::{Generator, RvdgConfig};
-use sim::{CancelToken, EngineKind, SimError, Simulator, TestbenchGen, Trace};
+use sim::{
+    CancelToken, EngineKind, SignalId, SignalRole, SignalSet, SimError, Simulator, TestbenchGen,
+    Trace, VerdictTrace,
+};
 use veribug::model::{ModelConfig, VeriBugModel};
 use veribug::train::{self, Dataset, TrainConfig};
 use verilog::Module;
@@ -307,6 +311,193 @@ endmodule",
     .expect("parses");
     let (batched, sequential) = run_batch_vs_scalar(unit.top(), 0x3C0C, 64);
     assert_lanes_identical("mwc", &batched, &sequential);
+}
+
+/// Every design output, as a verdict-mode observed set.
+fn output_set(sim: &Simulator) -> SignalSet {
+    SignalSet::from_ids(
+        sim.netlist()
+            .signals()
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.role == SignalRole::Output)
+            .map(|(i, _)| SignalId(i as u32)),
+    )
+}
+
+/// The verdict a full trace implies for `observed`: its observed columns,
+/// cycle-major. `records_elided` is engine bookkeeping and excluded from
+/// `VerdictTrace` equality, so zero is fine here.
+fn expected_verdict(trace: &Trace, observed: &SignalSet) -> VerdictTrace {
+    VerdictTrace {
+        values: trace
+            .cycles
+            .iter()
+            .flat_map(|c| observed.ids().iter().map(|&id| c.value(id)))
+            .collect(),
+        nobs: observed.len(),
+        records_elided: 0,
+    }
+}
+
+/// Runs `module` in verdict mode on every engine (scalar compiled,
+/// interpreter, 64-lane batch) and asserts each verdict equals the observed
+/// columns of the full-trace oracle: same values, and therefore the same
+/// diverged/first-divergence answers any screen would compute.
+fn assert_verdicts_match_full(name: &str, module: &Module, seed: u64, n: usize) {
+    let mut sim = Simulator::new(module).expect("compiled elaboration");
+    let mut interp = Simulator::interpreted(module).expect("interpreted elaboration");
+    let observed = output_set(&sim);
+    assert!(!observed.is_empty(), "{name}: design has no outputs");
+    let stimuli = TestbenchGen::new(seed).generate_many(sim.netlist(), CYCLES, n);
+    let full: Vec<Trace> = stimuli
+        .iter()
+        .map(|st| sim.run(st).expect("full-trace oracle"))
+        .collect();
+    for (i, (st, t)) in stimuli.iter().zip(&full).enumerate() {
+        let expect = expected_verdict(t, &observed);
+        let scalar = sim.run_verdict(st, &observed).expect("scalar verdict");
+        assert_eq!(scalar, expect, "{name}: stimulus {i} scalar verdict");
+        let interp_v = interp.run_verdict(st, &observed).expect("interp verdict");
+        assert_eq!(interp_v, expect, "{name}: stimulus {i} interpreter verdict");
+    }
+    let batched = sim
+        .run_batch_verdict(&stimuli, &observed)
+        .expect("batch verdict");
+    assert_eq!(batched.len(), full.len(), "{name}: verdict count");
+    for (i, (v, t)) in batched.iter().zip(&full).enumerate() {
+        assert_eq!(
+            v,
+            &expected_verdict(t, &observed),
+            "{name}: stimulus {i} batch verdict"
+        );
+    }
+}
+
+/// Verdict mode vs the full-trace oracle on every Table I design and an
+/// RVDG corpus, under the worker pool at 1/2/8 threads.
+#[test]
+fn verdict_mode_matches_full_oracle_on_catalog_and_rvdg_across_threads() {
+    let corpus = Generator::new(RvdgConfig::default(), 0x7E4D_1C70)
+        .generate_corpus(16)
+        .expect("rvdg corpus generates");
+    for threads in [1usize, 2, 8] {
+        par::with_threads(threads, || {
+            par::par_map(&designs::catalog(), |d| {
+                let module = d.module().expect("design parses");
+                assert_verdicts_match_full(d.name, &module, 0x7E4D_0001, 9);
+            });
+            par::par_map(&corpus, |d| {
+                assert_verdicts_match_full(
+                    &format!("rvdg seed {}", d.seed),
+                    &d.module,
+                    d.seed ^ 0x7E4D,
+                    7,
+                );
+            });
+        });
+    }
+}
+
+/// The two-pass campaign (verdict screening, then full traces for kept
+/// mutants only) must be bit-identical to the single-pass full-trace
+/// oracle at every thread count: same mutants in the same order, same
+/// sources and sites, same observability flags, same labels, byte-equal
+/// traces, and the same failure cycles.
+#[test]
+fn two_pass_campaign_is_bit_identical_to_single_pass_across_threads() {
+    let module = designs::catalog()[0].module().expect("design parses");
+    let target = designs::catalog()[0].targets[0];
+    let budget = BugBudget {
+        negation: 2,
+        operation: 2,
+        misuse: 2,
+    };
+    let campaign = Campaign::new(0x2BA55);
+    let oracle = campaign
+        .run_single_pass(&module, target, &budget)
+        .expect("single-pass oracle");
+    assert!(!oracle.is_empty(), "oracle campaign produced no mutants");
+    for threads in [1usize, 2, 8] {
+        let two_pass = par::with_threads(threads, || {
+            campaign
+                .run(&module, target, &budget)
+                .expect("two-pass campaign")
+        });
+        assert_eq!(two_pass.len(), oracle.len(), "{threads} threads");
+        for (a, b) in two_pass.iter().zip(&oracle) {
+            assert_eq!(a.source, b.source, "{threads} threads");
+            assert_eq!(a.site, b.site, "{threads} threads");
+            assert_eq!(a.observable, b.observable, "{threads} threads");
+            assert_eq!(a.runs.len(), b.runs.len(), "{threads} threads");
+            for (ra, rb) in a.runs.iter().zip(&b.runs) {
+                assert_eq!(ra.label, rb.label, "{threads} threads");
+                assert_eq!(ra.trace, rb.trace, "{threads} threads");
+                assert_eq!(
+                    ra.failure_cycles(),
+                    rb.failure_cycles(),
+                    "{threads} threads"
+                );
+            }
+        }
+    }
+}
+
+/// The two-pass localizer must produce the same report at every thread
+/// count, and its verdict-derived labels must match what a full-trace
+/// cosimulation computes on the same stimuli.
+#[test]
+fn two_pass_localize_report_is_thread_invariant_and_matches_full_cosim() {
+    let golden = verilog::parse(
+        "module m(input a, input b, input c, output y);\n\
+         wire t;\nassign t = a & b;\nassign y = t | c;\nendmodule",
+    )
+    .expect("parses")
+    .top()
+    .clone();
+    let buggy = verilog::parse(
+        "module m(input a, input b, input c, output y);\n\
+         wire t;\nassign t = a | b;\nassign y = t | c;\nendmodule",
+    )
+    .expect("parses")
+    .top()
+    .clone();
+    let model = VeriBugModel::new(ModelConfig::default());
+    let opts = veribug::LocalizeOptions {
+        runs: 24,
+        cycles: 8,
+        ..Default::default()
+    };
+    let reports: Vec<_> = [1usize, 2, 8]
+        .iter()
+        .map(|&threads| {
+            par::with_threads(threads, || {
+                veribug::localize::run(&model, &golden, &buggy, "y", &opts).expect("localizes")
+            })
+        })
+        .collect();
+    let base = &reports[0];
+    assert!(base.has_failures(), "a|b vs a&b must diverge");
+    for r in &reports[1..] {
+        assert_eq!(r.failing_runs, base.failing_runs);
+        assert_eq!(r.suspects, base.suspects);
+    }
+    // The verdict-derived failure labelling must agree with a full-trace
+    // cosimulation of the same seeded stimuli.
+    let mut golden_sim = Simulator::new(&golden).expect("elaborates");
+    let stimuli = TestbenchGen::new(opts.stim_seed)
+        .with_hold_probability(opts.hold_probability)
+        .generate_many(golden_sim.netlist(), opts.cycles, opts.runs);
+    let target = golden_sim.netlist().signal_id("y").expect("target");
+    let golden_runs = mutate::golden_traces(&mut golden_sim, &stimuli).expect("golden traces");
+    let labelled =
+        mutate::cosimulate_against(&golden_runs, target, &buggy, &stimuli).expect("cosimulates");
+    let failing = labelled
+        .iter()
+        .filter(|r| r.label == sim::TraceLabel::Failing)
+        .count();
+    assert_eq!(base.failing_runs, failing);
+    assert_eq!(base.total_runs, labelled.len());
 }
 
 /// A static combinational loop must fall back to the interpreter and report

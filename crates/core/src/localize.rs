@@ -11,13 +11,21 @@
 //! - [`run_with_sims`] accepts pre-built simulators plus a
 //!   [`sim::CancelToken`], so a server can reuse cached compiled designs
 //!   (see `veribug-serve`) and enforce per-request deadlines.
+//!
+//! Internally both entry points use the **two-pass trace-elision flow**
+//! (see DESIGN.md §2c): a values-only verdict pass labels every run, then
+//! full execution records are produced only for the buggy design and only
+//! when at least one run failed. The golden design is never simulated
+//! with full traces. The report is bit-identical to a single-pass flow —
+//! the differential suite in `crates/bench/tests/differential.rs` proves
+//! it.
 
 use crate::coverage::{grouped_heatmap, DEFAULT_RUN_GROUPS};
 use crate::explain::{AttentionMap, Heatmap, LabelledTrace};
 use crate::model::VeriBugModel;
 use crate::{Explainer, VeriBugError, DEFAULT_THRESHOLD};
-use mutate::{cosimulate_with, golden_traces};
-use sim::{CancelToken, EngineKind, Simulator, TestbenchGen, TraceLabel};
+use mutate::{golden_verdicts, run_lane_groups, screen_with};
+use sim::{CancelToken, EngineKind, Simulator, TestbenchGen};
 use verilog::Module;
 
 /// Tunable knobs of one localization request. [`Default`] matches the CLI
@@ -171,23 +179,24 @@ fn localize_inner(
     let stimuli = TestbenchGen::new(opts.stim_seed)
         .with_hold_probability(opts.hold_probability)
         .generate_many(golden_sim.netlist(), opts.cycles, opts.runs);
-    let golden_runs = {
+    // Pass 1 — verdict screening: both designs run in
+    // [`sim::TraceMode::Verdict`] with only `target` observed, so the
+    // labelling step is pure lane-parallel compute plus an O(1)-per-cycle
+    // compare. The golden design is *never* simulated with full traces:
+    // the explainer below only ever reads buggy-side records.
+    let golden_vs = {
         let _span = obs::span("simulate");
-        golden_traces(golden_sim, &stimuli)?
+        golden_verdicts(golden_sim, &stimuli, target_id)?
     };
-    let labelled = {
+    let verdicts = {
         let _span = obs::span("campaign");
-        cosimulate_with(buggy_sim, &golden_runs, target_id, &stimuli)?
+        screen_with(buggy_sim, &golden_vs, target_id, &stimuli)?
     };
-    let failing = labelled
-        .iter()
-        .filter(|r| r.label == TraceLabel::Failing)
-        .count();
-    let buggy = &buggy_sim.netlist().module;
+    let failing = verdicts.iter().filter(|v| v.diverged()).count();
     let mut report = LocalizeReport {
-        module: buggy.name.clone(),
+        module: buggy_sim.netlist().module.name.clone(),
         target: target.to_owned(),
-        total_runs: labelled.len(),
+        total_runs: verdicts.len(),
         failing_runs: failing,
         threshold: opts.threshold,
         engine: buggy_sim.batch_engine_kind(),
@@ -205,13 +214,24 @@ fn localize_inner(
         return Err(sim::SimError::Cancelled { at_cycle: 0 }.into());
     }
 
-    let runs_view: Vec<LabelledTrace<'_>> = labelled
+    // Pass 2 — full traces, buggy design only, and only because at least
+    // one run failed. Labels and failure cycles come from the verdict
+    // pass; PR 6's invariant (records are a pure function of statement +
+    // values read) makes the re-simulation byte-identical to what a
+    // single-pass flow would have recorded.
+    let buggy_traces = {
+        let _span = obs::span("full_trace");
+        run_lane_groups(buggy_sim, &stimuli)?
+    };
+    let buggy = &buggy_sim.netlist().module;
+    let runs_view: Vec<LabelledTrace<'_>> = buggy_traces
         .iter()
-        .map(|r| LabelledTrace {
-            trace: &r.trace,
-            label: r.label,
-            failure_cycles: if r.label == TraceLabel::Failing {
-                r.failure_cycles()
+        .zip(&verdicts)
+        .map(|(trace, v)| LabelledTrace {
+            trace,
+            label: v.label(),
+            failure_cycles: if v.diverged() {
+                v.divergence_cycles.clone()
             } else {
                 Vec::new()
             },

@@ -6,10 +6,62 @@ use rand::{RngExt, SeedableRng};
 use std::collections::BTreeSet;
 
 use crate::mutation::{apply, enumerate_sites, MutationKind, MutationSite};
-use crate::observe::{cosimulate_against, golden_traces, is_observable, LabelledRun};
+use crate::observe::{
+    any_diverged, cosimulate_against, cosimulate_with, golden_traces, golden_verdicts,
+    is_observable, screen_with, LabelledRun,
+};
 use cdfg::Slice;
-use sim::{SimError, Simulator, Stimulus, TestbenchGen};
+use sim::{SimError, Simulator, Stimulus, StmtExec, TestbenchGen, Value};
 use verilog::Module;
+
+/// Sites co-simulated per parallel wave. A fixed constant: waves bound the
+/// work wasted past the budget without letting the worker count influence
+/// which sites get considered.
+const WAVE: usize = 8;
+
+/// Candidate mutation sites considered (after slice restriction).
+static SITES: obs::LazyCounter = obs::LazyCounter::new("campaign.sites_enumerated");
+/// Mutants accepted into the output (within budget, deduplicated).
+static PRODUCED: obs::LazyCounter = obs::LazyCounter::new("campaign.mutants_produced");
+/// Accepted mutants whose bug symptomatized at the target.
+static OBSERVABLE: obs::LazyCounter = obs::LazyCounter::new("campaign.mutants_observable");
+/// Candidates rejected as source-level duplicates.
+static DUPLICATES: obs::LazyCounter = obs::LazyCounter::new("campaign.duplicates");
+/// Candidates that failed to elaborate/simulate or were no-ops.
+static SKIPPED: obs::LazyCounter = obs::LazyCounter::new("campaign.skipped");
+/// First cycle at which a failing co-simulation run diverged.
+static DIVERGENCE: obs::LazyHistogram = obs::LazyHistogram::new("campaign.divergence_cycle");
+/// Fraction of batch-engine lanes occupied by campaign stimuli
+/// (1.0 = every 64-lane group runs full).
+static BATCH_FILL: obs::LazyGauge = obs::LazyGauge::new("campaign.batch_fill_ratio");
+/// Bytes of trace the verdict screening pass declined to materialize:
+/// elided `StmtExec` records plus the unobserved part of every per-cycle
+/// snapshot, summed over golden-verdict and candidate-screening runs.
+/// Mutants the campaign keeps are re-simulated in full afterwards, so the
+/// end-to-end saving is this figure minus the kept fraction.
+static TRACE_BYTES_ELIDED: obs::LazyCounter = obs::LazyCounter::new("campaign.trace_bytes_elided");
+/// Lane fill of every verdict-pass batch group (64 = full batch).
+static VERDICT_LANES: obs::LazyHistogram = obs::LazyHistogram::new("campaign.verdict_pass_lanes");
+
+/// Records the lane fills a verdict pass over `n` stimuli produces (maximal
+/// [`sim::LANES`]-lane groups plus the remainder).
+fn record_verdict_lanes(n: usize) {
+    let mut rest = n;
+    while rest > 0 {
+        let take = rest.min(sim::LANES);
+        VERDICT_LANES.record(take as u64);
+        rest -= take;
+    }
+}
+
+/// Bytes of full-trace product a verdict pass elided: the records it never
+/// materialized plus the unobserved `nsig - nobs` snapshot values per cycle
+/// across `nruns` runs of `cycles` cycles.
+fn elided_bytes(records_elided: u64, nruns: usize, cycles: usize, nsig: usize, nobs: usize) -> u64 {
+    let per_cycle_values = (nsig.saturating_sub(nobs) * std::mem::size_of::<Value>()) as u64;
+    records_elided * std::mem::size_of::<StmtExec>() as u64
+        + (nruns * cycles) as u64 * per_cycle_values
+}
 
 /// How many mutants of each kind a campaign should produce.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
@@ -105,51 +157,9 @@ impl Campaign {
         self
     }
 
-    /// Runs the campaign: inject up to `budget` bugs per kind into `golden`
-    /// and co-simulate each against the target output.
-    ///
-    /// Candidate mutants are built and co-simulated in parallel, in
-    /// fixed-size waves of shuffled sites. The wave partitioning and the
-    /// in-order merge depend only on the seed — never on the worker count —
-    /// so the returned mutant list is identical at any thread count (and to
-    /// a fully serial pass). Thread count follows `VERIBUG_THREADS` /
-    /// `RAYON_NUM_THREADS` (see [`par::max_threads`]).
-    ///
-    /// # Errors
-    ///
-    /// Propagates simulation errors. Mutants that fail to elaborate or
-    /// simulate (e.g. a misuse creating a combinational loop) are skipped
-    /// rather than failing the campaign.
-    pub fn run(
-        &self,
-        golden: &Module,
-        target: &str,
-        budget: &BugBudget,
-    ) -> Result<Vec<Mutant>, SimError> {
-        /// Sites co-simulated per parallel wave. A fixed constant: waves
-        /// bound the work wasted past the budget without letting the worker
-        /// count influence which sites get considered.
-        const WAVE: usize = 8;
-
-        /// Candidate mutation sites considered (after slice restriction).
-        static SITES: obs::LazyCounter = obs::LazyCounter::new("campaign.sites_enumerated");
-        /// Mutants accepted into the output (within budget, deduplicated).
-        static PRODUCED: obs::LazyCounter = obs::LazyCounter::new("campaign.mutants_produced");
-        /// Accepted mutants whose bug symptomatized at the target.
-        static OBSERVABLE: obs::LazyCounter = obs::LazyCounter::new("campaign.mutants_observable");
-        /// Candidates rejected as source-level duplicates.
-        static DUPLICATES: obs::LazyCounter = obs::LazyCounter::new("campaign.duplicates");
-        /// Candidates that failed to elaborate/simulate or were no-ops.
-        static SKIPPED: obs::LazyCounter = obs::LazyCounter::new("campaign.skipped");
-        /// First cycle at which a failing co-simulation run diverged.
-        static DIVERGENCE: obs::LazyHistogram =
-            obs::LazyHistogram::new("campaign.divergence_cycle");
-        /// Fraction of batch-engine lanes occupied by campaign stimuli
-        /// (1.0 = every 64-lane group runs full).
-        static BATCH_FILL: obs::LazyGauge = obs::LazyGauge::new("campaign.batch_fill_ratio");
-
-        let _span = obs::span("campaign");
-        let mut rng = StdRng::seed_from_u64(self.seed);
+    /// Campaign setup shared by both flows: vetted sites, the golden
+    /// simulator, the resolved target, and the seeded stimulus set.
+    fn prelude(&self, golden: &Module, target: &str) -> Result<Prelude, SimError> {
         let restrict: Option<BTreeSet<_>> = if self.restrict_to_slice {
             Some(Slice::of_target(golden, target).stmts)
         } else {
@@ -157,7 +167,7 @@ impl Campaign {
         };
         let all_sites = enumerate_sites(golden, restrict.as_ref());
         SITES.add(all_sites.len() as u64);
-        let mut golden_sim = Simulator::new(golden)?;
+        let golden_sim = Simulator::new(golden)?;
         let target_id =
             golden_sim
                 .netlist()
@@ -168,16 +178,225 @@ impl Campaign {
         let stimuli: Vec<Stimulus> = TestbenchGen::new(self.seed ^ 0xD1CE_F00D)
             .with_hold_probability(self.hold_probability)
             .generate_many(golden_sim.netlist(), self.cycles, self.runs_per_mutant);
-        // The golden design is simulated exactly once per stimulus; every
-        // candidate mutant in every wave compares against these shared
-        // traces instead of re-running the golden design.
         let lane_groups = stimuli.len().div_ceil(sim::LANES).max(1);
         BATCH_FILL.set(stimuli.len() as f64 / (lane_groups * sim::LANES) as f64);
+        let golden_source = verilog::print_module(golden);
+        Ok(Prelude {
+            all_sites,
+            golden_sim,
+            target_id,
+            stimuli,
+            golden_source,
+        })
+    }
+
+    /// Runs the campaign: inject up to `budget` bugs per kind into `golden`
+    /// and co-simulate each against the target output.
+    ///
+    /// This is the **two-pass verdict flow**. Pass 1 screens golden and
+    /// every candidate mutant through the batch engine in
+    /// [`sim::TraceMode::Verdict`] — no execution records, target-output
+    /// snapshots only — which is all the accept/reject machinery
+    /// (observability, dedup, budget, divergence cycles) reads. Pass 2
+    /// re-simulates with full traces **only the mutants the campaign
+    /// keeps**, so full-trace cost scales with kept runs, not attempted
+    /// runs. The result is bit-identical to
+    /// [`run_single_pass`](Self::run_single_pass) — the differential suite
+    /// proves it at 1/2/8 threads.
+    ///
+    /// Candidate mutants are built and screened in parallel, in fixed-size
+    /// waves of shuffled sites. The wave partitioning and the in-order
+    /// merge depend only on the seed — never on the worker count — so the
+    /// returned mutant list is identical at any thread count (and to a
+    /// fully serial pass). Thread count follows `VERIBUG_THREADS` /
+    /// `RAYON_NUM_THREADS` (see [`par::max_threads`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulation errors. Mutants that fail to elaborate or
+    /// simulate (e.g. a misuse creating a combinational loop) are skipped
+    /// rather than failing the campaign — verdict mode reports exactly the
+    /// errors full-trace simulation would, so the skip set is identical.
+    pub fn run(
+        &self,
+        golden: &Module,
+        target: &str,
+        budget: &BugBudget,
+    ) -> Result<Vec<Mutant>, SimError> {
+        let _span = obs::span("campaign");
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let Prelude {
+            all_sites,
+            mut golden_sim,
+            target_id,
+            stimuli,
+            golden_source,
+        } = self.prelude(golden, target)?;
+        let nsig = golden_sim.netlist().signal_count();
+
+        // Pass 1: screen golden + every candidate in verdict mode. The
+        // golden design is simulated exactly once per stimulus; every
+        // candidate in every wave compares against these shared verdicts.
+        let golden_vs = {
+            let _g = obs::span("campaign.golden_verdict");
+            golden_verdicts(&mut golden_sim, &stimuli, target_id)?
+        };
+        record_verdict_lanes(stimuli.len());
+        TRACE_BYTES_ELIDED.add(elided_bytes(
+            golden_vs.iter().map(|v| v.records_elided).sum(),
+            stimuli.len(),
+            self.cycles,
+            nsig,
+            1,
+        ));
+
+        /// One screened-and-accepted candidate awaiting its full-trace
+        /// pass. Keeps the pass-1 simulator so pass 2 can [`Simulator::fork`]
+        /// it instead of re-elaborating the mutant.
+        struct Accepted {
+            module: Module,
+            source: String,
+            site: MutationSite,
+            sim: Simulator,
+            observable: bool,
+        }
+        let mut accepted: Vec<Accepted> = Vec::new();
+        for kind in MutationKind::ALL {
+            let mut sites: Vec<&MutationSite> =
+                all_sites.iter().filter(|s| s.kind == kind).collect();
+            shuffle(&mut sites, &mut rng);
+            let want = budget.for_kind(kind);
+            let mut produced = 0;
+            let mut seen_sources: BTreeSet<String> = BTreeSet::new();
+            for wave in sites.chunks(WAVE) {
+                if produced >= want {
+                    break;
+                }
+                // Parallel part: everything that depends only on the site.
+                let _wave_span = obs::span("campaign.wave");
+                let candidates = par::par_map(wave, |site| {
+                    let module = apply(golden, site)?;
+                    let source = verilog::print_module(&module);
+                    if source == golden_source {
+                        return None; // mutation was a source-level no-op
+                    }
+                    // A mutation may e.g. create a combinational loop; skip.
+                    // Verdict mode hits the same errors full mode would, so
+                    // this skip set matches the single-pass flow's.
+                    let mut sim = Simulator::new(&module).ok()?;
+                    let verdicts = screen_with(&mut sim, &golden_vs, target_id, &stimuli).ok()?;
+                    let observable = any_diverged(&verdicts);
+                    Some((module, source, sim, verdicts, observable))
+                });
+                // Sequential merge in site order: duplicate and budget
+                // decisions replay exactly as a serial pass would.
+                for (site, cand) in wave.iter().zip(candidates) {
+                    if produced >= want {
+                        break;
+                    }
+                    let Some((module, source, sim, verdicts, observable)) = cand else {
+                        SKIPPED.incr();
+                        continue;
+                    };
+                    record_verdict_lanes(stimuli.len());
+                    TRACE_BYTES_ELIDED.add(elided_bytes(
+                        verdicts.iter().map(|v| v.records_elided).sum(),
+                        stimuli.len(),
+                        self.cycles,
+                        nsig,
+                        1,
+                    ));
+                    if !seen_sources.insert(source.clone()) {
+                        DUPLICATES.incr();
+                        continue; // duplicate mutant
+                    }
+                    PRODUCED.incr();
+                    if observable {
+                        OBSERVABLE.incr();
+                        if obs::enabled() {
+                            for v in verdicts.iter().filter(|v| v.diverged()) {
+                                if let Some(first) = v.first_divergence() {
+                                    DIVERGENCE.record(u64::from(first));
+                                }
+                            }
+                        }
+                    }
+                    accepted.push(Accepted {
+                        module,
+                        source,
+                        site: (*site).clone(),
+                        sim,
+                        observable,
+                    });
+                    produced += 1;
+                }
+            }
+        }
+
+        // Pass 2: full traces for the kept mutants only. Golden full traces
+        // are computed lazily — a campaign that keeps nothing never pays
+        // for them at all.
+        if accepted.is_empty() {
+            return Ok(Vec::new());
+        }
         let golden_runs = {
             let _g = obs::span("campaign.golden");
             golden_traces(&mut golden_sim, &stimuli)?
         };
-        let golden_source = verilog::print_module(golden);
+        let _full_span = obs::span("campaign.full_pass");
+        let full = par::par_map(&accepted, |a| {
+            // Forking reuses the screened mutant's compiled artifacts —
+            // pass 2 pays for trace production, never for re-elaboration.
+            cosimulate_with(&mut a.sim.fork(), &golden_runs, target_id, &stimuli)
+        });
+        let mut out = Vec::with_capacity(accepted.len());
+        for (a, runs) in accepted.into_iter().zip(full) {
+            // Screening already proved this mutant simulates; re-running it
+            // with full traces cannot newly fail.
+            let runs = runs?;
+            debug_assert_eq!(a.observable, is_observable(&runs));
+            out.push(Mutant {
+                module: a.module,
+                source: a.source,
+                site: a.site,
+                runs,
+                observable: a.observable,
+            });
+        }
+        Ok(out)
+    }
+
+    /// The PR 6-era single-pass flow: every candidate is co-simulated with
+    /// full traces, kept or not. Retained verbatim as the differential
+    /// oracle — the suite in `crates/bench/tests/differential.rs` proves
+    /// [`run`](Self::run) bit-identical to this at 1/2/8 threads — and for
+    /// benchmarking the elision win.
+    ///
+    /// # Errors
+    ///
+    /// As [`run`](Self::run).
+    pub fn run_single_pass(
+        &self,
+        golden: &Module,
+        target: &str,
+        budget: &BugBudget,
+    ) -> Result<Vec<Mutant>, SimError> {
+        let _span = obs::span("campaign");
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let Prelude {
+            all_sites,
+            mut golden_sim,
+            target_id,
+            stimuli,
+            golden_source,
+        } = self.prelude(golden, target)?;
+        // The golden design is simulated exactly once per stimulus; every
+        // candidate mutant in every wave compares against these shared
+        // traces instead of re-running the golden design.
+        let golden_runs = {
+            let _g = obs::span("campaign.golden");
+            golden_traces(&mut golden_sim, &stimuli)?
+        };
 
         let mut out = Vec::new();
         for kind in MutationKind::ALL {
@@ -243,6 +462,17 @@ impl Campaign {
         }
         Ok(out)
     }
+}
+
+/// Campaign setup shared by [`Campaign::run`] and
+/// [`Campaign::run_single_pass`], so the two flows cannot drift on sites,
+/// stimuli, or target resolution.
+struct Prelude {
+    all_sites: Vec<MutationSite>,
+    golden_sim: Simulator,
+    target_id: sim::SignalId,
+    stimuli: Vec<Stimulus>,
+    golden_source: String,
 }
 
 /// Fisher–Yates shuffle (avoids pulling in rand's slice extension trait).
@@ -367,6 +597,62 @@ endmodule
         assert!(observable > 0, "campaign found no observable bugs");
         for m in mutants.iter().filter(|m| m.observable) {
             assert!(m.runs.iter().any(|r| r.label == sim::TraceLabel::Failing));
+        }
+    }
+
+    /// The elision metrics must be live: a verdict-screened campaign
+    /// reports how many trace bytes it never materialized and the lane
+    /// occupancy of its verdict cosims (both rendered by `/metricsz`).
+    #[test]
+    fn campaign_records_elision_metrics() {
+        obs::enable();
+        let budget = BugBudget {
+            negation: 2,
+            operation: 1,
+            misuse: 1,
+        };
+        Campaign::new(31).run(&golden(), "gnt1", &budget).unwrap();
+        let report = obs::snapshot();
+        let elided = report
+            .counters
+            .get("campaign.trace_bytes_elided")
+            .copied()
+            .unwrap_or(0);
+        assert!(elided > 0, "verdict screening must elide trace bytes");
+        let lanes = report
+            .histograms
+            .get("campaign.verdict_pass_lanes")
+            .expect("verdict lane histogram recorded");
+        assert!(lanes.count > 0);
+    }
+
+    /// The two-pass verdict flow must be bit-identical to the single-pass
+    /// full-trace oracle: same mutants, same sources/sites, same
+    /// observability flags, same labels, and byte-equal traces.
+    #[test]
+    fn two_pass_flow_matches_single_pass_oracle() {
+        let budget = BugBudget {
+            negation: 3,
+            operation: 2,
+            misuse: 3,
+        };
+        let campaign = Campaign::new(29);
+        let two_pass = campaign.run(&golden(), "gnt1", &budget).unwrap();
+        let single = campaign
+            .run_single_pass(&golden(), "gnt1", &budget)
+            .unwrap();
+        assert!(!two_pass.is_empty());
+        assert_eq!(two_pass.len(), single.len());
+        for (a, b) in two_pass.iter().zip(&single) {
+            assert_eq!(a.source, b.source);
+            assert_eq!(a.site, b.site);
+            assert_eq!(a.observable, b.observable);
+            assert_eq!(a.runs.len(), b.runs.len());
+            for (ra, rb) in a.runs.iter().zip(&b.runs) {
+                assert_eq!(ra.label, rb.label);
+                assert_eq!(ra.trace, rb.trace);
+                assert_eq!(ra.failure_cycles(), rb.failure_cycles());
+            }
         }
     }
 }

@@ -32,5 +32,7 @@ pub mod observe;
 pub use campaign::{BugBudget, Campaign, Mutant};
 pub use mutation::{apply, enumerate_sites, MutationKind, MutationSite};
 pub use observe::{
-    cosimulate, cosimulate_against, cosimulate_with, golden_traces, is_observable, LabelledRun,
+    any_diverged, cosimulate, cosimulate_against, cosimulate_with, golden_traces, golden_verdicts,
+    is_observable, run_lane_groups, run_lane_groups_verdict, screen_against, screen_with,
+    screening_mode, LabelledRun, RunVerdict,
 };

@@ -6,7 +6,7 @@
 //! failure trace (`T_f`), one where the bug stays masked is a correct trace
 //! (`T_c`).
 
-use sim::{SimError, Simulator, Stimulus, Trace, TraceLabel};
+use sim::{SignalSet, SimError, Simulator, Stimulus, Trace, TraceLabel, TraceMode, VerdictTrace};
 use verilog::Module;
 
 /// A pair of traces from the same stimulus, with the failure label.
@@ -36,6 +36,52 @@ impl LabelledRun {
     }
 }
 
+/// The verdict of one screening run: where (if anywhere) the mutant's
+/// target output diverged from golden, plus elision accounting.
+///
+/// This is everything the campaign's accept/reject machinery reads — the
+/// observable flag is "any run diverged", the label is "this run diverged",
+/// and the divergence-cycle histogram takes the first cycle — so the
+/// screening pass can run in [`TraceMode::Verdict`] and skip full traces
+/// entirely.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunVerdict {
+    /// Cycles (ascending) where the target output diverged from golden.
+    pub divergence_cycles: Vec<u32>,
+    /// [`sim::StmtExec`] records the verdict run declined to materialize
+    /// (best-effort accounting, not part of the verdict itself).
+    pub records_elided: u64,
+}
+
+impl RunVerdict {
+    /// True when the target output diverged in any cycle.
+    pub fn diverged(&self) -> bool {
+        !self.divergence_cycles.is_empty()
+    }
+
+    /// The label full-trace co-simulation would assign this run.
+    pub fn label(&self) -> TraceLabel {
+        if self.diverged() {
+            TraceLabel::Failing
+        } else {
+            TraceLabel::Correct
+        }
+    }
+
+    /// The first divergence cycle, if any.
+    pub fn first_divergence(&self) -> Option<u32> {
+        self.divergence_cycles.first().copied()
+    }
+}
+
+/// The trace mode a screening pass runs under: verdict mode observing
+/// exactly what divergence labelling reads — the target output.
+pub fn screening_mode(target: sim::SignalId) -> TraceMode {
+    TraceMode::Verdict {
+        observed: SignalSet::from_ids([target]),
+    }
+}
+
 /// Runs a simulator over a stimulus set bit-parallel, partitioning the set
 /// into lane groups of up to [`sim::LANES`] stimuli.
 ///
@@ -44,7 +90,7 @@ impl LabelledRun {
 /// a fork sharing the compiled code, with the parent's cancel token
 /// re-installed (forks reset to inert) — and merge results in stimulus
 /// order, so the output is identical at any thread count.
-fn run_lane_groups(sim: &mut Simulator, stimuli: &[Stimulus]) -> Result<Vec<Trace>, SimError> {
+pub fn run_lane_groups(sim: &mut Simulator, stimuli: &[Stimulus]) -> Result<Vec<Trace>, SimError> {
     if stimuli.len() <= sim::LANES {
         return sim.run_batch(stimuli);
     }
@@ -60,6 +106,107 @@ fn run_lane_groups(sim: &mut Simulator, stimuli: &[Stimulus]) -> Result<Vec<Trac
         out.extend(r?);
     }
     Ok(out)
+}
+
+/// [`run_lane_groups`], but in verdict mode: same partitioning, ordered
+/// merge, and cancel propagation, with [`Simulator::run_batch_verdict`]
+/// doing the per-group work.
+pub fn run_lane_groups_verdict(
+    sim: &mut Simulator,
+    stimuli: &[Stimulus],
+    observed: &SignalSet,
+) -> Result<Vec<VerdictTrace>, SimError> {
+    if stimuli.len() <= sim::LANES {
+        return sim.run_batch_verdict(stimuli, observed);
+    }
+    let groups: Vec<&[Stimulus]> = stimuli.chunks(sim::LANES).collect();
+    let shared = &*sim;
+    let results = par::par_map(&groups, |group| {
+        let mut fork = shared.fork();
+        fork.set_cancel(shared.cancel_token().clone());
+        fork.run_batch_verdict(group, observed)
+    });
+    let mut out = Vec::with_capacity(stimuli.len());
+    for r in results {
+        out.extend(r?);
+    }
+    Ok(out)
+}
+
+/// Runs the golden design over every stimulus in verdict mode, observing
+/// only `target` — the reference values the screening pass compares mutants
+/// to. The verdict-mode counterpart of [`golden_traces`].
+///
+/// # Errors
+///
+/// Propagates simulation errors from the golden design.
+pub fn golden_verdicts(
+    sim: &mut Simulator,
+    stimuli: &[Stimulus],
+    target: sim::SignalId,
+) -> Result<Vec<VerdictTrace>, SimError> {
+    let TraceMode::Verdict { observed } = screening_mode(target) else {
+        unreachable!("screening_mode always builds verdict mode")
+    };
+    run_lane_groups_verdict(sim, stimuli, &observed)
+}
+
+/// Screens a mutant against precomputed golden verdicts: verdict-mode
+/// co-simulation yielding one [`RunVerdict`] per stimulus. Divergence
+/// verdicts, labels, and divergence cycles are identical to what
+/// full-trace co-simulation ([`cosimulate_against`]) would produce —
+/// verdict mode reproduces exactly the observed columns of the full trace —
+/// at a fraction of the memory traffic.
+///
+/// # Errors
+///
+/// Propagates elaboration or simulation errors from the mutant (the same
+/// errors, at the same points, as the full-trace pass).
+pub fn screen_against(
+    golden: &[VerdictTrace],
+    target: sim::SignalId,
+    mutant: &Module,
+    stimuli: &[Stimulus],
+) -> Result<Vec<RunVerdict>, SimError> {
+    let mut mutant_sim = Simulator::new(mutant)?;
+    screen_with(&mut mutant_sim, golden, target, stimuli)
+}
+
+/// [`screen_against`] with a caller-supplied mutant simulator.
+///
+/// # Errors
+///
+/// Propagates simulation errors (including cancellation) from the mutant.
+pub fn screen_with(
+    mutant_sim: &mut Simulator,
+    golden: &[VerdictTrace],
+    target: sim::SignalId,
+    stimuli: &[Stimulus],
+) -> Result<Vec<RunVerdict>, SimError> {
+    assert_eq!(
+        golden.len(),
+        stimuli.len(),
+        "one golden verdict per stimulus required"
+    );
+    let _span = obs::span("campaign.screen");
+    let TraceMode::Verdict { observed } = screening_mode(target) else {
+        unreachable!("screening_mode always builds verdict mode")
+    };
+    let verdicts = run_lane_groups_verdict(mutant_sim, stimuli, &observed)?;
+    Ok(verdicts
+        .into_iter()
+        .zip(golden)
+        .map(|(mv, gv)| RunVerdict {
+            divergence_cycles: mv.divergence_cycles(gv, 0),
+            records_elided: mv.records_elided,
+        })
+        .collect())
+}
+
+/// True when any screening run diverged — the verdict-mode counterpart of
+/// [`is_observable`].
+pub fn any_diverged(verdicts: &[RunVerdict]) -> bool {
+    verdicts.iter().any(RunVerdict::diverged)
 }
 
 /// Runs the golden design on every stimulus — batched up to
@@ -218,6 +365,38 @@ mod tests {
         let stimuli = TestbenchGen::new(3).generate_many(sim0.netlist(), 8, 3);
         let runs = cosimulate(&golden, &golden, "y", &stimuli).unwrap();
         assert!(runs.iter().all(|r| r.label == TraceLabel::Correct));
+    }
+
+    #[test]
+    fn verdict_screening_matches_full_cosimulation() {
+        let golden = module(
+            "module m(input clk, input a, input b, output reg y);\n\
+             always @(posedge clk) y <= a ^ b;\nendmodule",
+        );
+        let mutant = module(
+            "module m(input clk, input a, input b, output reg y);\n\
+             always @(posedge clk) y <= a & b;\nendmodule",
+        );
+        let mut golden_sim = Simulator::new(&golden).unwrap();
+        let target = golden_sim.netlist().signal_id("y").unwrap();
+        let stimuli = TestbenchGen::new(5).generate_many(golden_sim.netlist(), 12, 70);
+
+        let gv = golden_verdicts(&mut golden_sim, &stimuli, target).unwrap();
+        let verdicts = screen_against(&gv, target, &mutant, &stimuli).unwrap();
+        let gt = golden_traces(&mut golden_sim, &stimuli).unwrap();
+        let runs = cosimulate_against(&gt, target, &mutant, &stimuli).unwrap();
+
+        assert_eq!(verdicts.len(), runs.len());
+        assert_eq!(any_diverged(&verdicts), is_observable(&runs));
+        for (v, r) in verdicts.iter().zip(&runs) {
+            assert_eq!(v.label(), r.label);
+            assert_eq!(v.divergence_cycles, r.failure_cycles());
+            assert_eq!(v.first_divergence(), r.failure_cycles().first().copied());
+        }
+        assert!(matches!(
+            screening_mode(target),
+            TraceMode::Verdict { observed } if observed.ids() == [target]
+        ));
     }
 
     #[test]

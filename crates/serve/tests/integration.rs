@@ -130,6 +130,36 @@ fn localize_matches_the_library_pipeline() {
         let sus = s.get("suspiciousness").unwrap().as_num().unwrap();
         assert!((sus - f64::from(expect.suspiciousness)).abs() < 1e-5);
     }
+    assert_eq!(
+        doc.get("failing_runs")
+            .unwrap()
+            .as_num()
+            .map(|n| n as usize),
+        Some(report.failing_runs),
+    );
+
+    // The server's localize path runs the two-pass trace-elision flow:
+    // the verdict screen must actually have executed (and elided records)
+    // inside this server process, not just in the library comparison run.
+    let metrics = request(handle.addr(), "GET", "/metricsz", "");
+    assert_eq!(metrics.status, 200);
+    let counters = metrics.json();
+    let counters = counters.get("counters").unwrap();
+    let verdict_runs = counters
+        .get("sim.runs_verdict")
+        .expect("verdict-mode run counter exported")
+        .as_num()
+        .unwrap();
+    assert!(
+        verdict_runs >= 2.0,
+        "expected golden + buggy verdict screens, saw {verdict_runs}"
+    );
+    let elided = counters
+        .get("sim.records_elided")
+        .expect("elision counter exported")
+        .as_num()
+        .unwrap();
+    assert!(elided > 0.0, "verdict mode must elide execution records");
     stop(&handle, join);
 }
 

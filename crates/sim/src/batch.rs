@@ -36,7 +36,7 @@ use crate::eval::{eval_binary_batch, eval_unary_batch, Write};
 use crate::metrics;
 use crate::netlist::{Netlist, Process, SignalRole};
 use crate::testbench::Stimulus;
-use crate::trace::{Operands, StmtExec, Trace};
+use crate::trace::{Operands, SignalSet, StmtExec, Trace, VerdictTrace};
 use crate::value::{BatchValue, Value, LANES};
 use verilog::Stmt;
 
@@ -346,7 +346,7 @@ impl BatchEngine {
                 if dmask == 0 {
                     continue;
                 }
-                exec_bops(
+                exec_bops::<true>(
                     &code.comb[pi],
                     code,
                     &mut state.slab,
@@ -359,6 +359,7 @@ impl BatchEngine {
                     &mut changed,
                     &mut m_divergences,
                     &mut m_ops,
+                    &mut [0; LANES],
                 );
                 // Fresh records for the dirty lanes move into the arena
                 // once; the descriptor is all later cycles need.
@@ -391,7 +392,7 @@ impl BatchEngine {
             // and record fresh; non-blocking writes defer per lane and
             // commit in push order, like the scalar engine.
             for prog in &code.seq {
-                exec_bops(
+                exec_bops::<true>(
                     prog,
                     code,
                     &mut state.slab,
@@ -404,6 +405,7 @@ impl BatchEngine {
                     &mut changed,
                     &mut m_divergences,
                     &mut m_ops,
+                    &mut [0; LANES],
                 );
             }
             for (l, writes) in state.deferred.iter_mut().enumerate().take(fill) {
@@ -488,6 +490,206 @@ impl BatchEngine {
             .map(|cycles| Trace { cycles })
             .collect())
     }
+
+    /// Runs up to [`LANES`] equal-length stimuli in verdict mode: the same
+    /// lane-parallel value evolution, input validation, per-lane dirty
+    /// gate, and cancellation behavior as [`BatchEngine::run`], but no
+    /// record arena, no descriptor pool, and per-cycle snapshots of only
+    /// the `observed` signals — the hot loop is pure compute plus an
+    /// O(fill × observed) lane extract per cycle.
+    ///
+    /// # Errors / Panics
+    ///
+    /// Exactly as [`BatchEngine::run`], at the same points.
+    pub(crate) fn run_verdict(
+        &mut self,
+        netlist: &Netlist,
+        stimuli: &[Stimulus],
+        cancel: &CancelToken,
+        observed: &SignalSet,
+    ) -> Result<Vec<VerdictTrace>, SimError> {
+        let fill = stimuli.len();
+        assert!(
+            (1..=LANES).contains(&fill),
+            "batch fill {fill} out of 1..={LANES}"
+        );
+        let ncycles = stimuli[0].vectors.len();
+        assert!(
+            stimuli.iter().all(|s| s.vectors.len() == ncycles),
+            "batched stimuli must have equal cycle counts"
+        );
+        let fill_mask = if fill == LANES {
+            u64::MAX
+        } else {
+            (1u64 << fill) - 1
+        };
+
+        // Pre-resolve inputs exactly as the full-trace run does, so the
+        // first validation error is identical.
+        let mut memo: Vec<(&str, u32)> = Vec::new();
+        let mut input_ids: Vec<Vec<u32>> = Vec::with_capacity(fill);
+        for stim in stimuli {
+            let mut ids = Vec::new();
+            for vector in &stim.vectors {
+                for (name, _) in &vector.assigns {
+                    let id = match memo.iter().find(|(n, _)| *n == name.as_str()) {
+                        Some(&(_, id)) => id,
+                        None => {
+                            let id = netlist
+                                .signal_id(name)
+                                .ok_or_else(|| SimError::UnknownSignal { name: name.clone() })?;
+                            if netlist.signal(id).role != SignalRole::Input {
+                                return Err(SimError::NotAnInput { name: name.clone() });
+                            }
+                            memo.push((name.as_str(), id.0));
+                            id.0
+                        }
+                    };
+                    ids.push(id);
+                }
+            }
+            input_ids.push(ids);
+        }
+        let mut cursors = vec![0usize; fill];
+
+        let code = &*self.code;
+        let nsig = netlist.signal_count();
+        let state = &mut self.state;
+        let mut values: Vec<BatchValue> = netlist
+            .signals()
+            .iter()
+            .map(|s| BatchValue::zeros(s.width))
+            .collect();
+        state.slab.clear();
+        state.slab.resize(code.slots, BatchValue::zeros(1));
+        state.deferred.resize_with(LANES, Vec::new);
+        for v in &mut state.deferred {
+            v.clear();
+        }
+
+        let nobs = observed.len();
+        let mut obs: Vec<Vec<Value>> = (0..fill)
+            .map(|_| Vec::with_capacity(ncycles * nobs))
+            .collect();
+        let mut changed: Vec<u64> = vec![fill_mask; nsig];
+        let mut elided = [0u64; LANES];
+        let mut m_divergences = 0u64;
+        let mut m_ops = 0u64;
+
+        for cycle_idx in 0..ncycles {
+            let cycle = cycle_idx as u32;
+            if cancel.is_cancelled() {
+                return Err(SimError::Cancelled { at_cycle: cycle });
+            }
+
+            for (l, stim) in stimuli.iter().enumerate() {
+                let vector = &stim.vectors[cycle_idx];
+                let ids = &input_ids[l][cursors[l]..cursors[l] + vector.assigns.len()];
+                cursors[l] += vector.assigns.len();
+                for ((_, bits), &id) in vector.assigns.iter().zip(ids) {
+                    let v = &mut values[id as usize];
+                    let next = *bits & Value::mask(v.width());
+                    let word = &mut v.words_mut()[l];
+                    if *word != next {
+                        *word = next;
+                        changed[id as usize] |= 1 << l;
+                    }
+                }
+            }
+
+            // Levelized comb pass under the same per-lane dirty gate; the
+            // only difference from the full-trace loop is that nothing is
+            // recorded and no descriptors exist to refresh.
+            for &pi in &code.order {
+                let pi = pi as usize;
+                let mut dmask = 0u64;
+                for &sig in &code.fanin[pi] {
+                    dmask |= changed[sig as usize];
+                }
+                dmask &= fill_mask;
+                if cycle_idx == 0 {
+                    dmask = fill_mask;
+                }
+                if dmask == 0 {
+                    continue;
+                }
+                exec_bops::<false>(
+                    &code.comb[pi],
+                    code,
+                    &mut state.slab,
+                    &mut values,
+                    &mut [],
+                    fill,
+                    dmask,
+                    None,
+                    &mut state.frames,
+                    &mut changed,
+                    &mut m_divergences,
+                    &mut m_ops,
+                    &mut elided,
+                );
+            }
+
+            // The O(fill × observed) snapshot: the whole point.
+            for (l, lane_obs) in obs.iter_mut().enumerate() {
+                for &id in observed.ids() {
+                    lane_obs.push(values[id.0 as usize].lane(l));
+                }
+            }
+
+            for c in changed.iter_mut() {
+                *c = 0;
+            }
+
+            for prog in &code.seq {
+                exec_bops::<false>(
+                    prog,
+                    code,
+                    &mut state.slab,
+                    &mut values,
+                    &mut [],
+                    fill,
+                    fill_mask,
+                    Some(state.deferred.as_mut_slice()),
+                    &mut state.frames,
+                    &mut changed,
+                    &mut m_divergences,
+                    &mut m_ops,
+                    &mut elided,
+                );
+            }
+            for (l, writes) in state.deferred.iter_mut().enumerate().take(fill) {
+                for w in writes.drain(..) {
+                    let t = &mut values[w.target.0 as usize];
+                    let cur = t.lane(l);
+                    let next = w.apply(cur);
+                    if next != cur {
+                        t.set_lane(l, next);
+                        changed[w.target.0 as usize] |= 1 << l;
+                    }
+                }
+            }
+        }
+
+        metrics::CYCLES.add((ncycles * fill) as u64);
+        metrics::RUNS_BATCH.add(fill as u64);
+        metrics::RUNS_VERDICT.add(fill as u64);
+        metrics::BATCH_LANES.record(fill as u64);
+        metrics::MASK_DIVERGENCES.add(m_divergences);
+        metrics::BYTECODE_OPS.add(m_ops);
+        metrics::SEQ_EVALS.add((ncycles * code.seq.len()) as u64);
+        metrics::RECORDS_ELIDED.add(elided[..fill].iter().sum());
+
+        Ok(obs
+            .into_iter()
+            .zip(&elided)
+            .map(|(values, &records_elided)| VerdictTrace {
+                values,
+                nobs,
+                records_elided,
+            })
+            .collect())
+    }
 }
 
 /// Executes one batch program under a root activity mask (the caller's
@@ -495,8 +697,14 @@ impl BatchEngine {
 /// sequential ones). Infallible by construction, like the scalar
 /// `exec_ops`. Value-changing writes OR the written lane into the
 /// signal's `changed` mask, feeding the per-lane dirty gate.
+///
+/// `RECORD` selects trace mode at monomorphization time: `true` pushes a
+/// per-lane [`StmtExec`] into `recorders[l]` for every active-lane
+/// assignment (full-trace mode), `false` compiles the capture away and
+/// tallies per-lane elisions in `elided` instead (verdict mode). Masks,
+/// values, and deferred writes evolve identically either way.
 #[allow(clippy::too_many_arguments)]
-fn exec_bops(
+fn exec_bops<const RECORD: bool>(
     bops: &[BOp],
     code: &BatchCode,
     slab: &mut [BatchValue],
@@ -509,6 +717,7 @@ fn exec_bops(
     changed: &mut [u64],
     m_divergences: &mut u64,
     m_ops: &mut u64,
+    elided: &mut [u64; LANES],
 ) {
     let metas = &code.metas;
     let mut mask = root_mask;
@@ -551,13 +760,17 @@ fn exec_bops(
                     };
                     // Operands are read before the write lands, matching
                     // the scalar engines' record-then-apply order.
-                    recorders[l].push(StmtExec {
-                        stmt: m.stmt,
-                        operands: Operands::capture(m.read_ids.len(), |k| {
-                            values[m.read_ids[k].0 as usize].lane(l)
-                        }),
-                        result: Value::new(write.bits, write.width),
-                    });
+                    if RECORD {
+                        recorders[l].push(StmtExec {
+                            stmt: m.stmt,
+                            operands: Operands::capture(m.read_ids.len(), |k| {
+                                values[m.read_ids[k].0 as usize].lane(l)
+                            }),
+                            result: Value::new(write.bits, write.width),
+                        });
+                    } else {
+                        elided[l] += 1;
+                    }
                     match (&mut deferred, m.nonblocking) {
                         (Some(d), true) => d[l].push(write),
                         _ => {

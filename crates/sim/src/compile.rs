@@ -29,7 +29,7 @@ use crate::eval::{eval_binary, eval_unary, Write};
 use crate::metrics;
 use crate::netlist::{Netlist, Process, SignalId, SignalRole};
 use crate::testbench::Stimulus;
-use crate::trace::{Operands, StmtExec, Trace};
+use crate::trace::{Operands, SignalSet, StmtExec, Trace, VerdictTrace};
 use crate::value::Value;
 use verilog::{Assignment, BinaryOp, Expr, Select, Stmt, StmtId, UnaryOp};
 
@@ -339,7 +339,7 @@ impl Engine {
                 m_comb_evals += 1;
                 let cache = &mut exec_cache[pi];
                 cache.clear();
-                exec_ops(
+                exec_ops::<true>(
                     &code.comb[pi],
                     &code.metas,
                     slab,
@@ -348,6 +348,7 @@ impl Engine {
                     cache,
                     None,
                     &mut m_ops,
+                    &mut 0,
                 );
             }
 
@@ -372,7 +373,7 @@ impl Engine {
             // 4. Clock edge: sequential programs with deferred commits.
             deferred.clear();
             for prog in &code.seq {
-                exec_ops(
+                exec_ops::<true>(
                     prog,
                     &code.metas,
                     slab,
@@ -381,6 +382,7 @@ impl Engine {
                     &mut execs,
                     Some(deferred),
                     &mut m_ops,
+                    &mut 0,
                 );
             }
             for w in deferred.drain(..) {
@@ -404,13 +406,148 @@ impl Engine {
 
         Ok(Trace::assemble(arena.into(), nsig, cycle_execs))
     }
+
+    /// Runs a stimulus in verdict mode: identical value evolution, input
+    /// validation, and cancellation behavior to [`Engine::run`], but no
+    /// [`StmtExec`] records are materialized and only `observed` signals
+    /// are snapshotted per cycle. The dirty-set gate still skips
+    /// clean-fanin processes (skipping is value-neutral), it just no
+    /// longer has records to replay.
+    ///
+    /// # Errors
+    ///
+    /// Exactly the errors [`Engine::run`] reports, at the same points.
+    pub(crate) fn run_verdict(
+        &mut self,
+        netlist: &Netlist,
+        stimulus: &Stimulus,
+        cancel: &CancelToken,
+        observed: &SignalSet,
+    ) -> Result<VerdictTrace, SimError> {
+        let nsig = netlist.signal_count();
+        let code = &*self.code;
+        let State {
+            slab,
+            dirty,
+            deferred,
+            ..
+        } = &mut self.state;
+        let mut values: Vec<Value> = netlist
+            .signals()
+            .iter()
+            .map(|s| Value::zero(s.width))
+            .collect();
+        dirty.clear();
+        dirty.resize(nsig, true);
+        slab.clear();
+        slab.resize(code.slots, Value::bit(false));
+
+        let ncycles = stimulus.vectors.len();
+        let nobs = observed.len();
+        let mut obs_values: Vec<Value> = Vec::with_capacity(ncycles * nobs);
+        let mut m_comb_evals = 0u64;
+        let mut m_comb_skips = 0u64;
+        let mut m_ops = 0u64;
+        let mut elided = 0u64;
+        for (cycle_idx, vector) in stimulus.vectors.iter().enumerate() {
+            let cycle = cycle_idx as u32;
+            if cancel.is_cancelled() {
+                return Err(SimError::Cancelled { at_cycle: cycle });
+            }
+            for (name, bits) in &vector.assigns {
+                let id = netlist
+                    .signal_id(name)
+                    .ok_or_else(|| SimError::UnknownSignal { name: name.clone() })?;
+                if netlist.signal(id).role != SignalRole::Input {
+                    return Err(SimError::NotAnInput { name: name.clone() });
+                }
+                let v = Value::new(*bits, netlist.signal(id).width);
+                if values[id.0 as usize] != v {
+                    values[id.0 as usize] = v;
+                    dirty[id.0 as usize] = true;
+                }
+            }
+
+            for &pi in &code.order {
+                let pi = pi as usize;
+                if cycle_idx != 0 && !code.fanin[pi].iter().any(|&s| dirty[s as usize]) {
+                    m_comb_skips += 1;
+                    continue;
+                }
+                m_comb_evals += 1;
+                exec_ops::<false>(
+                    &code.comb[pi],
+                    &code.metas,
+                    slab,
+                    &mut values,
+                    dirty,
+                    &mut Vec::new(),
+                    None,
+                    &mut m_ops,
+                    &mut elided,
+                );
+            }
+
+            // The O(observed) snapshot: the whole point of verdict mode.
+            for &id in observed.ids() {
+                obs_values.push(values[id.0 as usize]);
+            }
+
+            for d in dirty.iter_mut() {
+                *d = false;
+            }
+
+            deferred.clear();
+            for prog in &code.seq {
+                exec_ops::<false>(
+                    prog,
+                    &code.metas,
+                    slab,
+                    &mut values,
+                    dirty,
+                    &mut Vec::new(),
+                    Some(deferred),
+                    &mut m_ops,
+                    &mut elided,
+                );
+            }
+            for w in deferred.drain(..) {
+                let t = w.target.0 as usize;
+                let cur = values[t];
+                let new = w.apply(cur);
+                if new != cur {
+                    values[t] = new;
+                    dirty[t] = true;
+                }
+            }
+        }
+
+        metrics::CYCLES.add(ncycles as u64);
+        metrics::COMB_EVALS.add(m_comb_evals);
+        metrics::COMB_SKIPS.add(m_comb_skips);
+        metrics::BYTECODE_OPS.add(m_ops);
+        metrics::SEQ_EVALS.add((ncycles * code.seq.len()) as u64);
+        metrics::RECORDS_ELIDED.add(elided);
+
+        Ok(VerdictTrace {
+            values: obs_values,
+            nobs,
+            records_elided: elided,
+        })
+    }
 }
 
 /// Executes one program. Infallible by construction: every condition the
 /// interpreter reports as an error (or panics on in debug builds) was
 /// rejected at compile time.
+///
+/// `RECORD` selects trace mode at monomorphization time: `true` pushes a
+/// [`StmtExec`] per assignment into `recorder` (full-trace mode), `false`
+/// compiles the record push away entirely and tallies the elision in
+/// `elided` instead (verdict mode) — values, dirty bits, and deferred
+/// writes evolve identically either way.
 #[allow(clippy::too_many_arguments)]
-fn exec_ops(
+fn exec_ops<const RECORD: bool>(
     ops: &[Op],
     metas: &[AssignMeta],
     slab: &mut [Value],
@@ -419,6 +556,7 @@ fn exec_ops(
     recorder: &mut Vec<StmtExec>,
     mut deferred: Option<&mut Vec<Write>>,
     op_count: &mut u64,
+    elided: &mut u64,
 ) {
     let mut executed = 0u64;
     let mut pc = 0usize;
@@ -505,13 +643,17 @@ fn exec_ops(
                 };
                 // Operands are read before the write lands, like the
                 // interpreter's record-then-apply order.
-                recorder.push(StmtExec {
-                    stmt: m.stmt,
-                    operands: Operands::capture(m.read_ids.len(), |k| {
-                        values[m.read_ids[k].0 as usize]
-                    }),
-                    result: Value::new(write.bits, write.width),
-                });
+                if RECORD {
+                    recorder.push(StmtExec {
+                        stmt: m.stmt,
+                        operands: Operands::capture(m.read_ids.len(), |k| {
+                            values[m.read_ids[k].0 as usize]
+                        }),
+                        result: Value::new(write.bits, write.width),
+                    });
+                } else {
+                    *elided += 1;
+                }
                 match (&mut deferred, m.nonblocking) {
                     (Some(d), true) => d.push(write),
                     _ => {

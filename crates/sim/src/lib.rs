@@ -54,6 +54,9 @@ pub use eval::{EvalCtx, Write};
 pub use netlist::{Netlist, Process, Signal, SignalId, SignalRole};
 pub use sched::{simulate, EngineKind, Simulator};
 pub use testbench::{InputVector, Stimulus, TestbenchGen};
-pub use trace::{CycleRecord, Execs, ExecsIter, Operands, Snapshot, StmtExec, Trace, TraceLabel};
+pub use trace::{
+    CycleRecord, Execs, ExecsIter, Operands, SignalSet, Snapshot, StmtExec, Trace, TraceLabel,
+    TraceMode, VerdictTrace,
+};
 pub use value::{BatchValue, Value, LANES};
 pub use vcd::to_vcd;

@@ -30,3 +30,9 @@ pub(crate) static RUNS_BATCH: LazyCounter = LazyCounter::new("sim.runs_batch");
 pub(crate) static BATCH_LANES: LazyHistogram = LazyHistogram::new("sim.batch_lanes");
 /// Branch/case points where lanes split onto different paths.
 pub(crate) static MASK_DIVERGENCES: LazyCounter = LazyCounter::new("sim.mask_divergences");
+/// [`crate::trace::StmtExec`] records a verdict-mode run declined to
+/// materialize (best-effort: executed assignments; replay/descriptor
+/// re-use that full mode would also have elided is not re-counted).
+pub(crate) static RECORDS_ELIDED: LazyCounter = LazyCounter::new("sim.records_elided");
+/// Simulations served in verdict (values-only) mode, any engine.
+pub(crate) static RUNS_VERDICT: LazyCounter = LazyCounter::new("sim.runs_verdict");

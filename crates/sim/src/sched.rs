@@ -20,7 +20,7 @@ use crate::error::SimError;
 use crate::eval::{EvalCtx, Write};
 use crate::netlist::{Netlist, Process};
 use crate::testbench::Stimulus;
-use crate::trace::{StmtExec, Trace};
+use crate::trace::{SignalSet, StmtExec, Trace, VerdictTrace};
 use crate::value::{Value, LANES};
 use verilog::Module;
 
@@ -224,6 +224,73 @@ impl Simulator {
         Ok(traces)
     }
 
+    /// Runs a stimulus in [`TraceMode::Verdict`](crate::TraceMode): value
+    /// evolution, input validation, and cancellation behavior identical to
+    /// [`run`](Self::run), but no [`StmtExec`] records are materialized and
+    /// only `observed` signals are snapshotted per cycle. The result is
+    /// exactly the observed columns of the full trace — sufficient to
+    /// decide divergence verdicts and divergence cycles at those signals
+    /// without paying full-trace memory traffic.
+    ///
+    /// # Errors
+    ///
+    /// The same errors as [`run`](Self::run), at the same points.
+    pub fn run_verdict(
+        &mut self,
+        stimulus: &Stimulus,
+        observed: &SignalSet,
+    ) -> Result<VerdictTrace, SimError> {
+        match &mut self.engine {
+            Some(engine) => {
+                crate::metrics::RUNS_COMPILED.incr();
+                crate::metrics::RUNS_VERDICT.incr();
+                engine.run_verdict(&self.netlist, stimulus, &self.cancel, observed)
+            }
+            None => {
+                crate::metrics::RUNS_INTERPRETED.incr();
+                crate::metrics::RUNS_VERDICT.incr();
+                self.run_interpreted_verdict(stimulus, observed)
+            }
+        }
+    }
+
+    /// Runs many stimuli in verdict mode, one [`VerdictTrace`] per
+    /// stimulus in order, batching exactly as [`run_batch`](Self::run_batch)
+    /// does (maximal equal-cycle-count groups of up to [`LANES`] lanes).
+    /// This is the campaign screening pass: the 64-lane compute win with
+    /// none of the trace-production memory traffic.
+    ///
+    /// # Errors
+    ///
+    /// The same errors as [`run_batch`](Self::run_batch); the first failing
+    /// stimulus aborts the remainder.
+    pub fn run_batch_verdict(
+        &mut self,
+        stimuli: &[Stimulus],
+        observed: &SignalSet,
+    ) -> Result<Vec<VerdictTrace>, SimError> {
+        let Some(batch) = &mut self.batch else {
+            return stimuli
+                .iter()
+                .map(|s| self.run_verdict(s, observed))
+                .collect();
+        };
+        let mut verdicts = Vec::with_capacity(stimuli.len());
+        let mut rest = stimuli;
+        while !rest.is_empty() {
+            // Maximal run of equal-cycle-count stimuli, capped at LANES.
+            let cycles = rest[0].vectors.len();
+            let mut take = 1;
+            while take < rest.len().min(LANES) && rest[take].vectors.len() == cycles {
+                take += 1;
+            }
+            let (chunk, tail) = rest.split_at(take);
+            verdicts.extend(batch.run_verdict(&self.netlist, chunk, &self.cancel, observed)?);
+            rest = tail;
+        }
+        Ok(verdicts)
+    }
+
     /// The fixpoint-interpreter path: settle combinational logic by
     /// iteration, then one recording pass per cycle.
     fn run_interpreted(&mut self, stimulus: &Stimulus) -> Result<Trace, SimError> {
@@ -275,6 +342,62 @@ impl Simulator {
         }
         crate::metrics::CYCLES.add(ncycles as u64);
         Ok(Trace::assemble(arena.into(), nsig, cycle_execs))
+    }
+
+    /// The interpreter's verdict path: identical to
+    /// [`run_interpreted`](Self::run_interpreted) except the per-cycle
+    /// recording pass is skipped — at the settle fixpoint it is
+    /// value-neutral, its only output is the records verdict mode elides —
+    /// and only observed signals are snapshotted. `records_elided` is 0
+    /// here (best-effort accounting; the fallback never counts would-be
+    /// records).
+    fn run_interpreted_verdict(
+        &mut self,
+        stimulus: &Stimulus,
+        observed: &SignalSet,
+    ) -> Result<VerdictTrace, SimError> {
+        let mut ctx = EvalCtx::new(&self.netlist);
+        let ncycles = stimulus.vectors.len();
+        let nobs = observed.len();
+        let mut values: Vec<Value> = Vec::with_capacity(ncycles * nobs);
+        for (cycle_idx, vector) in stimulus.vectors.iter().enumerate() {
+            let cycle = cycle_idx as u32;
+            if self.cancel.is_cancelled() {
+                return Err(SimError::Cancelled { at_cycle: cycle });
+            }
+            for (name, bits) in &vector.assigns {
+                let id = self
+                    .netlist
+                    .signal_id(name)
+                    .ok_or_else(|| SimError::UnknownSignal { name: name.clone() })?;
+                if self.netlist.signal(id).role != crate::netlist::SignalRole::Input {
+                    return Err(SimError::NotAnInput { name: name.clone() });
+                }
+                ctx.values[id.0 as usize] = Value::new(*bits, self.netlist.signal(id).width);
+            }
+
+            self.settle_comb(&mut ctx)?;
+
+            for &id in observed.ids() {
+                values.push(ctx.values[id.0 as usize]);
+            }
+
+            let mut deferred: Vec<Write> = Vec::new();
+            for p in &self.netlist.seq {
+                let Process::Seq(blk) = p else { continue };
+                ctx.exec_stmts(&blk.body, Some(&mut deferred), None)?;
+            }
+            for w in deferred {
+                let cur = ctx.values[w.target.0 as usize];
+                ctx.values[w.target.0 as usize] = w.apply(cur);
+            }
+        }
+        crate::metrics::CYCLES.add(ncycles as u64);
+        Ok(VerdictTrace {
+            values,
+            nobs,
+            records_elided: 0,
+        })
     }
 
     fn run_comb_process(
@@ -598,6 +721,73 @@ mod tests {
         // Clearing the token makes the batch runnable again.
         sim.set_cancel(CancelToken::inert());
         assert_eq!(sim.run_batch(&stimuli).unwrap().len(), 5);
+    }
+
+    #[test]
+    fn verdict_mode_matches_full_trace_columns_on_all_engines() {
+        // Divergent control flow + nonblocking state: exercises the dirty
+        // gate, masks, and deferred writes in verdict mode.
+        let src = "module m(input clk, input [1:0] s, input [3:0] a, output reg [3:0] y, output reg [3:0] n);\n\
+                   always @(*) begin\nif (s[0]) y = a + 4'd1; else y = a - 4'd1;\nend\n\
+                   always @(posedge clk) begin\ncase (s)\n2'b00: n <= n + 4'd1;\n2'b01: n <= a;\ndefault: n <= 4'd0;\nendcase\nend\nendmodule";
+        let unit = verilog::parse(src).unwrap();
+        let mut sim = Simulator::new(unit.top()).unwrap();
+        let mut interp = Simulator::interpreted(unit.top()).unwrap();
+        let y = sim.netlist().signal_id("y").unwrap();
+        let n = sim.netlist().signal_id("n").unwrap();
+        let observed = SignalSet::from_ids([n, y]);
+        let gen = crate::testbench::TestbenchGen::new(23);
+        let stimuli = gen.generate_many(sim.netlist(), 9, 7);
+
+        let full: Vec<Trace> = stimuli.iter().map(|s| sim.run(s).unwrap()).collect();
+        let expect = |t: &Trace| VerdictTrace {
+            values: t
+                .cycles
+                .iter()
+                .flat_map(|c| observed.ids().iter().map(|&id| c.value(id)))
+                .collect(),
+            nobs: observed.len(),
+            records_elided: 0,
+        };
+        // Scalar compiled, interpreter, and batch verdict paths all
+        // reproduce exactly the observed columns of the full trace.
+        for (s, t) in stimuli.iter().zip(&full) {
+            assert_eq!(sim.run_verdict(s, &observed).unwrap(), expect(t));
+            assert_eq!(interp.run_verdict(s, &observed).unwrap(), expect(t));
+        }
+        let batched = sim.run_batch_verdict(&stimuli, &observed).unwrap();
+        assert_eq!(batched.len(), full.len());
+        for (v, t) in batched.iter().zip(&full) {
+            assert_eq!(v, &expect(t));
+            assert!(v.records_elided > 0, "batch verdict elides records");
+        }
+    }
+
+    #[test]
+    fn verdict_mode_cancels_and_errors_like_full_mode() {
+        let src = "module m(input clk, input d, output reg q);\n\
+                   always @(posedge clk) q <= d;\nendmodule";
+        let unit = verilog::parse(src).unwrap();
+        let mut sim = Simulator::new(unit.top()).unwrap();
+        let q = sim.netlist().signal_id("q").unwrap();
+        let observed = SignalSet::from_ids([q]);
+        let stimuli = vec![stim(vec![vec![("d", 1)]; 8]); 5];
+        sim.set_cancel(CancelToken::after_polls(2));
+        let err = sim.run_batch_verdict(&stimuli, &observed).unwrap_err();
+        assert!(matches!(err, SimError::Cancelled { at_cycle: 2 }));
+        sim.set_cancel(CancelToken::inert());
+        assert_eq!(sim.run_batch_verdict(&stimuli, &observed).unwrap().len(), 5);
+        // Input validation errors match full mode.
+        let bad = vec![stim(vec![vec![("ghost", 1)]])];
+        assert!(matches!(
+            sim.run_batch_verdict(&bad, &observed).unwrap_err(),
+            SimError::UnknownSignal { name } if name == "ghost"
+        ));
+        assert!(matches!(
+            sim.run_verdict(&stim(vec![vec![("q", 1)]]), &observed)
+                .unwrap_err(),
+            SimError::NotAnInput { .. }
+        ));
     }
 
     #[test]

@@ -408,6 +408,131 @@ impl Trace {
     }
 }
 
+/// A sorted, deduplicated set of signals a verdict-mode run observes.
+///
+/// Verdict simulation snapshots only these signals per cycle; everything
+/// else is computed but never materialized. Construction sorts and dedups,
+/// so two sets built from the same ids in any order are equal and index
+/// positions ([`SignalSet::position`]) are stable.
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct SignalSet {
+    ids: Vec<SignalId>,
+}
+
+impl SignalSet {
+    /// Builds a set from signal ids (order-insensitive, duplicates folded).
+    pub fn from_ids(ids: impl IntoIterator<Item = SignalId>) -> SignalSet {
+        let mut ids: Vec<SignalId> = ids.into_iter().collect();
+        ids.sort_unstable_by_key(|id| id.0);
+        ids.dedup();
+        SignalSet { ids }
+    }
+
+    /// The observed ids in ascending order.
+    pub fn ids(&self) -> &[SignalId] {
+        &self.ids
+    }
+
+    /// Number of observed signals.
+    pub fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// True when nothing is observed.
+    pub fn is_empty(&self) -> bool {
+        self.ids.is_empty()
+    }
+
+    /// True when `id` is observed.
+    pub fn contains(&self, id: SignalId) -> bool {
+        self.position(id).is_some()
+    }
+
+    /// The column index of `id` in verdict snapshots, if observed.
+    pub fn position(&self, id: SignalId) -> Option<usize> {
+        self.ids.binary_search_by_key(&id.0, |s| s.0).ok()
+    }
+}
+
+/// How much of a simulation run to materialize.
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub enum TraceMode {
+    /// Emit per-statement execution records and full per-cycle snapshots —
+    /// everything [`Trace`] carries. This is what datasets and the
+    /// localizer consume.
+    Full,
+    /// Emit **no** execution records and snapshot only `observed` —
+    /// sufficient to decide whether two runs diverge at those signals and
+    /// at which cycles. The hot loop becomes pure compute plus an
+    /// O(observed) per-cycle store.
+    Verdict {
+        /// The signals whose per-cycle values the verdict needs.
+        observed: SignalSet,
+    },
+}
+
+/// The values-only product of a verdict-mode run: per-cycle values of the
+/// observed signals, nothing else.
+///
+/// Values are cycle-major: `values[cycle * nobs + k]` is observed signal
+/// `k` (in [`SignalSet`] order) at `cycle`. Equality compares values and
+/// shape only — `records_elided` is an accounting figure that legitimately
+/// differs between engines (the batch engine's clean-lane skipping elides
+/// a different count than the scalar replay cache) and must not break
+/// bit-identity comparisons.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct VerdictTrace {
+    /// Cycle-major observed values: `values[cycle * nobs + k]`.
+    pub values: Vec<Value>,
+    /// Number of observed signals per cycle.
+    pub nobs: usize,
+    /// How many [`StmtExec`] records full-trace mode would have produced
+    /// that this run never materialized (best-effort; 0 from the
+    /// interpreter fallback).
+    pub records_elided: u64,
+}
+
+impl VerdictTrace {
+    /// Number of simulated cycles.
+    pub fn len(&self) -> usize {
+        self.values.len().checked_div(self.nobs).unwrap_or(0)
+    }
+
+    /// True when no cycles were simulated (or nothing was observed).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Observed signal `k`'s value at `cycle`.
+    pub fn value(&self, cycle: usize, k: usize) -> Value {
+        self.values[cycle * self.nobs + k]
+    }
+
+    /// Cycles (ascending) where `self` and `other` disagree on observed
+    /// column `k`, compared over the shorter run — the verdict-mode
+    /// equivalent of zipping two [`Trace`]s at a target signal.
+    pub fn divergence_cycles(&self, other: &VerdictTrace, k: usize) -> Vec<u32> {
+        let n = self.len().min(other.len());
+        (0..n)
+            .filter(|&c| self.value(c, k) != other.value(c, k))
+            .map(|c| c as u32)
+            .collect()
+    }
+
+    /// True when any observed column disagrees in any shared cycle.
+    pub fn differs_from(&self, other: &VerdictTrace) -> bool {
+        let n = self.len().min(other.len());
+        let nobs = self.nobs.min(other.nobs);
+        (0..n).any(|c| (0..nobs).any(|k| self.value(c, k) != other.value(c, k)))
+    }
+}
+
+impl PartialEq for VerdictTrace {
+    fn eq(&self, other: &Self) -> bool {
+        self.nobs == other.nobs && self.values == other.values
+    }
+}
+
 /// A trace labelled by golden-vs-mutant comparison at a target output.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
 pub enum TraceLabel {
@@ -492,5 +617,189 @@ mod tests {
         assert_eq!(tail.len(), 1);
         assert_eq!(tail, vec![exec(2, 1)].into());
         assert!(Execs::from(Vec::new()).is_empty());
+    }
+
+    #[test]
+    fn signal_set_sorts_dedups_and_positions() {
+        let s = SignalSet::from_ids([SignalId(7), SignalId(2), SignalId(7), SignalId(4)]);
+        assert_eq!(s.ids(), &[SignalId(2), SignalId(4), SignalId(7)]);
+        assert_eq!(s.len(), 3);
+        assert!(s.contains(SignalId(4)));
+        assert!(!s.contains(SignalId(3)));
+        assert_eq!(s.position(SignalId(7)), Some(2));
+        assert_eq!(s.position(SignalId(0)), None);
+        assert_eq!(
+            s,
+            SignalSet::from_ids([SignalId(4), SignalId(7), SignalId(2)])
+        );
+        assert!(SignalSet::from_ids([]).is_empty());
+    }
+
+    #[test]
+    fn verdict_trace_divergence_and_equality() {
+        let v = |vals: &[u64]| vals.iter().map(|&b| Value::new(b, 4)).collect::<Vec<_>>();
+        let a = VerdictTrace {
+            values: v(&[1, 2, 3, 4, 5, 6]),
+            nobs: 2,
+            records_elided: 10,
+        };
+        let b = VerdictTrace {
+            values: v(&[1, 2, 3, 9, 5, 6]),
+            nobs: 2,
+            records_elided: 99,
+        };
+        assert_eq!(a.len(), 3);
+        assert_eq!(a.value(1, 0), Value::new(3, 4));
+        assert_eq!(a.divergence_cycles(&b, 0), Vec::<u32>::new());
+        assert_eq!(a.divergence_cycles(&b, 1), vec![1]);
+        assert!(a.differs_from(&b));
+        // records_elided is accounting, not identity.
+        let mut c = a.clone();
+        c.records_elided = 0;
+        assert_eq!(a, c);
+        assert_ne!(a, b);
+        // Shorter-run comparison only covers shared cycles.
+        let short = VerdictTrace {
+            values: v(&[1, 2]),
+            nobs: 2,
+            records_elided: 0,
+        };
+        assert!(!a.differs_from(&short));
+        assert_eq!(a.divergence_cycles(&short, 1), Vec::<u32>::new());
+    }
+
+    mod execs_properties {
+        //! Property tests for `Execs` logical equality: a segmented view
+        //! over a shared record arena must equal the flat `Vec<StmtExec>`
+        //! holding the same logical record sequence — across arbitrary
+        //! segmentations, descriptor re-use at window boundaries, and
+        //! empty/full segments.
+        use super::*;
+        use proptest::prelude::*;
+
+        /// Record arena + descriptor pool + the flat per-segment expansion.
+        type BuiltArena = (Arc<Vec<StmtExec>>, Arc<Vec<(u32, u32)>>, Vec<Vec<StmtExec>>);
+
+        /// Deterministically expands a seed into a record arena and a
+        /// descriptor pool, returning also the flat expansion of the
+        /// descriptor window `[seg_start, seg_start + seg_len)`.
+        fn build(arena_len: usize, nsegs: usize, seed: u64) -> BuiltArena {
+            let mut state = seed | 1;
+            let mut next = move || {
+                // xorshift64 — cheap, deterministic, no vendored-rand needed.
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                state
+            };
+            let records: Vec<StmtExec> = (0..arena_len)
+                .map(|i| StmtExec {
+                    stmt: StmtId((next() % 8) as u32),
+                    operands: Operands::capture((next() % 6) as usize, |p| {
+                        Value::new(next() ^ p as u64, 16)
+                    }),
+                    result: Value::new(next(), 8 + (i % 32) as u8),
+                })
+                .collect();
+            // Descriptors may overlap, repeat, be empty, or span the whole
+            // arena — exactly the shapes descriptor re-use produces.
+            let segs: Vec<(u32, u32)> = (0..nsegs)
+                .map(|_| {
+                    let start = (next() as usize) % (arena_len + 1);
+                    let len = (next() as usize) % (arena_len - start + 1);
+                    (start as u32, len as u32)
+                })
+                .collect();
+            let expansions = segs
+                .iter()
+                .map(|&(s, n)| records[s as usize..(s + n) as usize].to_vec())
+                .collect();
+            (Arc::new(records), Arc::new(segs), expansions)
+        }
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(64))]
+
+            /// Any descriptor window equals the flat vector of its
+            /// logical expansion, and lengths agree.
+            #[test]
+            fn segmented_equals_flat(
+                arena_len in 1usize..12,
+                nsegs in 1usize..8,
+                seed in 0u64..u64::MAX,
+                window in (0usize..8, 1usize..4),
+            ) {
+                let (records, segs, expansions) = build(arena_len, nsegs, seed);
+                let seg_start = window.0 % nsegs;
+                let seg_len = window.1.min(nsegs - seg_start);
+                let view = Execs::from_parts(
+                    records,
+                    segs,
+                    seg_start as u32,
+                    seg_len as u32,
+                );
+                let flat: Vec<StmtExec> = expansions[seg_start..seg_start + seg_len]
+                    .iter()
+                    .flatten()
+                    .cloned()
+                    .collect();
+                prop_assert_eq!(view.len(), flat.len());
+                prop_assert_eq!(view.is_empty(), flat.is_empty());
+                prop_assert_eq!(view, Execs::from(flat));
+            }
+
+            /// Two adjacent windows sharing a descriptor boundary expand to
+            /// the same records as the combined window — descriptor re-use
+            /// at boundaries never drops or duplicates records.
+            #[test]
+            fn windows_compose_at_boundaries(
+                arena_len in 1usize..10,
+                nsegs in 2usize..8,
+                seed in 0u64..u64::MAX,
+                cut in 1usize..7,
+            ) {
+                let (records, segs, expansions) = build(arena_len, nsegs, seed);
+                let cut = 1 + (cut % (nsegs - 1));
+                let left = Execs::from_parts(records.clone(), segs.clone(), 0, cut as u32);
+                let right = Execs::from_parts(
+                    records.clone(),
+                    segs.clone(),
+                    cut as u32,
+                    (nsegs - cut) as u32,
+                );
+                let whole = Execs::from_parts(records, segs, 0, nsegs as u32);
+                let glued: Vec<StmtExec> =
+                    left.iter().chain(right.iter()).cloned().collect();
+                prop_assert_eq!(whole.len(), left.len() + right.len());
+                prop_assert_eq!(whole, Execs::from(glued));
+                let flat_all: Vec<StmtExec> =
+                    expansions.iter().flatten().cloned().collect();
+                prop_assert_eq!(left.iter().count() + right.iter().count(), flat_all.len());
+            }
+
+            /// Perturbing any single expanded record breaks equality —
+            /// logical equality is exact, not structural-shape equality.
+            #[test]
+            fn equality_is_exact(
+                arena_len in 1usize..8,
+                nsegs in 1usize..5,
+                seed in 0u64..u64::MAX,
+                victim in 0usize..64,
+            ) {
+                let (records, segs, expansions) = build(arena_len, nsegs, seed);
+                let view = Execs::from_parts(records, segs, 0, nsegs as u32);
+                let mut flat: Vec<StmtExec> =
+                    expansions.iter().flatten().cloned().collect();
+                if flat.is_empty() {
+                    // All-empty segments: equal to the empty flat vector.
+                    prop_assert_eq!(view, Execs::from(flat));
+                } else {
+                    let i = victim % flat.len();
+                    let bumped = flat[i].result.bits().wrapping_add(1);
+                    flat[i].result = Value::new(bumped, flat[i].result.width());
+                    prop_assert_ne!(view, Execs::from(flat));
+                }
+            }
+        }
     }
 }
