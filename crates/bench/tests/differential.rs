@@ -148,8 +148,9 @@ fn pipeline_fingerprint(corpus: &[Module]) -> (Vec<Trace>, Vec<u32>) {
 /// Enabling metrics/span collection must never perturb pipeline results:
 /// the obs layer is observation-only (per-thread shards merged by
 /// commutative addition, spans off the hot path). Compares traces, exec
-/// records, and training losses bit-for-bit between an obs-off and an
-/// obs-on run at 1/2/8 threads.
+/// records, and training losses bit-for-bit between an obs-off run and an
+/// obs-on run **inside a live trace** (span-tree capture plus per-trace
+/// counter attribution active, as in `veribug serve`) at 1/2/8 threads.
 #[test]
 fn obs_collection_never_perturbs_results() {
     let corpus: Vec<Module> = Generator::new(RvdgConfig::default(), 0x0B5_D1FF)
@@ -164,17 +165,23 @@ fn obs_collection_never_perturbs_results() {
             obs::set_enabled(false);
             let off = pipeline_fingerprint(&corpus);
             obs::set_enabled(true);
-            let on = pipeline_fingerprint(&corpus);
+            let scope =
+                obs::live::begin(&format!("differential-{threads}"), "TEST", "/differential");
+            let on = {
+                let _span = obs::span("serve.request");
+                pipeline_fingerprint(&corpus)
+            };
+            scope.finish(200);
             obs::set_enabled(was_enabled);
             (off, on)
         });
         assert_eq!(
             off.0, on.0,
-            "traces/exec records perturbed by obs collection at {threads} threads"
+            "traces/exec records perturbed by live telemetry at {threads} threads"
         );
         assert_eq!(
             off.1, on.1,
-            "training losses perturbed by obs collection at {threads} threads"
+            "training losses perturbed by live telemetry at {threads} threads"
         );
     }
 }

@@ -7,6 +7,14 @@
 //! obs_validate obs.json --require-span simulate --require-counter-nonzero sim.comb_skips
 //! ```
 //!
+//! `--tracez` switches to the live `/tracez` page schema served by
+//! `veribug serve` (the CI serve job curls the endpoint and validates the
+//! capture):
+//!
+//! ```text
+//! obs_validate --tracez tracez.json --require-span serve.request
+//! ```
+//!
 //! Exit status is nonzero on a schema violation or an unmet requirement.
 
 use std::process::ExitCode;
@@ -16,10 +24,12 @@ use veribug_obs::validate;
 fn main() -> ExitCode {
     let mut args = std::env::args().skip(1);
     let mut path = None;
+    let mut tracez = false;
     let mut require_spans = Vec::new();
     let mut require_counters = Vec::new();
     while let Some(arg) = args.next() {
         match arg.as_str() {
+            "--tracez" => tracez = true,
             "--require-span" => match args.next() {
                 Some(name) => require_spans.push(name),
                 None => return usage("--require-span needs a value"),
@@ -43,7 +53,9 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    let result = if path.ends_with(".jsonl") {
+    let result = if tracez {
+        validate::tracez(&src)
+    } else if path.ends_with(".jsonl") {
         validate::jsonl(&src)
     } else {
         validate::chrome_trace(&src)
@@ -92,7 +104,7 @@ fn usage(err: &str) -> ExitCode {
         eprintln!("obs_validate: {err}");
     }
     eprintln!(
-        "usage: obs_validate <trace.json|trace.jsonl> \
+        "usage: obs_validate [--tracez] <trace.json|trace.jsonl> \
          [--require-span NAME]... [--require-counter-nonzero NAME]..."
     );
     if err.is_empty() {

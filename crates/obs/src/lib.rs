@@ -42,7 +42,9 @@
 
 pub mod export;
 pub mod json;
+pub mod live;
 mod metrics;
+pub mod rolling;
 mod span;
 mod state;
 pub mod validate;
@@ -61,6 +63,11 @@ static ENABLED: AtomicBool = AtomicBool::new(false);
 static QUIET: AtomicBool = AtomicBool::new(false);
 /// Output path configured by [`init`]; consumed by [`report`].
 static OUT_PATH: Mutex<Option<String>> = Mutex::new(None);
+/// Set once [`report`] has emitted; later calls are no-ops. Makes at-exit
+/// reporting idempotent when more than one path reaches it (e.g. `veribug
+/// serve` draining via `/v1/shutdown` and then returning through `main`'s
+/// unconditional `report()` call).
+static REPORTED: AtomicBool = AtomicBool::new(false);
 
 /// True when observability collection is on.
 #[inline]
@@ -146,13 +153,25 @@ pub fn reset() {
     state::reset();
 }
 
+/// True when [`init`] configured an output path that [`report`] will
+/// write. Lets embedders that *might* report early (e.g. a server drain
+/// path) decide whether reporting is worthwhile at all.
+pub fn output_configured() -> bool {
+    OUT_PATH.lock().expect("obs path lock").is_some()
+}
+
 /// Writes the configured report file (if [`init`] configured one) and
 /// prints the human-readable summary table to stderr (unless quiet).
 ///
-/// Returns the path written, if any. Call once at process exit; calling
-/// with collection disabled is a no-op returning `None`.
+/// Returns the path written, if any. Emission is idempotent: the first
+/// call that runs with collection enabled emits, every later call is a
+/// no-op returning `None` — so a drain path and the at-exit path can both
+/// call this without double-rendering the summary.
 pub fn report() -> Option<String> {
     if !enabled() {
+        return None;
+    }
+    if REPORTED.swap(true, Ordering::SeqCst) {
         return None;
     }
     let report = snapshot();

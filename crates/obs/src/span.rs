@@ -87,48 +87,73 @@ impl Drop for SpanGuard {
     }
 }
 
-/// The calling thread's current span id, for propagation into worker
-/// threads. Cheap to capture and `Send`.
+/// The calling thread's current span id and live-trace key, for
+/// propagation into worker threads. Cheap to capture and `Send`.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct SpanContext {
     parent: u64,
+    trace: u64,
 }
 
-/// Captures the current span as a context that can be handed to another
-/// thread. Returns the root context while collection is disabled.
+/// Captures the current span (and live-trace key, when a request trace is
+/// active) as a context that can be handed to another thread. Returns the
+/// root context while collection is disabled.
 pub fn current_context() -> SpanContext {
     if !crate::enabled() {
         return SpanContext::default();
     }
-    SpanContext {
-        parent: TLS.with(|t| t.borrow().stack.last().copied().unwrap_or(0)),
-    }
+    TLS.with(|t| {
+        let t = t.borrow();
+        SpanContext {
+            parent: t.stack.last().copied().unwrap_or(0),
+            trace: t.trace,
+        }
+    })
 }
 
-/// Runs `f` with `ctx` installed as the thread's base span parent, so spans
-/// and events recorded inside nest under the capturing thread's span.
-/// Used by `veribug-par` to keep fan-out work attached to the campaign /
-/// training span that spawned it.
+/// Runs `f` with `ctx` installed as the thread's base span parent and
+/// live-trace key, so spans and counters recorded inside nest under the
+/// capturing thread's span *and* attribute to its request trace. Used by
+/// `veribug-par` to keep fan-out work attached to the campaign / training
+/// span (and the serving request) that spawned it.
 pub fn with_context<R>(ctx: SpanContext, f: impl FnOnce() -> R) -> R {
-    if ctx.parent == 0 {
+    if ctx.parent == 0 && ctx.trace == 0 {
         return f();
     }
-    TLS.with(|t| t.borrow_mut().stack.push(ctx.parent));
     // Restore on unwind as well, so a panicking task cannot corrupt the
-    // thread's stack for subsequent reuse.
-    struct PopOnDrop(u64);
-    impl Drop for PopOnDrop {
+    // thread's stack or trace attribution for subsequent reuse.
+    struct RestoreOnDrop {
+        parent: u64,
+        prev_trace: Option<u64>,
+    }
+    impl Drop for RestoreOnDrop {
         fn drop(&mut self) {
-            TLS.with(|t| {
-                let mut t = t.borrow_mut();
-                while let Some(top) = t.stack.pop() {
-                    if top == self.0 {
-                        break;
+            if self.parent != 0 {
+                TLS.with(|t| {
+                    let mut t = t.borrow_mut();
+                    while let Some(top) = t.stack.pop() {
+                        if top == self.parent {
+                            break;
+                        }
                     }
-                }
-            });
+                });
+            }
+            if let Some(prev) = self.prev_trace {
+                state::set_thread_trace(prev);
+            }
         }
     }
-    let _guard = PopOnDrop(ctx.parent);
+    let prev_trace = if ctx.trace != 0 {
+        Some(state::set_thread_trace(ctx.trace))
+    } else {
+        None
+    };
+    if ctx.parent != 0 {
+        TLS.with(|t| t.borrow_mut().stack.push(ctx.parent));
+    }
+    let _guard = RestoreOnDrop {
+        parent: ctx.parent,
+        prev_trace,
+    };
     f()
 }

@@ -13,6 +13,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Mutex, OnceLock};
 use std::time::Instant;
 
+use crate::live::TraceSpan;
 use crate::metrics::{registry_kinds, HistData, HistSummary, MetricKind};
 
 /// A span or event name: almost always a `&'static str`, occasionally
@@ -168,6 +169,15 @@ pub(crate) fn next_span_id() -> u64 {
     NEXT_SPAN_ID.fetch_add(1, Ordering::Relaxed)
 }
 
+/// Trace data drained from one thread: spans tagged with their trace key,
+/// plus the per-trace counter shard (if any delta accumulated).
+pub(crate) type TraceDrain = (Vec<(u64, TraceSpan)>, Option<(u64, Vec<u64>)>);
+
+/// Per-thread trace-span buffer flush threshold: keeps the buffer bounded
+/// while a long request runs, without touching the live-trace lock on
+/// every span.
+const TRACE_SPAN_FLUSH: usize = 1024;
+
 /// Per-thread buffers, flushed on thread exit.
 pub(crate) struct ThreadBuf {
     pub(crate) tid: u64,
@@ -178,6 +188,15 @@ pub(crate) struct ThreadBuf {
     counters: Vec<u64>,
     /// Histogram shard, indexed by metric registry index.
     hists: Vec<HistData>,
+    /// Live-trace key spans and counters on this thread attribute to
+    /// (0 = none). Installed by `live::begin` / `with_context`.
+    pub(crate) trace: u64,
+    /// Completed spans awaiting routing into their trace, each tagged with
+    /// the trace key current when it was recorded.
+    trace_spans: Vec<(u64, TraceSpan)>,
+    /// Per-trace counter shard, indexed by metric registry index;
+    /// attributed to `trace` and flushed on trace switch.
+    trace_counters: Vec<u64>,
 }
 
 impl ThreadBuf {
@@ -188,7 +207,25 @@ impl ThreadBuf {
             events: Vec::new(),
             counters: Vec::new(),
             hists: Vec::new(),
+            trace: 0,
+            trace_spans: Vec::new(),
+            trace_counters: Vec::new(),
         }
+    }
+
+    /// Takes the pending trace spans and (if any delta accumulated) the
+    /// per-trace counter shard, for routing via `live::absorb`. Must be
+    /// called *outside* the global sink lock — `absorb` takes the live
+    /// lock and the two must never nest.
+    fn take_trace(&mut self) -> TraceDrain {
+        let spans = std::mem::take(&mut self.trace_spans);
+        let shard = if self.trace != 0 && self.trace_counters.iter().any(|&c| c != 0) {
+            Some((self.trace, std::mem::take(&mut self.trace_counters)))
+        } else {
+            self.trace_counters.clear();
+            None
+        };
+        (spans, shard)
     }
 
     fn flush_into(&mut self, g: &mut Global) {
@@ -222,6 +259,10 @@ impl Drop for ThreadBuf {
                 self.flush_into(&mut g);
             }
         }
+        let (spans, shard) = self.take_trace();
+        if !spans.is_empty() || shard.is_some() {
+            crate::live::absorb(spans, shard);
+        }
     }
 }
 
@@ -229,11 +270,26 @@ thread_local! {
     pub(crate) static TLS: RefCell<ThreadBuf> = RefCell::new(ThreadBuf::new());
 }
 
-/// Records a completed span into the calling thread's buffer.
+/// Records a completed span into the calling thread's buffer (and, when a
+/// live trace is installed, into the thread's trace buffer as well).
 pub(crate) fn record_span(name: Name, id: u64, parent: u64, ts_us: u64, dur_us: u64) {
-    TLS.with(|t| {
+    let overflow = TLS.with(|t| {
         let mut t = t.borrow_mut();
         let tid = t.tid;
+        if t.trace != 0 {
+            let trace = t.trace;
+            t.trace_spans.push((
+                trace,
+                TraceSpan {
+                    name: name.clone(),
+                    tid,
+                    id,
+                    parent,
+                    ts_us,
+                    dur_us,
+                },
+            ));
+        }
         t.events.push(Event::Span {
             name,
             tid,
@@ -242,7 +298,36 @@ pub(crate) fn record_span(name: Name, id: u64, parent: u64, ts_us: u64, dur_us: 
             ts_us,
             dur_us,
         });
+        if t.trace_spans.len() >= TRACE_SPAN_FLUSH {
+            Some(std::mem::take(&mut t.trace_spans))
+        } else {
+            None
+        }
     });
+    if let Some(spans) = overflow {
+        crate::live::absorb(spans, None);
+    }
+}
+
+/// Installs `key` as the calling thread's live-trace key, returning the
+/// previous key. Flushes the per-trace counter shard of the outgoing trace
+/// first, so deltas never leak across traces on reused pool threads.
+pub(crate) fn set_thread_trace(key: u64) -> u64 {
+    let (prev, shard) = TLS.with(|t| {
+        let mut t = t.borrow_mut();
+        let prev = t.trace;
+        let shard = if prev != key && prev != 0 && t.trace_counters.iter().any(|&c| c != 0) {
+            Some((prev, std::mem::take(&mut t.trace_counters)))
+        } else {
+            None
+        };
+        t.trace = key;
+        (prev, shard)
+    });
+    if shard.is_some() {
+        crate::live::absorb(Vec::new(), shard);
+    }
+    prev
 }
 
 /// Records a named numeric instant event (e.g. a per-epoch loss) under the
@@ -276,7 +361,8 @@ fn push_instant(name: Name, value: Option<f64>, msg: Option<String>) {
     });
 }
 
-/// Adds `n` to the counter shard slot `idx`.
+/// Adds `n` to the counter shard slot `idx` (and the per-trace shard when
+/// a live trace is installed).
 pub(crate) fn shard_counter_add(idx: usize, n: u64) {
     TLS.with(|t| {
         let mut t = t.borrow_mut();
@@ -284,6 +370,12 @@ pub(crate) fn shard_counter_add(idx: usize, n: u64) {
             t.counters.resize(idx + 1, 0);
         }
         t.counters[idx] += n;
+        if t.trace != 0 {
+            if t.trace_counters.len() <= idx {
+                t.trace_counters.resize(idx + 1, 0);
+            }
+            t.trace_counters[idx] += n;
+        }
     });
 }
 
@@ -316,12 +408,20 @@ pub(crate) fn gauge_set(idx: usize, v: f64) {
 /// after the scope exits. `veribug-par` calls this at the end of every
 /// worker; the TLS drop remains a safety net for plain spawned threads.
 pub fn flush_thread() {
+    let (spans, shard) = TLS.with(|t| t.borrow_mut().take_trace());
+    if !spans.is_empty() || shard.is_some() {
+        crate::live::absorb(spans, shard);
+    }
     let mut g = GLOBAL.lock().expect("obs global lock");
     TLS.with(|t| t.borrow_mut().flush_into(&mut g));
 }
 
 /// Flushes the calling thread and assembles the merged [`Report`].
 pub(crate) fn snapshot() -> Report {
+    let (spans, shard) = TLS.with(|t| t.borrow_mut().take_trace());
+    if !spans.is_empty() || shard.is_some() {
+        crate::live::absorb(spans, shard);
+    }
     let mut g = GLOBAL.lock().expect("obs global lock");
     TLS.with(|t| t.borrow_mut().flush_into(&mut g));
     let mut events = g.events.clone();
@@ -364,5 +464,7 @@ pub(crate) fn reset() {
         t.events.clear();
         t.counters.clear();
         t.hists.clear();
+        t.trace_spans.clear();
+        t.trace_counters.clear();
     });
 }

@@ -163,6 +163,113 @@ pub fn jsonl(src: &str) -> Result<Validated, String> {
     Ok(v)
 }
 
+/// Validates a `/tracez` JSON page as served by `veribug serve`.
+///
+/// Checks the envelope (`ring` occupancy object + `traces` array), then
+/// every trace: required identity fields, a known `keep` verdict
+/// consistent with `sampled`, digests carrying no span tree, span records
+/// with the full field set and in-trace parent linkage (skipped when the
+/// trace reports dropped spans), and numeric counter attributions.
+///
+/// The returned [`Validated`] counts every span as an event, collects
+/// distinct span names, and sums counter attributions across traces.
+///
+/// # Errors
+///
+/// Returns a description of the first schema violation.
+pub fn tracez(src: &str) -> Result<Validated, String> {
+    let doc = json::parse(src)?;
+    let ring = doc.get("ring").ok_or("missing `ring`")?;
+    for field in ["retained", "sampled", "active"] {
+        ring.get(field)
+            .and_then(Json::as_num)
+            .ok_or_else(|| format!("ring: bad or missing `{field}`"))?;
+    }
+    let traces = doc
+        .get("traces")
+        .ok_or("missing `traces`")?
+        .as_arr()
+        .ok_or("`traces` is not an array")?;
+    let mut v = Validated::default();
+    for (i, t) in traces.iter().enumerate() {
+        let ctx = |field: &str| format!("traces[{i}]: bad or missing `{field}`");
+        for field in ["id", "method", "path"] {
+            t.get(field)
+                .and_then(Json::as_str)
+                .ok_or_else(|| ctx(field))?;
+        }
+        for field in ["seq", "status", "start_us", "dur_us", "dropped_spans"] {
+            t.get(field)
+                .and_then(Json::as_num)
+                .ok_or_else(|| ctx(field))?;
+        }
+        let keep = t
+            .get("keep")
+            .and_then(Json::as_str)
+            .ok_or_else(|| ctx("keep"))?;
+        if !matches!(keep, "error" | "slow" | "digest") {
+            return Err(format!("traces[{i}]: unknown keep verdict `{keep}`"));
+        }
+        let sampled = t
+            .get("sampled")
+            .and_then(Json::as_bool)
+            .ok_or_else(|| ctx("sampled"))?;
+        if sampled == (keep == "digest") {
+            return Err(format!(
+                "traces[{i}]: `sampled`={sampled} contradicts keep=`{keep}`"
+            ));
+        }
+        let spans = t
+            .get("spans")
+            .ok_or_else(|| ctx("spans"))?
+            .as_arr()
+            .ok_or_else(|| ctx("spans"))?;
+        if keep == "digest" && !spans.is_empty() {
+            return Err(format!("traces[{i}]: digest trace carries a span tree"));
+        }
+        let mut ids = Vec::with_capacity(spans.len());
+        for (j, s) in spans.iter().enumerate() {
+            let sctx = |field: &str| format!("traces[{i}].spans[{j}]: bad or missing `{field}`");
+            let name = s
+                .get("name")
+                .and_then(Json::as_str)
+                .ok_or_else(|| sctx("name"))?;
+            for field in ["tid", "id", "parent", "ts_us", "dur_us"] {
+                s.get(field)
+                    .and_then(Json::as_num)
+                    .ok_or_else(|| sctx(field))?;
+            }
+            ids.push(s.get("id").and_then(Json::as_num).unwrap_or(0.0));
+            v.events += 1;
+            v.span_names.push(name.to_owned());
+        }
+        let dropped = t.get("dropped_spans").and_then(Json::as_num).unwrap_or(0.0);
+        if dropped == 0.0 {
+            for (j, s) in spans.iter().enumerate() {
+                let parent = s.get("parent").and_then(Json::as_num).unwrap_or(0.0);
+                if parent != 0.0 && !ids.contains(&parent) {
+                    return Err(format!(
+                        "traces[{i}].spans[{j}]: parent {parent} not in trace"
+                    ));
+                }
+            }
+        }
+        let counters = t
+            .get("counters")
+            .and_then(Json::as_obj)
+            .ok_or_else(|| ctx("counters"))?;
+        for (name, value) in counters {
+            let n = value
+                .as_num()
+                .ok_or_else(|| format!("traces[{i}]: counter `{name}` is not a number"))?;
+            *v.counters.entry(name.clone()).or_insert(0.0) += n;
+        }
+    }
+    v.span_names.sort();
+    v.span_names.dedup();
+    Ok(v)
+}
+
 fn metrics_counters(metrics: &Json) -> Result<BTreeMap<String, f64>, String> {
     let counters = metrics
         .get("counters")
@@ -210,6 +317,58 @@ mod tests {
         let r = live_report();
         let v = jsonl(&export::jsonl(&r)).expect("valid");
         assert!(v.span_names.iter().any(|n| n == "validate.test_stage"));
+    }
+
+    #[test]
+    fn tracez_page_validates() {
+        let good = r#"{
+            "ring": {"retained": 2, "sampled": 1, "active": 0},
+            "traces": [
+                {"id": "abc123", "seq": 2, "method": "POST", "path": "/v1/localize",
+                 "status": 200, "start_us": 10, "dur_us": 250, "keep": "slow",
+                 "sampled": true, "dropped_spans": 0,
+                 "spans": [
+                    {"name": "serve.request", "tid": 1, "id": 7, "parent": 0, "ts_us": 10, "dur_us": 250},
+                    {"name": "serve.cache", "tid": 1, "id": 8, "parent": 7, "ts_us": 12, "dur_us": 3}
+                 ],
+                 "counters": {"sim.cycles": 64}},
+                {"id": "def456", "seq": 1, "method": "GET", "path": "/healthz",
+                 "status": 200, "start_us": 1, "dur_us": 5, "keep": "digest",
+                 "sampled": false, "dropped_spans": 0, "spans": [], "counters": {}}
+            ]
+        }"#;
+        let v = tracez(good).expect("valid tracez page");
+        assert_eq!(v.events, 2);
+        assert_eq!(v.span_names, ["serve.cache", "serve.request"]);
+        assert_eq!(v.counters.get("sim.cycles"), Some(&64.0));
+    }
+
+    #[test]
+    fn corrupt_tracez_is_rejected() {
+        assert!(tracez("{}").is_err(), "missing envelope");
+        assert!(
+            tracez(r#"{"ring": {"retained": 0, "sampled": 0, "active": 0}, "traces": [{}]}"#)
+                .is_err(),
+            "trace missing fields"
+        );
+        // `sampled` contradicting the keep verdict.
+        let contradiction = r#"{
+            "ring": {"retained": 1, "sampled": 0, "active": 0},
+            "traces": [{"id": "x", "seq": 1, "method": "GET", "path": "/healthz",
+              "status": 200, "start_us": 0, "dur_us": 1, "keep": "digest",
+              "sampled": true, "dropped_spans": 0, "spans": [], "counters": {}}]
+        }"#;
+        assert!(tracez(contradiction).is_err());
+        // A span whose parent is not part of the trace.
+        let orphan = r#"{
+            "ring": {"retained": 1, "sampled": 1, "active": 0},
+            "traces": [{"id": "x", "seq": 1, "method": "GET", "path": "/healthz",
+              "status": 500, "start_us": 0, "dur_us": 1, "keep": "error",
+              "sampled": true, "dropped_spans": 0,
+              "spans": [{"name": "s", "tid": 0, "id": 2, "parent": 99, "ts_us": 0, "dur_us": 1}],
+              "counters": {}}]
+        }"#;
+        assert!(tracez(orphan).is_err());
     }
 
     #[test]

@@ -11,7 +11,7 @@ use obs::json::{self, Json};
 use veribug::{LocalizeOptions, LocalizeReport};
 
 /// A structured error answer; rendered as
-/// `{"error":{"status":...,"kind":...,"message":...[,"line":...,"col":...]}}`.
+/// `{"error":{"status":...,"kind":...,"message":...[,"line":...,"col":...][,"request_id":...]}}`.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ApiError {
     /// The HTTP status to answer with.
@@ -25,6 +25,9 @@ pub struct ApiError {
     pub line: Option<u32>,
     /// 1-based source column for Verilog parse errors.
     pub col: Option<u32>,
+    /// The request ID (also echoed in `x-veribug-request-id`), so a client
+    /// can correlate an error with its `/tracez` entry.
+    pub request_id: Option<String>,
 }
 
 impl ApiError {
@@ -36,6 +39,7 @@ impl ApiError {
             message: message.into(),
             line: None,
             col: None,
+            request_id: None,
         }
     }
 
@@ -43,6 +47,12 @@ impl ApiError {
     pub fn at(mut self, span: verilog::Span) -> ApiError {
         self.line = Some(span.line);
         self.col = Some(span.col);
+        self
+    }
+
+    /// Attaches the request ID for `/tracez` correlation.
+    pub fn with_request_id(mut self, id: impl Into<String>) -> ApiError {
+        self.request_id = Some(id.into());
         self
     }
 
@@ -59,6 +69,10 @@ impl ApiError {
         }
         if let Some(col) = self.col {
             let _ = std::fmt::Write::write_fmt(&mut out, format_args!(",\"col\":{col}"));
+        }
+        if let Some(id) = &self.request_id {
+            out.push_str(",\"request_id\":");
+            json::write_str(&mut out, id);
         }
         out.push_str("}}\n");
         out

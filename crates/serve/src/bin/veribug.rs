@@ -11,6 +11,7 @@
 //! veribug vcd      --design f.v [--cycles N] [--seed S] --out trace.vcd
 //! veribug serve    [--addr HOST:PORT] [--workers N] [--queue N] [--cache N]
 //!                  [--deadline-ms N] [--max-body N] [--model model.vbm]
+//!                  [--access-log] [--debug-endpoints]
 //! veribug --version
 //! ```
 //!
@@ -92,6 +93,7 @@ USAGE:
   veribug vcd      --design f.v [--cycles N] [--seed S] --out trace.vcd
   veribug serve    [--addr HOST:PORT] [--workers N] [--queue N] [--cache N]
                    [--deadline-ms N] [--max-body N] [--model model.vbm]
+                   [--access-log] [--debug-endpoints]
   veribug --version
 
 Every subcommand also accepts:
@@ -160,6 +162,8 @@ const COMMANDS: &[Command] = &[
             "deadline-ms",
             "max-body",
             "model",
+            "access-log",
+            "debug-endpoints",
         ],
         run: cmd_serve,
     },
@@ -416,6 +420,9 @@ fn cmd_serve(opts: &HashMap<String, String>) -> CmdResult {
         )?),
         max_body_bytes: numeric(opts, "max-body", defaults.max_body_bytes)?,
         model_path: opts.get("model").cloned(),
+        telemetry: true,
+        access_log: opts.contains_key("access-log"),
+        debug_endpoints: opts.contains_key("debug-endpoints"),
     };
     let workers = config.workers;
     let server = Server::bind(config)?;

@@ -33,6 +33,17 @@ impl Request {
             .find(|(n, _)| n == name)
             .map(|(_, v)| v.as_str())
     }
+
+    /// First value of a query parameter (`?key=value&...`). Values are
+    /// returned verbatim — no percent-decoding; the debug endpoints that
+    /// use this take identifiers from a charset that never needs escaping.
+    pub fn query_param(&self, key: &str) -> Option<&str> {
+        let (_, query) = self.path.split_once('?')?;
+        query.split('&').find_map(|pair| {
+            let (k, v) = pair.split_once('=').unwrap_or((pair, ""));
+            (k == key).then_some(v)
+        })
+    }
 }
 
 /// Why a request could not be read.

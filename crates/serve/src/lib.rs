@@ -19,21 +19,31 @@
 //!   panicking handler answers `500` without taking down the listener;
 //! - **graceful shutdown** — `POST /v1/shutdown` stops the accept loop,
 //!   drains queued and in-flight requests, then returns from
-//!   [`server::Server::run`].
+//!   [`server::Server::run`];
+//! - **live request telemetry** — every request gets a trace ID (honored
+//!   from `x-veribug-request-id` or minted), echoed on every response and
+//!   attached to error bodies; completed requests are tail-sampled into an
+//!   in-memory ring of span trees and folded into rolling per-endpoint
+//!   windows, served by the `/tracez` and `/statusz` debug pages
+//!   ([`telemetry`]).
 //!
 //! ## Endpoints
 //!
-//! | Route               | Meaning                                           |
-//! |---------------------|---------------------------------------------------|
-//! | `POST /v1/localize` | golden+buggy source → ranked suspect statements   |
-//! | `POST /v1/analyze`  | design source → dependencies, slice, COI summary  |
-//! | `GET /healthz`      | liveness + pool/cache occupancy                   |
-//! | `GET /metricsz`     | `veribug-obs` counters/gauges/histograms as JSON  |
-//! | `POST /v1/shutdown` | begin graceful drain                              |
+//! | Route                 | Meaning                                           |
+//! |-----------------------|---------------------------------------------------|
+//! | `POST /v1/localize`   | golden+buggy source → ranked suspect statements   |
+//! | `POST /v1/analyze`    | design source → dependencies, slice, COI summary  |
+//! | `GET /healthz`        | liveness + build info + pool/cache occupancy      |
+//! | `GET /metricsz`       | `veribug-obs` counters/gauges/histograms as JSON  |
+//! | `GET /statusz`        | rolling per-endpoint latency/status/stage window  |
+//! | `GET /tracez`         | recent tail-sampled traces (`?n=`, `&fmt=text`)   |
+//! | `GET /tracez/export`  | one trace (`?id=`) as a Perfetto chrome-trace     |
+//! | `POST /v1/shutdown`   | begin graceful drain                              |
 //!
 //! Responses are deterministic: two identical `/v1/localize` requests
 //! produce byte-identical bodies whether they hit the design cache or not
-//! (cache status travels in the `x-veribug-cache` response *header*).
+//! (cache status travels in the `x-veribug-cache` response *header*, and
+//! the request ID in `x-veribug-request-id` — never a 200 body).
 
 #![warn(missing_docs)]
 
@@ -42,6 +52,7 @@ pub mod cache;
 pub mod http;
 pub mod pool;
 pub mod server;
+pub mod telemetry;
 
 pub use cache::DesignCache;
 pub use pool::{Pool, SubmitError};

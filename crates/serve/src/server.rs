@@ -9,6 +9,15 @@
 //! itself), a panic inside a handler answers `500` without killing the
 //! worker, and a fired deadline answers `504`.
 //!
+//! Every request carries a **request ID** — honored from an
+//! `x-veribug-request-id` header when the client sends a well-formed one,
+//! minted otherwise — echoed on every response (error paths included) and
+//! attached to structured error bodies. The whole request runs under a
+//! live trace ([`obs::live`]): its span tree and counter deltas, including
+//! work fanned out through `veribug-par`, are attributed to the ID and
+//! tail-sampled into the `/tracez` ring, and its latency/status/stage
+//! breakdown feeds the rolling window `/statusz` serves.
+//!
 //! Shutdown is cooperative: `POST /v1/shutdown` (or
 //! [`ServerHandle::shutdown`]) flips a flag the accept loop polls; the
 //! loop stops accepting, the pool drains queued and in-flight work, and
@@ -24,10 +33,13 @@ use sim::CancelToken;
 use veribug::model::{ModelConfig, VeriBugModel};
 use veribug::VeriBugError;
 
+use obs::live;
+
 use crate::api::{self, ApiError};
 use crate::cache::{BuildError, DesignCache};
 use crate::http::{self, ReadError, Request};
 use crate::pool::Pool;
+use crate::telemetry;
 
 static REQUESTS: obs::LazyCounter = obs::LazyCounter::new("serve.requests");
 static REJECTED_FULL: obs::LazyCounter = obs::LazyCounter::new("serve.rejected.queue_full");
@@ -61,6 +73,16 @@ pub struct ServerConfig {
     /// Optional path to a trained model (`veribug train --out ...`).
     /// Without one, an untrained deterministic model is used.
     pub model_path: Option<String>,
+    /// Live request telemetry (trace IDs into the `/tracez` ring, rolling
+    /// `/statusz` windows). Always on in `veribug serve`; exists as a
+    /// knob so `serve_bench` can measure its overhead A/B.
+    pub telemetry: bool,
+    /// Emit one structured JSON line per request to stderr
+    /// (`--access-log`).
+    pub access_log: bool,
+    /// Enable `GET /debugz/panic` (a handler that panics on purpose), so
+    /// tests and operators can verify 500-path behavior end to end.
+    pub debug_endpoints: bool,
 }
 
 impl Default for ServerConfig {
@@ -74,6 +96,9 @@ impl Default for ServerConfig {
             deadline: Duration::from_secs(10),
             max_body_bytes: 4 * 1024 * 1024,
             model_path: None,
+            telemetry: true,
+            access_log: false,
+            debug_endpoints: false,
         }
     }
 }
@@ -82,6 +107,7 @@ pub(crate) struct ServerState {
     config: ServerConfig,
     model: VeriBugModel,
     cache: DesignCache,
+    pool: Arc<Pool>,
     shutdown: AtomicBool,
     started: Instant,
 }
@@ -90,7 +116,6 @@ pub(crate) struct ServerState {
 pub struct Server {
     listener: TcpListener,
     state: Arc<ServerState>,
-    pool: Arc<Pool>,
 }
 
 /// A cloneable remote control for a running [`Server`].
@@ -137,15 +162,12 @@ impl Server {
         let state = Arc::new(ServerState {
             cache: DesignCache::new(config.cache_capacity),
             model,
+            pool,
             config,
             shutdown: AtomicBool::new(false),
             started: Instant::now(),
         });
-        Ok(Server {
-            listener,
-            state,
-            pool,
-        })
+        Ok(Server { listener, state })
     }
 
     /// The bound address.
@@ -187,17 +209,13 @@ impl Server {
                     // The accept loop is the only producer, so this
                     // check-then-submit cannot race another submit; workers
                     // only shrink the queue in between.
-                    if self.pool.is_full() {
+                    if self.state.pool.is_full() {
                         REJECTED_FULL.incr();
-                        reject(
-                            stream,
-                            ApiError::new(429, "queue_full", "request queue is full"),
-                            self.state.config.max_body_bytes,
-                        );
+                        reject(&self.state, stream);
                         continue;
                     }
                     let state = Arc::clone(&self.state);
-                    let _ = self.pool.submit(move || {
+                    let _ = self.state.pool.submit(move || {
                         handle_connection(&state, stream);
                         obs::flush_thread();
                     });
@@ -210,36 +228,57 @@ impl Server {
             }
         }
         obs::progress!("serve: draining in-flight requests");
-        self.pool.shutdown();
+        self.state.pool.shutdown();
         obs::flush_thread();
+        // Render the obs report on drain only when an output file was
+        // configured (the CLI's own at-exit `report()` is a no-op after
+        // this — `report` renders at most once per process).
+        if obs::output_configured() {
+            let _ = obs::report();
+        }
         obs::progress!("serve: drained, listener closed");
         Ok(())
     }
 }
 
 /// Answers a connection the pool never saw (backpressure rejections) on a
-/// short-lived throwaway thread: the request is read (and discarded)
-/// before the error is written, so the client never races a connection
-/// reset while still sending — and the accept loop never blocks on a slow
-/// client's socket.
-fn reject(stream: TcpStream, err: ApiError, max_body: usize) {
-    track_status(err.status);
+/// short-lived throwaway thread: the request is read before the error is
+/// written, so the client never races a connection reset while still
+/// sending — and the accept loop never blocks on a slow client's socket.
+/// Reading the request also recovers the client's request ID (if any), so
+/// even a `429` is echoed and lands in the `/tracez` ring.
+fn reject(state: &Arc<ServerState>, stream: TcpStream) {
+    track_status(429);
     obs::flush_thread();
+    let state = Arc::clone(state);
     let _ = std::thread::Builder::new()
         .name("veribug-serve-reject".to_owned())
         .spawn(move || {
+            let started = Instant::now();
             let mut stream = stream;
             let _ = stream.set_nonblocking(false);
             let _ = stream.set_read_timeout(Some(Duration::from_secs(2)));
             let _ = stream.set_write_timeout(Some(Duration::from_secs(2)));
-            let _ = http::read_request(&mut stream, max_body);
-            let _ = http::write_response(
-                &mut stream,
-                err.status,
-                CONTENT_JSON,
-                &[],
-                err.body().as_bytes(),
-            );
+            let (rid, method, label) =
+                match http::read_request(&mut stream, state.config.max_body_bytes) {
+                    Ok(req) => (request_id(&req), req.method.clone(), route_label(&req)),
+                    Err(_) => (live::mint_id(), "-".to_owned(), "other"),
+                };
+            let err =
+                ApiError::new(429, "queue_full", "request queue is full").with_request_id(&rid);
+            respond(&mut stream, &rid, 429, &[], &err.body());
+            if state.config.telemetry {
+                live::record_untraced(
+                    &rid,
+                    &method,
+                    label,
+                    429,
+                    started.elapsed().as_micros() as u64,
+                );
+            }
+            if state.config.access_log {
+                access_log_line(&rid, &method, label, 429, started.elapsed(), false);
+            }
         });
 }
 
@@ -260,85 +299,192 @@ fn handle_connection(state: &ServerState, mut stream: TcpStream) {
     let req = match http::read_request(&mut stream, state.config.max_body_bytes) {
         Ok(r) => r,
         Err(ReadError::TooLarge { limit, declared }) => {
+            // The request never parsed, so no client ID is available; mint
+            // one anyway so even this response is correlatable.
+            let rid = live::mint_id();
             let err = ApiError::new(
                 413,
                 "body_too_large",
                 format!("body of {declared} bytes exceeds the {limit}-byte limit"),
-            );
-            let _ =
-                http::write_response(&mut stream, 413, CONTENT_JSON, &[], err.body().as_bytes());
-            track_status(413);
+            )
+            .with_request_id(&rid);
+            respond(&mut stream, &rid, 413, &[], &err.body());
+            finish_unrouted(state, &rid, 413, started);
             return;
         }
         Err(ReadError::BadRequest(detail)) => {
-            let err = ApiError::new(400, "bad_request", detail);
-            let _ =
-                http::write_response(&mut stream, 400, CONTENT_JSON, &[], err.body().as_bytes());
-            track_status(400);
+            let rid = live::mint_id();
+            let err = ApiError::new(400, "bad_request", detail).with_request_id(&rid);
+            respond(&mut stream, &rid, 400, &[], &err.body());
+            finish_unrouted(state, &rid, 400, started);
             return;
         }
         Err(ReadError::Io(_)) => return,
     };
-    let _span = obs::span("serve.request");
-    let outcome = catch_unwind(AssertUnwindSafe(|| route(state, &req, &mut stream)));
-    let status = match outcome {
-        Ok(status) => status,
-        Err(_) => {
-            PANICS.incr();
-            let err = ApiError::new(500, "panic", "request handler panicked");
-            let _ =
-                http::write_response(&mut stream, 500, CONTENT_JSON, &[], err.body().as_bytes());
-            500
+    let rid = request_id(&req);
+    let label = route_label(&req);
+    let scope = state
+        .config
+        .telemetry
+        .then(|| live::begin(&rid, &req.method, label));
+    let status = {
+        // The root span must drop before `scope.finish` so it lands in the
+        // trace's span tree.
+        let _span = obs::span("serve.request");
+        match catch_unwind(AssertUnwindSafe(|| route(state, &req, &rid, &mut stream))) {
+            Ok(status) => status,
+            Err(_) => {
+                PANICS.incr();
+                let err =
+                    ApiError::new(500, "panic", "request handler panicked").with_request_id(&rid);
+                respond(&mut stream, &rid, 500, &[], &err.body())
+            }
         }
     };
+    let sampled = scope
+        .and_then(|s| s.finish(status))
+        .is_some_and(|t| t.sampled());
     track_status(status);
     let elapsed = started.elapsed();
     REQUEST_SECONDS.record_f64(elapsed.as_secs_f64());
+    if state.config.access_log {
+        access_log_line(&rid, &req.method, label, status, elapsed, sampled);
+    }
     obs::progress!(
-        "serve: {} {} -> {} in {:.1}ms",
+        "serve: {} {} -> {} in {:.1}ms [{}]",
         req.method,
         req.path,
         status,
-        elapsed.as_secs_f64() * 1e3
+        elapsed.as_secs_f64() * 1e3,
+        rid
     );
 }
 
+/// Books an early-failure request (unreadable head or oversized body) into
+/// counters, the trace ring, and the access log — the route is unknown, so
+/// it books under `"other"`.
+fn finish_unrouted(state: &ServerState, rid: &str, status: u16, started: Instant) {
+    track_status(status);
+    let elapsed = started.elapsed();
+    REQUEST_SECONDS.record_f64(elapsed.as_secs_f64());
+    if state.config.telemetry {
+        live::record_untraced(rid, "-", "other", status, elapsed.as_micros() as u64);
+    }
+    if state.config.access_log {
+        access_log_line(rid, "-", "other", status, elapsed, false);
+    }
+}
+
+/// The request's ID: the client's `x-veribug-request-id` when well-formed,
+/// a freshly minted one otherwise.
+fn request_id(req: &Request) -> String {
+    req.header("x-veribug-request-id")
+        .filter(|v| live::valid_id(v))
+        .map(str::to_owned)
+        .unwrap_or_else(live::mint_id)
+}
+
+/// Maps a request path onto a bounded label for the rolling window: known
+/// routes verbatim, anything else `"other"`, so hostile or misspelled
+/// paths cannot blow up per-endpoint cardinality.
+fn route_label(req: &Request) -> &'static str {
+    let path = req.path.split('?').next().unwrap_or(&req.path);
+    match path {
+        "/v1/localize" => "/v1/localize",
+        "/v1/analyze" => "/v1/analyze",
+        "/v1/shutdown" => "/v1/shutdown",
+        "/healthz" => "/healthz",
+        "/metricsz" => "/metricsz",
+        "/statusz" => "/statusz",
+        "/tracez" => "/tracez",
+        "/tracez/export" => "/tracez/export",
+        "/debugz/panic" => "/debugz/panic",
+        _ => "other",
+    }
+}
+
+/// One structured access-log line per request, on stderr.
+fn access_log_line(
+    rid: &str,
+    method: &str,
+    path: &str,
+    status: u16,
+    elapsed: Duration,
+    sampled: bool,
+) {
+    use std::fmt::Write as _;
+    let ts_ms = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_millis())
+        .unwrap_or(0);
+    let mut line = format!("{{\"ts_ms\":{ts_ms},\"id\":");
+    obs::json::write_str(&mut line, rid);
+    line.push_str(",\"method\":");
+    obs::json::write_str(&mut line, method);
+    line.push_str(",\"path\":");
+    obs::json::write_str(&mut line, path);
+    let _ = write!(
+        line,
+        ",\"status\":{status},\"dur_us\":{},\"sampled\":{sampled}}}",
+        elapsed.as_micros()
+    );
+    eprintln!("{line}");
+}
+
 /// Dispatches one request, writes one response, returns the status.
-fn route(state: &ServerState, req: &Request, stream: &mut TcpStream) -> u16 {
+fn route(state: &ServerState, req: &Request, rid: &str, stream: &mut TcpStream) -> u16 {
     let path = req.path.split('?').next().unwrap_or(&req.path);
     match (req.method.as_str(), path) {
-        ("POST", "/v1/localize") => handle_localize(state, &req.body, stream),
-        ("POST", "/v1/analyze") => handle_analyze(&req.body, stream),
+        ("POST", "/v1/localize") => handle_localize(state, &req.body, rid, stream),
+        ("POST", "/v1/analyze") => handle_analyze(&req.body, rid, stream),
         ("POST", "/v1/shutdown") => {
             state.shutdown.store(true, Ordering::SeqCst);
-            respond(stream, 200, &[], "{\"status\":\"draining\"}\n")
+            respond(stream, rid, 200, &[], "{\"status\":\"draining\"}\n")
         }
-        ("GET", "/healthz") => handle_healthz(state, stream),
+        ("GET", "/healthz") => handle_healthz(state, rid, stream),
         ("GET", "/metricsz") => {
             obs::flush_thread();
             let body = obs::export::metricsz(&obs::snapshot());
-            respond(stream, 200, &[], &body)
+            respond(stream, rid, 200, &[], &body)
+        }
+        ("GET", "/statusz") => handle_statusz(state, rid, stream),
+        ("GET", "/tracez") => handle_tracez(req, rid, stream),
+        ("GET", "/tracez/export") => handle_tracez_export(req, rid, stream),
+        ("GET", "/debugz/panic") if state.config.debug_endpoints => {
+            panic!("debug panic endpoint")
         }
         (
             "GET" | "POST",
-            "/v1/localize" | "/v1/analyze" | "/v1/shutdown" | "/healthz" | "/metricsz",
+            "/v1/localize" | "/v1/analyze" | "/v1/shutdown" | "/healthz" | "/metricsz" | "/statusz"
+            | "/tracez" | "/tracez/export",
         ) => {
             let err = ApiError::new(
                 405,
                 "method_not_allowed",
                 format!("{} is not supported on {path}", req.method),
-            );
-            respond(stream, 405, &[], &err.body())
+            )
+            .with_request_id(rid);
+            respond(stream, rid, 405, &[], &err.body())
         }
         _ => {
-            let err = ApiError::new(404, "not_found", format!("no route for {path}"));
-            respond(stream, 404, &[], &err.body())
+            let err = ApiError::new(404, "not_found", format!("no route for {path}"))
+                .with_request_id(rid);
+            respond(stream, rid, 404, &[], &err.body())
         }
     }
 }
 
-fn respond(stream: &mut TcpStream, status: u16, extra: &[(&str, &str)], body: &str) -> u16 {
-    let _ = http::write_response(stream, status, CONTENT_JSON, extra, body.as_bytes());
+fn respond(
+    stream: &mut TcpStream,
+    rid: &str,
+    status: u16,
+    extra: &[(&str, &str)],
+    body: &str,
+) -> u16 {
+    let mut headers: Vec<(&str, &str)> = Vec::with_capacity(extra.len() + 1);
+    headers.push(("x-veribug-request-id", rid));
+    headers.extend_from_slice(extra);
+    let _ = http::write_response(stream, status, CONTENT_JSON, &headers, body.as_bytes());
     status
 }
 
@@ -358,25 +504,28 @@ fn build_error(which: &'static str, e: BuildError) -> ApiError {
     }
 }
 
-fn handle_localize(state: &ServerState, body: &[u8], stream: &mut TcpStream) -> u16 {
+fn handle_localize(state: &ServerState, body: &[u8], rid: &str, stream: &mut TcpStream) -> u16 {
     let parsed = match api::parse_localize(body) {
         Ok(p) => p,
-        Err(e) => return respond(stream, e.status, &[], &e.body()),
+        Err(e) => {
+            let e = e.with_request_id(rid);
+            return respond(stream, rid, e.status, &[], &e.body());
+        }
     };
     let (mut golden, mut buggy) = {
         let _span = obs::span("serve.cache");
         let golden = match state.cache.get(&parsed.golden) {
             Ok(d) => d,
             Err(e) => {
-                let e = build_error("golden", e);
-                return respond(stream, e.status, &[], &e.body());
+                let e = build_error("golden", e).with_request_id(rid);
+                return respond(stream, rid, e.status, &[], &e.body());
             }
         };
         let buggy = match state.cache.get(&parsed.buggy) {
             Ok(d) => d,
             Err(e) => {
-                let e = build_error("buggy", e);
-                return respond(stream, e.status, &[], &e.body());
+                let e = build_error("buggy", e).with_request_id(rid);
+                return respond(stream, rid, e.status, &[], &e.body());
             }
         };
         (golden, buggy)
@@ -403,7 +552,7 @@ fn handle_localize(state: &ServerState, body: &[u8], stream: &mut TcpStream) -> 
     );
     let extra: &[(&str, &str)] = &[("x-veribug-cache", &cache_note)];
     match result {
-        Ok(report) => respond(stream, 200, extra, &api::render_report(&report)),
+        Ok(report) => respond(stream, rid, 200, extra, &api::render_report(&report)),
         Err(VeriBugError::Sim(sim::SimError::Cancelled { at_cycle })) => {
             DEADLINES.incr();
             let e = ApiError::new(
@@ -413,35 +562,41 @@ fn handle_localize(state: &ServerState, body: &[u8], stream: &mut TcpStream) -> 
                     "deadline of {}ms exceeded (cancelled at cycle {at_cycle}); partial work discarded",
                     deadline.as_millis()
                 ),
-            );
-            respond(stream, 504, extra, &e.body())
+            )
+            .with_request_id(rid);
+            respond(stream, rid, 504, extra, &e.body())
         }
         Err(VeriBugError::UnknownTarget { target }) => {
             let e = ApiError::new(
                 422,
                 "unknown_target",
                 format!("target `{target}` is not a signal of the golden design"),
-            );
-            respond(stream, 422, extra, &e.body())
+            )
+            .with_request_id(rid);
+            respond(stream, rid, 422, extra, &e.body())
         }
         Err(other) => {
-            let e = ApiError::new(422, "localize", other.to_string());
-            respond(stream, 422, extra, &e.body())
+            let e = ApiError::new(422, "localize", other.to_string()).with_request_id(rid);
+            respond(stream, rid, 422, extra, &e.body())
         }
     }
 }
 
-fn handle_analyze(body: &[u8], stream: &mut TcpStream) -> u16 {
+fn handle_analyze(body: &[u8], rid: &str, stream: &mut TcpStream) -> u16 {
     let parsed = match api::parse_analyze(body) {
         Ok(p) => p,
-        Err(e) => return respond(stream, e.status, &[], &e.body()),
+        Err(e) => {
+            let e = e.with_request_id(rid);
+            return respond(stream, rid, e.status, &[], &e.body());
+        }
     };
     let module = match verilog::parse(&parsed.design) {
         Ok(m) => m.top().clone(),
         Err(p) => {
             let e = ApiError::new(422, "verilog_parse", format!("design does not parse: {p}"))
-                .at(p.span());
-            return respond(stream, e.status, &[], &e.body());
+                .at(p.span())
+                .with_request_id(rid);
+            return respond(stream, rid, e.status, &[], &e.body());
         }
     };
     let _span = obs::span("serve.analyze");
@@ -482,17 +637,88 @@ fn handle_analyze(body: &[u8], stream: &mut TcpStream) -> u16 {
         &mut out,
         format_args!("],\"statements\":{}}}\n", slice.len()),
     );
-    respond(stream, 200, &[], &out)
+    respond(stream, rid, 200, &[], &out)
 }
 
-fn handle_healthz(state: &ServerState, stream: &mut TcpStream) -> u16 {
-    let uptime_ms = state.started.elapsed().as_millis();
+fn handle_healthz(state: &ServerState, rid: &str, stream: &mut TcpStream) -> u16 {
+    let uptime = state.started.elapsed();
     let body = format!(
-        "{{\"status\":\"ok\",\"uptime_ms\":{uptime_ms},\"workers\":{},\"queue_capacity\":{},\"cache_entries\":{},\"cache_capacity\":{}}}\n",
+        "{{\"status\":\"ok\",\"version\":\"{}\",\"engines\":[\"batch\",\"compiled\",\"interpreted\"],\"uptime_ms\":{},\"uptime_s\":{},\"workers\":{},\"queue_capacity\":{},\"cache_entries\":{},\"cache_capacity\":{}}}\n",
+        env!("CARGO_PKG_VERSION"),
+        uptime.as_millis(),
+        uptime.as_secs(),
         state.config.workers,
         state.config.queue_capacity,
         state.cache.len(),
         state.config.cache_capacity,
     );
-    respond(stream, 200, &[], &body)
+    respond(stream, rid, 200, &[], &body)
+}
+
+fn handle_statusz(state: &ServerState, rid: &str, stream: &mut TcpStream) -> u16 {
+    let (queued, running) = state.pool.depth();
+    let info = telemetry::StatusInfo {
+        uptime_s: state.started.elapsed().as_secs(),
+        workers: state.config.workers,
+        queue_capacity: state.config.queue_capacity,
+        queued,
+        running,
+        cache_entries: state.cache.len(),
+        cache_capacity: state.config.cache_capacity,
+    };
+    let body = telemetry::statusz_json(&info, obs::rolling::WINDOW_SECONDS);
+    respond(stream, rid, 200, &[], &body)
+}
+
+fn handle_tracez(req: &Request, rid: &str, stream: &mut TcpStream) -> u16 {
+    let limit = req
+        .query_param("n")
+        .and_then(|v| v.parse::<usize>().ok())
+        .unwrap_or(32)
+        .clamp(1, 512);
+    if req.query_param("fmt") == Some("text") {
+        let body = telemetry::tracez_text(limit);
+        let headers = [("x-veribug-request-id", rid)];
+        let _ = http::write_response(
+            stream,
+            200,
+            "text/plain; charset=utf-8",
+            &headers,
+            body.as_bytes(),
+        );
+        200
+    } else {
+        respond(stream, rid, 200, &[], &telemetry::tracez_json(limit))
+    }
+}
+
+fn handle_tracez_export(req: &Request, rid: &str, stream: &mut TcpStream) -> u16 {
+    let Some(id) = req.query_param("id") else {
+        let err = ApiError::new(
+            400,
+            "missing_param",
+            "`/tracez/export` needs an `id` query parameter",
+        )
+        .with_request_id(rid);
+        return respond(stream, rid, 400, &[], &err.body());
+    };
+    let Some(trace) = live::find(id) else {
+        let err = ApiError::new(
+            404,
+            "trace_not_found",
+            format!("no retained trace with id `{id}` (evicted or never recorded)"),
+        )
+        .with_request_id(rid);
+        return respond(stream, rid, 404, &[], &err.body());
+    };
+    if !trace.sampled() {
+        let err = ApiError::new(
+            404,
+            "trace_not_sampled",
+            format!("trace `{id}` was retained as a digest; only error and slow traces keep a span tree"),
+        )
+        .with_request_id(rid);
+        return respond(stream, rid, 404, &[], &err.body());
+    }
+    respond(stream, rid, 200, &[], &live::chrome_trace_of(&trace))
 }

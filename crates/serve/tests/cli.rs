@@ -240,3 +240,94 @@ fn serve_subcommand_runs_and_drains() {
     let status = child.wait().expect("serve exits");
     assert!(status.success(), "serve exits 0 after drain");
 }
+
+/// With `--obs` the drain path renders the report; the CLI's at-exit
+/// report must then be a no-op (exactly one render per process), and
+/// `--access-log` emits one JSON line per request on stderr.
+#[test]
+fn serve_renders_the_obs_report_once_and_logs_access() {
+    let dir = scratch_dir("serve-obs");
+    let trace_path = dir.join("serve-trace.json");
+    let mut child = Command::new(BIN)
+        .args([
+            "serve",
+            "--addr",
+            "127.0.0.1:0",
+            "--workers",
+            "2",
+            "--access-log",
+            "--obs",
+        ])
+        .arg(&trace_path)
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn serve");
+    let stdout = child.stdout.take().expect("piped stdout");
+    let mut reader = BufReader::new(stdout);
+    let mut line = String::new();
+    reader.read_line(&mut line).expect("banner line");
+    let addr = line
+        .split("listening on ")
+        .nth(1)
+        .and_then(|rest| rest.split_whitespace().next())
+        .expect("address in banner")
+        .to_owned();
+
+    let get = |path: &str, rid: &str| -> String {
+        let mut s = TcpStream::connect(&addr).expect("connect");
+        s.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+        write!(
+            s,
+            "GET {path} HTTP/1.1\r\nHost: x\r\nx-veribug-request-id: {rid}\r\n\r\n"
+        )
+        .unwrap();
+        let mut out = String::new();
+        s.read_to_string(&mut out).unwrap();
+        out
+    };
+    assert!(
+        get("/healthz", "cli-access-1").starts_with("HTTP/1.1 200"),
+        "healthz is up"
+    );
+
+    let mut s = TcpStream::connect(&addr).expect("connect");
+    write!(s, "POST /v1/shutdown HTTP/1.1\r\nHost: x\r\n\r\n").unwrap();
+    let mut out = String::new();
+    s.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+    s.read_to_string(&mut out).unwrap();
+    assert!(out.starts_with("HTTP/1.1 200"), "shutdown accepted: {out}");
+
+    let output = child.wait_with_output().expect("serve exits");
+    assert!(output.status.success(), "serve exits 0 after drain");
+    let stderr = String::from_utf8_lossy(&output.stderr);
+
+    // Exactly one report render: the drain-path one; the at-exit call is
+    // a no-op. Two of either marker means the double-render regressed.
+    assert_eq!(
+        stderr.matches("obs: trace written to").count(),
+        1,
+        "report rendered exactly once, stderr:\n{stderr}"
+    );
+    assert_eq!(
+        stderr.matches("obs summary").count(),
+        1,
+        "summary rendered exactly once, stderr:\n{stderr}"
+    );
+    assert!(
+        std::fs::read_to_string(&trace_path)
+            .map(|s| !s.is_empty())
+            .unwrap_or(false),
+        "trace file written"
+    );
+
+    // The access log carried the healthz request with the client's ID.
+    let access = stderr
+        .lines()
+        .find(|l| l.contains("\"id\":\"cli-access-1\""))
+        .expect("access log line for the healthz request");
+    assert!(access.contains("\"path\":\"/healthz\""), "line: {access}");
+    assert!(access.contains("\"status\":200"), "line: {access}");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -229,9 +229,11 @@ fn oversized_body_is_413_and_queue_full_is_429() {
     };
     let (handle, join) = start(config);
 
-    // 413: declared body over the cap.
+    // 413: declared body over the cap. Even this early-rejection path
+    // echoes a request ID.
     let resp = request(handle.addr(), "POST", "/v1/localize", &"x".repeat(512));
     assert_eq!(resp.status, 413);
+    assert!(resp.header("x-veribug-request-id").is_some());
 
     // 429: hold the single worker and the single queue slot with idle
     // connections (the worker blocks reading them), then a real request
@@ -242,15 +244,14 @@ fn oversized_body_is_413_and_queue_full_is_429() {
     std::thread::sleep(Duration::from_millis(300)); // idle2 sits in the queue
     let resp = request(handle.addr(), "GET", "/healthz", "");
     assert_eq!(resp.status, 429, "body: {}", resp.body);
-    assert_eq!(
-        resp.json()
-            .get("error")
-            .unwrap()
-            .get("kind")
-            .unwrap()
-            .as_str(),
-        Some("queue_full")
+    assert!(
+        resp.header("x-veribug-request-id").is_some(),
+        "backpressure rejections echo a request id too"
     );
+    let doc = resp.json();
+    let err = doc.get("error").unwrap();
+    assert_eq!(err.get("kind").unwrap().as_str(), Some("queue_full"));
+    assert!(err.get("request_id").unwrap().as_str().is_some());
     drop(idle1);
     drop(idle2);
     stop(&handle, join);
