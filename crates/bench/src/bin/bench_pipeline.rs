@@ -553,9 +553,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let fuzz = fuzz_verdicts(if smoke { 3.0 } else { 8.0 });
 
     let json = render_json(host_cores, reps, &stages, &engine, &overhead, &fuzz);
-    std::fs::write("BENCH_pipeline.json", &json)?;
     println!("{json}");
-    obs::progress!("wrote BENCH_pipeline.json");
+    // Smoke never rewrites the checked-in BENCH_pipeline.json: its numbers
+    // come from the shrunken workload and would silently replace the full
+    // run's timings.
+    if !smoke {
+        std::fs::write("BENCH_pipeline.json", &json)?;
+        obs::progress!("wrote BENCH_pipeline.json");
+    }
 
     if smoke {
         let bad: Vec<&str> = stages

@@ -471,7 +471,12 @@ pub fn suspiciousness(f_weights: &[f32], c_weights: &[f32]) -> f32 {
 /// Shannon entropy (nats) of an attention distribution. The weights are
 /// renormalized first so numerically drifted vectors still yield a proper
 /// distribution; zero weights contribute nothing.
-fn attention_entropy(weights: &[f32]) -> f64 {
+///
+/// Used both for the `explain.attention_entropy` histogram and by the
+/// `accuracy_bench` harness, which reports the entropy distribution of
+/// every heatmap entry (a flat distribution means the model has nothing
+/// to say about a statement; a peaked one is a confident attribution).
+pub fn attention_entropy(weights: &[f32]) -> f64 {
     let total: f64 = weights.iter().map(|&w| f64::from(w.max(0.0))).sum();
     if total <= 0.0 {
         return 0.0;

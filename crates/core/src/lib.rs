@@ -66,6 +66,7 @@ pub mod coverage;
 pub mod error;
 pub mod explain;
 pub mod features;
+pub mod introspect;
 pub mod localize;
 pub mod model;
 pub mod persist;
@@ -79,8 +80,12 @@ pub use explain::{
     DEFAULT_THRESHOLD,
 };
 pub use features::{OperandContext, Path, StatementFeatures};
+pub use introspect::{AttributionReport, OperandAttribution, StmtAttribution};
 pub use localize::{LocalizeOptions, LocalizeReport, Suspect};
 pub use model::{ContextAggregation, Forward, ModelConfig, Sample, VeriBugModel};
 pub use persist::{load as load_model, save as save_model, LoadError};
 pub use render::{render_attention_map, render_comparison, render_heatmap, Palette, RenderOptions};
-pub use train::{evaluate, train, Dataset, DatasetEntry, EvalMetrics, TrainConfig, TrainReport};
+pub use train::{
+    append_train_log, evaluate, train, Dataset, DatasetEntry, EpochStats, EvalMetrics, TrainConfig,
+    TrainReport,
+};

@@ -20,6 +20,12 @@ use verilog::NodeKind;
 
 use crate::features::StatementFeatures;
 
+/// Model evaluations served through [`VeriBugModel::predict_with`].
+static EVALS: obs::LazyCounter = obs::LazyCounter::new("model.evals");
+/// Absolute logit margin `|l_1 - l_0|` per evaluation — a confidence
+/// proxy: small margins mean the output-bit classes are nearly tied.
+static SCORE_MARGIN: obs::LazyHistogram = obs::LazyHistogram::new_micros("model.score_margin");
+
 /// How path embeddings are combined into a context embedding.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
 pub enum ContextAggregation {
@@ -257,7 +263,15 @@ impl VeriBugModel {
                 target: false,
             },
         );
-        let class = g.value(fwd.logits).argmax_row();
+        EVALS.incr();
+        let logits = g.value(fwd.logits);
+        let class = logits.argmax_row();
+        if obs::enabled() {
+            let row = logits.data();
+            if row.len() >= 2 {
+                SCORE_MARGIN.record_f64(f64::from((row[1] - row[0]).abs()));
+            }
+        }
         (class == 1, fwd.attention)
     }
 

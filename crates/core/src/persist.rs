@@ -22,6 +22,33 @@ use crate::model::{ModelConfig, VeriBugModel};
 /// Magic first line of the format.
 const MAGIC: &str = "veribug-model v1";
 
+/// The persist-format version string (the file's magic line). Surfaced by
+/// `/healthz` and `/statusz` so operators can tell which weight format a
+/// server understands.
+pub fn format_version() -> &'static str {
+    MAGIC
+}
+
+/// FNV-1a (64-bit) over the canonical serialized form of the model — a
+/// content hash of the loaded weights. Two models hash equal iff
+/// [`to_string`] renders them byte-identically, so the hash identifies
+/// *which* weights a process is serving independent of file path or mtime.
+pub fn content_hash(model: &VeriBugModel) -> u64 {
+    let text = to_string(model);
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in text.as_bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+/// [`content_hash`] rendered as the fixed-width 16-hex-digit string used
+/// everywhere the hash is shown (status pages, logs, `train_log.jsonl`).
+pub fn content_hash_hex(model: &VeriBugModel) -> String {
+    format!("{:016x}", content_hash(model))
+}
+
 /// Serializes a model to the text format.
 pub fn to_string(model: &VeriBugModel) -> String {
     let mut out = String::new();
@@ -250,6 +277,22 @@ mod tests {
                 "prediction diverged for {values:?}"
             );
         }
+    }
+
+    #[test]
+    fn content_hash_tracks_weights() {
+        let a = VeriBugModel::new(ModelConfig::default());
+        let b = VeriBugModel::new(ModelConfig::default());
+        assert_eq!(content_hash(&a), content_hash(&b), "same seed, same hash");
+        let c = VeriBugModel::new(ModelConfig {
+            seed: 99,
+            ..ModelConfig::default()
+        });
+        assert_ne!(content_hash(&a), content_hash(&c), "different weights");
+        let hex = content_hash_hex(&a);
+        assert_eq!(hex.len(), 16);
+        assert_eq!(u64::from_str_radix(&hex, 16).unwrap(), content_hash(&a));
+        assert_eq!(format_version(), "veribug-model v1");
     }
 
     #[test]

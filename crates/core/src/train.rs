@@ -250,6 +250,27 @@ impl TrainConfig {
     }
 }
 
+/// One epoch's telemetry row (persisted to `train_log.jsonl` by
+/// [`append_train_log`]).
+///
+/// Everything except `wall_s` is bit-identical at any thread count —
+/// gradient norms and attention entropies come from the same fixed-order
+/// shard merges as the loss. `wall_s` is observation only and must never
+/// enter a reproducibility comparison.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct EpochStats {
+    /// 0-based epoch index.
+    pub epoch: usize,
+    /// Mean batch loss.
+    pub loss: f32,
+    /// Mean merged-gradient L2 norm over the epoch's batches.
+    pub grad_norm: f64,
+    /// Mean attention entropy (bits) over the epoch's forward passes.
+    pub attention_entropy: f64,
+    /// Wall-clock seconds the epoch took (not deterministic).
+    pub wall_s: f64,
+}
+
 /// Per-epoch training statistics.
 #[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct TrainReport {
@@ -257,6 +278,8 @@ pub struct TrainReport {
     pub epoch_losses: Vec<f32>,
     /// Final ε (skip-weight) value.
     pub final_epsilon: f32,
+    /// Full per-epoch telemetry, aligned with `epoch_losses`.
+    pub epochs: Vec<EpochStats>,
 }
 
 /// Trains a model in place.
@@ -284,22 +307,37 @@ pub fn train(
     let mut rng = StdRng::seed_from_u64(cfg.seed);
     let mut order: Vec<usize> = (0..dataset.len()).collect();
     let mut epoch_losses = Vec::with_capacity(cfg.epochs);
-    for _ in 0..cfg.epochs {
+    let mut epochs = Vec::with_capacity(cfg.epochs);
+    for epoch in 0..cfg.epochs {
         let _epoch_span = obs::span("train.epoch");
+        let epoch_start = std::time::Instant::now();
         for i in (1..order.len()).rev() {
             let j = rng.random_range(0..=i);
             order.swap(i, j);
         }
         let mut total = 0.0f32;
         let mut batches = 0usize;
+        let mut norm_sum = 0.0f64;
+        let mut ent_sum = 0.0f64;
+        let mut ent_count = 0usize;
         for chunk in order.chunks(cfg.batch_size) {
-            let loss = train_batch(model, dataset, chunk, w0, w1, cfg.alpha, &mut adam);
-            total += loss;
+            let stats = train_batch(model, dataset, chunk, w0, w1, cfg.alpha, &mut adam);
+            total += stats.loss;
+            norm_sum += stats.grad_norm;
+            ent_sum += stats.entropy_sum;
+            ent_count += stats.entropy_count;
             batches += 1;
         }
         let epoch_loss = total / batches.max(1) as f32;
         obs::instant("train.epoch_loss", f64::from(epoch_loss));
         epoch_losses.push(epoch_loss);
+        epochs.push(EpochStats {
+            epoch,
+            loss: epoch_loss,
+            grad_norm: norm_sum / batches.max(1) as f64,
+            attention_entropy: ent_sum / ent_count.max(1) as f64,
+            wall_s: epoch_start.elapsed().as_secs_f64(),
+        });
     }
     static FINAL_LOSS: obs::LazyGauge = obs::LazyGauge::new("train.final_loss");
     if let Some(&last) = epoch_losses.last() {
@@ -308,6 +346,7 @@ pub fn train(
     Ok(TrainReport {
         epoch_losses,
         final_epsilon: model.epsilon(),
+        epochs,
     })
 }
 
@@ -317,12 +356,23 @@ pub fn train(
 /// bit-reproducible at any thread count.
 const SHARD: usize = 8;
 
-/// One optimizer step on a minibatch; returns the batch loss.
+/// What one [`train_batch`] call observed: the loss plus the telemetry
+/// inputs for [`EpochStats`]. Entropy is carried as `(sum, count)` so the
+/// epoch mean is a single fixed-order division.
+struct BatchStats {
+    loss: f32,
+    grad_norm: f64,
+    entropy_sum: f64,
+    entropy_count: usize,
+}
+
+/// One optimizer step on a minibatch; returns the batch loss and stats.
 ///
 /// The batch is split into fixed-size shards. Each shard runs its forward
-/// and backward pass on its own tape into a private [`GradBuffer`]; buffers
-/// and shard losses are then merged in shard order before a single Adam
-/// step, so the result is independent of the worker count.
+/// and backward pass on its own tape into a private [`GradBuffer`]; buffers,
+/// shard losses, and shard attention-entropy sums are then merged in shard
+/// order before a single Adam step, so the result is independent of the
+/// worker count.
 fn train_batch(
     model: &mut VeriBugModel,
     dataset: &Dataset,
@@ -331,7 +381,7 @@ fn train_batch(
     w1: f32,
     alpha: f32,
     adam: &mut neuro::Adam,
-) -> f32 {
+) -> BatchStats {
     // The normalizers depend on the whole batch, so compute them before
     // sharding: each shard contributes `Σ w_i·ce_i / weight_sum` and
     // `(α/N) Σ reg_i` directly.
@@ -350,10 +400,12 @@ fn train_batch(
         let mut g = Graph::new();
         let mut ce_terms = Vec::with_capacity(shard.len());
         let mut reg_terms = Vec::with_capacity(shard.len());
+        let mut ent_sum = 0.0f64;
         for &i in shard {
             let entry = &dataset.entries[i];
             let f = &dataset.stmts[entry.stmt_idx];
             let fwd = shard_model.forward(&mut g, f, &entry.sample);
+            ent_sum += crate::explain::attention_entropy(&fwd.attention);
             let target = usize::from(entry.sample.target);
             let w = if entry.sample.target { w1 } else { w0 };
             let ce = g.cross_entropy_logits(fwd.logits, target);
@@ -368,33 +420,43 @@ fn train_batch(
         let loss_value = g.value(loss).item();
         let mut grads = GradBuffer::zeros_like(shard_model.params());
         g.backward_to(loss, &mut grads);
-        (loss_value, grads)
+        (loss_value, grads, ent_sum, shard.len())
     });
     let mut total = GradBuffer::zeros_like(model.params());
     let mut loss_value = 0.0f32;
-    for (shard_loss, grads) in &shards {
+    let mut entropy_sum = 0.0f64;
+    let mut entropy_count = 0usize;
+    for (shard_loss, grads, ent, n) in &shards {
         loss_value += shard_loss;
         total.merge(grads);
+        entropy_sum += ent;
+        entropy_count += n;
     }
     // Observation only — reads the merged buffer, never changes the update.
+    // The norm feeds `train_log.jsonl`, so compute it unconditionally; the
+    // histogram still only records when obs output is on.
     static GRAD_NORM: obs::LazyHistogram = obs::LazyHistogram::new_micros("train.grad_norm");
     static ADAM_US: obs::LazyHistogram = obs::LazyHistogram::new("train.adam_step_us");
-    if obs::enabled() {
-        let mut sq = 0.0f64;
-        for id in model.params().ids() {
-            for &g in total.grad(id).data() {
-                sq += f64::from(g) * f64::from(g);
-            }
+    let mut sq = 0.0f64;
+    for id in model.params().ids() {
+        for &g in total.grad(id).data() {
+            sq += f64::from(g) * f64::from(g);
         }
-        GRAD_NORM.record_f64(sq.sqrt());
     }
+    let grad_norm = sq.sqrt();
+    GRAD_NORM.record_f64(grad_norm);
     total.apply_to(model.params_mut());
     let step_start = obs::enabled().then(std::time::Instant::now);
     adam.step(model.params_mut(), 1.0);
     if let Some(t0) = step_start {
         ADAM_US.record(u64::try_from(t0.elapsed().as_micros()).unwrap_or(u64::MAX));
     }
-    loss_value
+    BatchStats {
+        loss: loss_value,
+        grad_norm,
+        entropy_sum,
+        entropy_count,
+    }
 }
 
 fn sum_nodes(g: &mut Graph, nodes: &[neuro::NodeId]) -> neuro::NodeId {
@@ -464,6 +526,58 @@ pub fn evaluate(model: &VeriBugModel, dataset: &Dataset) -> EvalMetrics {
         recall1: div(m[1][1], m[1][1] + m[1][0]),
         count: dataset.len(),
     }
+}
+
+/// Appends one JSON line per epoch of `report` to the training log at
+/// `path` (created if absent, never truncated), in the obs JSON-lines
+/// event idiom: each line is a self-contained object with a `"type"` tag.
+///
+/// ```json
+/// {"type":"train_epoch","epoch":0,"loss":0.61,"grad_norm":2.3,
+///  "attention_entropy":1.9,"wall_s":0.41,"threads":8,
+///  "weights_hash":"8f3a…","alpha":0.1,"seed":7}
+/// ```
+///
+/// `weights_hash` is the content hash of the *final* trained weights
+/// ([`crate::persist::content_hash_hex`]), so an accuracy regression seen
+/// against a saved model can be traced back to the run — and the epochs —
+/// that produced it.
+///
+/// # Errors
+///
+/// Propagates I/O failures opening or appending to `path`.
+pub fn append_train_log(
+    path: &std::path::Path,
+    report: &TrainReport,
+    cfg: &TrainConfig,
+    model: &VeriBugModel,
+) -> std::io::Result<()> {
+    use std::fmt::Write as _;
+    use std::io::Write as _;
+    let hash = crate::persist::content_hash_hex(model);
+    let threads = par::max_threads();
+    let mut out = String::with_capacity(report.epochs.len() * 160);
+    for e in &report.epochs {
+        let _ = write!(out, "{{\"type\":\"train_epoch\",\"epoch\":{},", e.epoch);
+        out.push_str("\"loss\":");
+        obs::json::write_f64(&mut out, f64::from(e.loss));
+        out.push_str(",\"grad_norm\":");
+        obs::json::write_f64(&mut out, e.grad_norm);
+        out.push_str(",\"attention_entropy\":");
+        obs::json::write_f64(&mut out, e.attention_entropy);
+        out.push_str(",\"wall_s\":");
+        obs::json::write_f64(&mut out, e.wall_s);
+        let _ = write!(out, ",\"threads\":{threads},\"weights_hash\":");
+        obs::json::write_str(&mut out, &hash);
+        out.push_str(",\"alpha\":");
+        obs::json::write_f64(&mut out, f64::from(cfg.alpha));
+        let _ = writeln!(out, ",\"seed\":{}}}", cfg.seed);
+    }
+    let mut file = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)?;
+    file.write_all(out.as_bytes())
 }
 
 #[cfg(test)]
@@ -579,6 +693,85 @@ mod tests {
                 "{threads} threads"
             );
             assert_eq!(eval1, eval_n, "{threads} threads");
+        }
+    }
+
+    #[test]
+    fn epoch_stats_are_populated_and_deterministic() {
+        let ds = Dataset::from_designs(&small_corpus(2), 6, 16, 1).unwrap();
+        let cfg = TrainConfig {
+            epochs: 2,
+            ..TrainConfig::default()
+        };
+        let strip = |r: &TrainReport| -> Vec<(u32, u64, u64)> {
+            r.epochs
+                .iter()
+                .map(|e| {
+                    (
+                        e.loss.to_bits(),
+                        e.grad_norm.to_bits(),
+                        e.attention_entropy.to_bits(),
+                    )
+                })
+                .collect()
+        };
+        let run = |threads: usize| {
+            par::with_threads(threads, || {
+                let mut model = VeriBugModel::new(ModelConfig::default());
+                train(&mut model, &ds, &cfg).unwrap()
+            })
+        };
+        let r1 = run(1);
+        assert_eq!(r1.epochs.len(), cfg.epochs);
+        for (i, e) in r1.epochs.iter().enumerate() {
+            assert_eq!(e.epoch, i);
+            assert_eq!(e.loss, r1.epoch_losses[i]);
+            assert!(e.grad_norm > 0.0, "{e:?}");
+            assert!(e.attention_entropy >= 0.0, "{e:?}");
+        }
+        for threads in [2usize, 8] {
+            assert_eq!(strip(&r1), strip(&run(threads)), "{threads} threads");
+        }
+    }
+
+    #[test]
+    fn train_log_is_append_only_jsonl() {
+        let ds = Dataset::from_designs(&small_corpus(2), 6, 16, 1).unwrap();
+        let cfg = TrainConfig {
+            epochs: 2,
+            ..TrainConfig::default()
+        };
+        let mut model = VeriBugModel::new(ModelConfig::default());
+        let report = train(&mut model, &ds, &cfg).unwrap();
+        let path =
+            std::env::temp_dir().join(format!("veribug_train_log_{}.jsonl", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        append_train_log(&path, &report, &cfg, &model).unwrap();
+        append_train_log(&path, &report, &cfg, &model).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        let _ = std::fs::remove_file(&path);
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 4, "two appends of two epochs each");
+        let hash = crate::persist::content_hash_hex(&model);
+        for line in lines {
+            let v = obs::json::parse(line).expect("line parses");
+            assert_eq!(v.get("type").and_then(|t| t.as_str()), Some("train_epoch"));
+            assert_eq!(
+                v.get("weights_hash").and_then(|h| h.as_str()),
+                Some(hash.as_str())
+            );
+            for field in [
+                "epoch",
+                "loss",
+                "grad_norm",
+                "attention_entropy",
+                "wall_s",
+                "threads",
+                "alpha",
+                "seed",
+            ] {
+                assert!(v.get(field).and_then(|x| x.as_num()).is_some(), "{field}");
+            }
         }
     }
 

@@ -15,6 +15,13 @@
 //! obs_validate --tracez tracez.json --require-span serve.request
 //! ```
 //!
+//! `--accuracy` switches to the `BENCH_accuracy.json` schema produced by
+//! `accuracy_bench` (CI validates the smoke run's report):
+//!
+//! ```text
+//! obs_validate --accuracy accuracy_smoke.json --require-counter-nonzero observable
+//! ```
+//!
 //! Exit status is nonzero on a schema violation or an unmet requirement.
 
 use std::process::ExitCode;
@@ -25,11 +32,13 @@ fn main() -> ExitCode {
     let mut args = std::env::args().skip(1);
     let mut path = None;
     let mut tracez = false;
+    let mut accuracy = false;
     let mut require_spans = Vec::new();
     let mut require_counters = Vec::new();
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--tracez" => tracez = true,
+            "--accuracy" => accuracy = true,
             "--require-span" => match args.next() {
                 Some(name) => require_spans.push(name),
                 None => return usage("--require-span needs a value"),
@@ -53,7 +62,9 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    let result = if tracez {
+    let result = if accuracy {
+        validate::accuracy(&src)
+    } else if tracez {
         validate::tracez(&src)
     } else if path.ends_with(".jsonl") {
         validate::jsonl(&src)
@@ -104,7 +115,7 @@ fn usage(err: &str) -> ExitCode {
         eprintln!("obs_validate: {err}");
     }
     eprintln!(
-        "usage: obs_validate [--tracez] <trace.json|trace.jsonl> \
+        "usage: obs_validate [--tracez | --accuracy] <trace.json|trace.jsonl> \
          [--require-span NAME]... [--require-counter-nonzero NAME]..."
     );
     if err.is_empty() {

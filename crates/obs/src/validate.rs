@@ -270,6 +270,132 @@ pub fn tracez(src: &str) -> Result<Validated, String> {
     Ok(v)
 }
 
+/// Validates a `BENCH_accuracy.json` report produced by `accuracy_bench`
+/// (schema `veribug-accuracy v1`).
+///
+/// Checks the envelope (schema tag, seed manifest, weights hash, the
+/// cross-thread determinism verdict — `false` is a violation, since the
+/// artifact's numbers are meaningless if they depend on the worker count),
+/// the `overall`/`designs`/`classes` precision blocks (counts plus
+/// `p_at_1/3/5` and `mrr`, all within `[0, 1]`), and both quality
+/// distributions.
+///
+/// The returned [`Validated`] carries the overall `injected`/`observable`
+/// counts as counters so `--require-counter-nonzero observable` works.
+///
+/// # Errors
+///
+/// Returns a description of the first schema violation.
+pub fn accuracy(src: &str) -> Result<Validated, String> {
+    let doc = json::parse(src)?;
+    let schema = doc
+        .get("schema")
+        .and_then(Json::as_str)
+        .ok_or("missing `schema`")?;
+    if schema != "veribug-accuracy v1" {
+        return Err(format!("unknown schema `{schema}`"));
+    }
+    let manifest = doc.get("seed_manifest").ok_or("missing `seed_manifest`")?;
+    for field in ["train_seed", "campaign_seed_base", "rvdg_seed"] {
+        manifest
+            .get(field)
+            .and_then(Json::as_num)
+            .ok_or_else(|| format!("seed_manifest: bad or missing `{field}`"))?;
+    }
+    let threads = manifest
+        .get("threads_checked")
+        .and_then(Json::as_arr)
+        .ok_or("seed_manifest: `threads_checked` missing or not an array")?;
+    if threads.is_empty() || threads.iter().any(|t| t.as_num().is_none()) {
+        return Err("seed_manifest: `threads_checked` must be a non-empty number array".into());
+    }
+    let hash = doc
+        .get("weights_hash")
+        .and_then(Json::as_str)
+        .ok_or("missing `weights_hash`")?;
+    if hash.len() != 16 || !hash.chars().all(|c| c.is_ascii_hexdigit()) {
+        return Err(format!("`weights_hash` is not 16 hex chars: `{hash}`"));
+    }
+    match doc
+        .get("deterministic_across_threads")
+        .and_then(Json::as_bool)
+    {
+        Some(true) => {}
+        Some(false) => return Err("`deterministic_across_threads` is false".into()),
+        None => return Err("missing `deterministic_across_threads`".into()),
+    }
+    let check_agg = |ctx: &str, block: &Json| -> Result<(f64, f64), String> {
+        let num = |field: &str| {
+            block
+                .get(field)
+                .and_then(Json::as_num)
+                .ok_or_else(|| format!("{ctx}: bad or missing `{field}`"))
+        };
+        let injected = num("injected")?;
+        let observable = num("observable")?;
+        for field in ["p_at_1", "p_at_3", "p_at_5", "mrr"] {
+            let p = num(field)?;
+            if !(0.0..=1.0).contains(&p) {
+                return Err(format!("{ctx}: `{field}` = {p} outside [0, 1]"));
+            }
+        }
+        Ok((injected, observable))
+    };
+    let overall = doc.get("overall").ok_or("missing `overall`")?;
+    let (injected, observable) = check_agg("overall", overall)?;
+    let mut v = Validated::default();
+    v.counters.insert("injected".to_owned(), injected);
+    v.counters.insert("observable".to_owned(), observable);
+    let designs = doc
+        .get("designs")
+        .and_then(Json::as_arr)
+        .ok_or("`designs` missing or not an array")?;
+    if designs.is_empty() {
+        return Err("`designs` is empty".into());
+    }
+    for (i, d) in designs.iter().enumerate() {
+        for field in ["name", "target"] {
+            d.get(field)
+                .and_then(Json::as_str)
+                .ok_or_else(|| format!("designs[{i}]: bad or missing `{field}`"))?;
+        }
+        let corpus = d
+            .get("corpus")
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("designs[{i}]: bad or missing `corpus`"))?;
+        if !matches!(corpus, "catalog" | "rvdg") {
+            return Err(format!("designs[{i}]: unknown corpus `{corpus}`"));
+        }
+        check_agg(&format!("designs[{i}]"), d)?;
+        v.events += 1;
+    }
+    let classes = doc
+        .get("classes")
+        .and_then(Json::as_arr)
+        .ok_or("`classes` missing or not an array")?;
+    if classes.is_empty() {
+        return Err("`classes` is empty".into());
+    }
+    for (i, c) in classes.iter().enumerate() {
+        c.get("kind")
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("classes[{i}]: bad or missing `kind`"))?;
+        check_agg(&format!("classes[{i}]"), c)?;
+    }
+    let dists = doc.get("distributions").ok_or("missing `distributions`")?;
+    for name in ["attention_entropy", "score_margin"] {
+        let d = dists
+            .get(name)
+            .ok_or_else(|| format!("distributions: missing `{name}`"))?;
+        for field in ["count", "mean", "min", "max", "p50", "p90", "p99"] {
+            d.get(field)
+                .and_then(Json::as_num)
+                .ok_or_else(|| format!("distribution `{name}`: bad or missing `{field}`"))?;
+        }
+    }
+    Ok(v)
+}
+
 fn metrics_counters(metrics: &Json) -> Result<BTreeMap<String, f64>, String> {
     let counters = metrics
         .get("counters")
@@ -369,6 +495,53 @@ mod tests {
               "counters": {}}]
         }"#;
         assert!(tracez(orphan).is_err());
+    }
+
+    fn accuracy_fixture() -> String {
+        r#"{
+            "schema": "veribug-accuracy v1",
+            "seed_manifest": {"train_seed": 1234, "campaign_seed_base": 1, "rvdg_seed": 2,
+                              "threads_checked": [1, 2, 8]},
+            "weights_hash": "00f1e2d3c4b5a697",
+            "deterministic_across_threads": true,
+            "overall": {"injected": 20, "observable": 18, "p_at_1": 0.5, "p_at_3": 0.6,
+                        "p_at_5": 0.7, "mrr": 0.55},
+            "designs": [{"name": "wb_mux_2", "target": "wbs0_we_o", "corpus": "catalog",
+                         "injected": 4, "observable": 4, "p_at_1": 0.75, "p_at_3": 0.75,
+                         "p_at_5": 0.75, "mrr": 0.75}],
+            "classes": [{"kind": "negation", "injected": 5, "observable": 5, "p_at_1": 0.2,
+                         "p_at_3": 0.2, "p_at_5": 0.2, "mrr": 0.2}],
+            "distributions": {
+                "attention_entropy": {"count": 50, "mean": 0.4, "min": 0, "max": 1.3,
+                                      "p50": 0.4, "p90": 0.9, "p99": 1.2},
+                "score_margin": {"count": 179, "mean": 2.5, "min": 0.06, "max": 5.0,
+                                 "p50": 2.7, "p90": 4.3, "p99": 4.7}
+            }
+        }"#
+        .to_owned()
+    }
+
+    #[test]
+    fn accuracy_report_validates() {
+        let v = accuracy(&accuracy_fixture()).expect("valid accuracy report");
+        assert_eq!(v.events, 1);
+        assert_eq!(v.counters.get("observable"), Some(&18.0));
+    }
+
+    #[test]
+    fn corrupt_accuracy_report_is_rejected() {
+        assert!(accuracy("{}").is_err(), "missing envelope");
+        let nondeterministic = accuracy_fixture().replace(
+            "\"deterministic_across_threads\": true",
+            "\"deterministic_across_threads\": false",
+        );
+        assert!(accuracy(&nondeterministic).is_err());
+        let bad_hash = accuracy_fixture().replace("00f1e2d3c4b5a697", "nothex");
+        assert!(accuracy(&bad_hash).is_err());
+        let out_of_range = accuracy_fixture().replace("\"p_at_5\": 0.7", "\"p_at_5\": 1.7");
+        assert!(accuracy(&out_of_range).is_err());
+        let no_designs = accuracy_fixture().replace("\"corpus\": \"catalog\"", "\"corpus\": \"x\"");
+        assert!(accuracy(&no_designs).is_err());
     }
 
     #[test]

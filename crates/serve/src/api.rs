@@ -200,6 +200,18 @@ pub fn parse_localize(body: &[u8]) -> Result<LocalizeRequest, ApiError> {
     })
 }
 
+/// Parses a `/v1/explain` body — the same shape as `/v1/localize`: the
+/// endpoint runs the identical pipeline and differs only in what it
+/// renders (per-operand attention attributions instead of the suspect
+/// list).
+///
+/// # Errors
+///
+/// As [`parse_localize`].
+pub fn parse_explain(body: &[u8]) -> Result<LocalizeRequest, ApiError> {
+    parse_localize(body)
+}
+
 /// Parses a `/v1/analyze` body.
 ///
 /// # Errors

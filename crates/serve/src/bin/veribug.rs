@@ -1,10 +1,14 @@
-//! The `veribug` command-line tool: train, inject, localize, analyze,
-//! dump, serve.
+//! The `veribug` command-line tool: train, localize, explain, inject,
+//! analyze, dump, serve.
 //!
 //! ```text
 //! veribug train    --out model.vbm [--designs N] [--epochs N] [--seed S]
+//!                  [--log train_log.jsonl]
 //! veribug localize --golden g.v --buggy b.v --target T --model model.vbm
 //!                  [--runs N] [--cycles N] [--threshold X] [--ansi]
+//! veribug explain  --golden g.v --buggy b.v --target T [--model model.vbm]
+//!                  [--runs N] [--cycles N] [--threshold X]
+//!                  [--attention] [--json] [--out PATH]
 //! veribug inject   --design g.v --target T [--negation N] [--operation N]
 //!                  [--misuse N] [--seed S] [--out-dir DIR]
 //! veribug analyze  --design f.v --target T
@@ -32,7 +36,7 @@ use veribug::localize::{self, LocalizeOptions};
 use veribug::model::{ModelConfig, VeriBugModel};
 use veribug::render::render_comparison;
 use veribug::train::{self, Dataset, TrainConfig};
-use veribug::{persist, DEFAULT_THRESHOLD};
+use veribug::{persist, AttributionReport, DEFAULT_THRESHOLD};
 use veribug_serve::{Server, ServerConfig};
 
 fn main() -> ExitCode {
@@ -85,8 +89,12 @@ veribug — attention-based bug localization for Verilog designs
 
 USAGE:
   veribug train    --out model.vbm [--designs N] [--epochs N] [--seed S]
+                   [--log train_log.jsonl]
   veribug localize --golden g.v --buggy b.v --target T --model model.vbm
                    [--runs N] [--cycles N] [--threshold X] [--ansi]
+  veribug explain  --golden g.v --buggy b.v --target T [--model model.vbm]
+                   [--runs N] [--cycles N] [--threshold X]
+                   [--attention] [--json] [--out PATH]
   veribug inject   --design g.v --target T [--negation N] [--operation N]
                    [--misuse N] [--seed S] [--out-dir DIR]
   veribug analyze  --design f.v --target T
@@ -112,7 +120,7 @@ struct Command {
 const COMMANDS: &[Command] = &[
     Command {
         name: "train",
-        flags: &["out", "designs", "epochs", "seed"],
+        flags: &["out", "designs", "epochs", "seed", "log"],
         run: cmd_train,
     },
     Command {
@@ -128,6 +136,22 @@ const COMMANDS: &[Command] = &[
             "ansi",
         ],
         run: cmd_localize,
+    },
+    Command {
+        name: "explain",
+        flags: &[
+            "golden",
+            "buggy",
+            "target",
+            "model",
+            "runs",
+            "cycles",
+            "threshold",
+            "attention",
+            "json",
+            "out",
+        ],
+        run: cmd_explain,
     },
     Command {
         name: "inject",
@@ -262,21 +286,64 @@ fn cmd_train(opts: &HashMap<String, String>) -> CmdResult {
     };
     obs::progress!("dataset: {} unique statement executions", dataset.len());
     let mut model = VeriBugModel::new(ModelConfig::default());
-    let report = train::train(
-        &mut model,
-        &dataset,
-        &TrainConfig {
-            epochs,
-            ..TrainConfig::default()
-        },
-    )?;
+    let cfg = TrainConfig {
+        epochs,
+        ..TrainConfig::default()
+    };
+    let report = train::train(&mut model, &dataset, &cfg)?;
     obs::progress!(
         "trained {epochs} epochs; loss {:.4} -> {:.4}",
         report.epoch_losses.first().unwrap_or(&0.0),
         report.epoch_losses.last().unwrap_or(&0.0)
     );
     persist::save(&model, out)?;
-    obs::progress!("model written to {out}");
+    let log = opts.get("log").map_or("train_log.jsonl", String::as_str);
+    train::append_train_log(std::path::Path::new(log), &report, &cfg, &model)?;
+    obs::progress!("model written to {out}, epoch telemetry appended to {log}");
+    Ok(())
+}
+
+fn cmd_explain(opts: &HashMap<String, String>) -> CmdResult {
+    let (golden, buggy) = {
+        let _span = obs::span("parse");
+        (
+            load_module(required(opts, "golden")?)?,
+            load_module(required(opts, "buggy")?)?,
+        )
+    };
+    let target = required(opts, "target")?;
+    // Without --model, explain the freshly initialized (untrained) model —
+    // the same fallback `veribug serve` uses, so CLI and `/v1/explain`
+    // output can be compared directly.
+    let model = match opts.get("model") {
+        Some(path) => persist::load(path)?,
+        None => VeriBugModel::new(ModelConfig::default()),
+    };
+    let localize_opts = LocalizeOptions {
+        runs: numeric(opts, "runs", 160)?,
+        cycles: numeric(opts, "cycles", 16)?,
+        threshold: numeric(opts, "threshold", DEFAULT_THRESHOLD)?,
+        ..LocalizeOptions::default()
+    };
+    let report = localize::run(&model, &golden, &buggy, target, &localize_opts)?;
+    let rendered = if opts.contains_key("attention") {
+        let att = AttributionReport::from_localize(&model, &buggy, &report);
+        if opts.contains_key("json") {
+            att.to_json()
+        } else {
+            att.to_text()
+        }
+    } else {
+        // Plain mode: the Fig. 4-style side-by-side comparison.
+        format!(
+            "{}\n",
+            render_comparison(&buggy, &report.heatmap, &report.correct_map, false)
+        )
+    };
+    match opts.get("out") {
+        Some(path) => std::fs::write(path, rendered)?,
+        None => print!("{rendered}"),
+    }
     Ok(())
 }
 

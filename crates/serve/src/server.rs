@@ -106,6 +106,9 @@ impl Default for ServerConfig {
 pub(crate) struct ServerState {
     config: ServerConfig,
     model: VeriBugModel,
+    /// Content hash of the loaded weights (computed once at bind), so
+    /// `/healthz` and `/statusz` can say which model this box serves.
+    weights_hash: String,
     cache: DesignCache,
     pool: Arc<Pool>,
     shutdown: AtomicBool,
@@ -159,9 +162,11 @@ impl Server {
         };
         let listener = TcpListener::bind(&config.addr)?;
         let pool = Arc::new(Pool::new(config.workers, config.queue_capacity));
+        let weights_hash = veribug::persist::content_hash_hex(&model);
         let state = Arc::new(ServerState {
             cache: DesignCache::new(config.cache_capacity),
             model,
+            weights_hash,
             pool,
             config,
             shutdown: AtomicBool::new(false),
@@ -391,6 +396,7 @@ fn route_label(req: &Request) -> &'static str {
     let path = req.path.split('?').next().unwrap_or(&req.path);
     match path {
         "/v1/localize" => "/v1/localize",
+        "/v1/explain" => "/v1/explain",
         "/v1/analyze" => "/v1/analyze",
         "/v1/shutdown" => "/v1/shutdown",
         "/healthz" => "/healthz",
@@ -436,6 +442,7 @@ fn route(state: &ServerState, req: &Request, rid: &str, stream: &mut TcpStream) 
     let path = req.path.split('?').next().unwrap_or(&req.path);
     match (req.method.as_str(), path) {
         ("POST", "/v1/localize") => handle_localize(state, &req.body, rid, stream),
+        ("POST", "/v1/explain") => handle_explain(state, &req.body, rid, stream),
         ("POST", "/v1/analyze") => handle_analyze(&req.body, rid, stream),
         ("POST", "/v1/shutdown") => {
             state.shutdown.store(true, Ordering::SeqCst);
@@ -455,8 +462,8 @@ fn route(state: &ServerState, req: &Request, rid: &str, stream: &mut TcpStream) 
         }
         (
             "GET" | "POST",
-            "/v1/localize" | "/v1/analyze" | "/v1/shutdown" | "/healthz" | "/metricsz" | "/statusz"
-            | "/tracez" | "/tracez/export",
+            "/v1/localize" | "/v1/explain" | "/v1/analyze" | "/v1/shutdown" | "/healthz"
+            | "/metricsz" | "/statusz" | "/tracez" | "/tracez/export",
         ) => {
             let err = ApiError::new(
                 405,
@@ -582,6 +589,91 @@ fn handle_localize(state: &ServerState, body: &[u8], rid: &str, stream: &mut Tcp
     }
 }
 
+/// `POST /v1/explain`: the localize pipeline, answered as per-operand
+/// attention attributions. The body is rendered by
+/// [`veribug::AttributionReport::to_json`] — the exact string
+/// `veribug explain --attention --json` prints — so CLI and service
+/// attributions are identical by construction (asserted by test).
+fn handle_explain(state: &ServerState, body: &[u8], rid: &str, stream: &mut TcpStream) -> u16 {
+    let parsed = match api::parse_explain(body) {
+        Ok(p) => p,
+        Err(e) => {
+            let e = e.with_request_id(rid);
+            return respond(stream, rid, e.status, &[], &e.body());
+        }
+    };
+    let (mut golden, mut buggy) = {
+        let _span = obs::span("serve.cache");
+        let golden = match state.cache.get(&parsed.golden) {
+            Ok(d) => d,
+            Err(e) => {
+                let e = build_error("golden", e).with_request_id(rid);
+                return respond(stream, rid, e.status, &[], &e.body());
+            }
+        };
+        let buggy = match state.cache.get(&parsed.buggy) {
+            Ok(d) => d,
+            Err(e) => {
+                let e = build_error("buggy", e).with_request_id(rid);
+                return respond(stream, rid, e.status, &[], &e.body());
+            }
+        };
+        (golden, buggy)
+    };
+    let deadline = parsed
+        .deadline_ms
+        .map(Duration::from_millis)
+        .unwrap_or(state.config.deadline);
+    let cancel = CancelToken::with_deadline(Instant::now() + deadline);
+    let result = veribug::localize::run_with_sims(
+        &state.model,
+        &mut golden.sim,
+        &mut buggy.sim,
+        &parsed.target,
+        &parsed.opts,
+        &cancel,
+    );
+    let cache_note = format!(
+        "golden={},buggy={}",
+        if golden.hit { "hit" } else { "miss" },
+        if buggy.hit { "hit" } else { "miss" }
+    );
+    let extra: &[(&str, &str)] = &[("x-veribug-cache", &cache_note)];
+    match result {
+        Ok(report) => {
+            let att =
+                veribug::AttributionReport::from_localize(&state.model, &buggy.module, &report);
+            respond(stream, rid, 200, extra, &att.to_json())
+        }
+        Err(VeriBugError::Sim(sim::SimError::Cancelled { at_cycle })) => {
+            DEADLINES.incr();
+            let e = ApiError::new(
+                504,
+                "deadline",
+                format!(
+                    "deadline of {}ms exceeded (cancelled at cycle {at_cycle}); partial work discarded",
+                    deadline.as_millis()
+                ),
+            )
+            .with_request_id(rid);
+            respond(stream, rid, 504, extra, &e.body())
+        }
+        Err(VeriBugError::UnknownTarget { target }) => {
+            let e = ApiError::new(
+                422,
+                "unknown_target",
+                format!("target `{target}` is not a signal of the golden design"),
+            )
+            .with_request_id(rid);
+            respond(stream, rid, 422, extra, &e.body())
+        }
+        Err(other) => {
+            let e = ApiError::new(422, "localize", other.to_string()).with_request_id(rid);
+            respond(stream, rid, 422, extra, &e.body())
+        }
+    }
+}
+
 fn handle_analyze(body: &[u8], rid: &str, stream: &mut TcpStream) -> u16 {
     let parsed = match api::parse_analyze(body) {
         Ok(p) => p,
@@ -643,8 +735,10 @@ fn handle_analyze(body: &[u8], rid: &str, stream: &mut TcpStream) -> u16 {
 fn handle_healthz(state: &ServerState, rid: &str, stream: &mut TcpStream) -> u16 {
     let uptime = state.started.elapsed();
     let body = format!(
-        "{{\"status\":\"ok\",\"version\":\"{}\",\"engines\":[\"batch\",\"compiled\",\"interpreted\"],\"uptime_ms\":{},\"uptime_s\":{},\"workers\":{},\"queue_capacity\":{},\"cache_entries\":{},\"cache_capacity\":{}}}\n",
+        "{{\"status\":\"ok\",\"version\":\"{}\",\"engines\":[\"batch\",\"compiled\",\"interpreted\"],\"weights_hash\":\"{}\",\"model_format\":\"{}\",\"uptime_ms\":{},\"uptime_s\":{},\"workers\":{},\"queue_capacity\":{},\"cache_entries\":{},\"cache_capacity\":{}}}\n",
         env!("CARGO_PKG_VERSION"),
+        state.weights_hash,
+        veribug::persist::format_version(),
         uptime.as_millis(),
         uptime.as_secs(),
         state.config.workers,
@@ -657,6 +751,10 @@ fn handle_healthz(state: &ServerState, rid: &str, stream: &mut TcpStream) -> u16
 
 fn handle_statusz(state: &ServerState, rid: &str, stream: &mut TcpStream) -> u16 {
     let (queued, running) = state.pool.depth();
+    // Flush this worker's metric shards so the model counters below see
+    // evaluations recorded by this very request's predecessors.
+    obs::flush_thread();
+    let snapshot = obs::snapshot();
     let info = telemetry::StatusInfo {
         uptime_s: state.started.elapsed().as_secs(),
         workers: state.config.workers,
@@ -665,6 +763,14 @@ fn handle_statusz(state: &ServerState, rid: &str, stream: &mut TcpStream) -> u16
         running,
         cache_entries: state.cache.len(),
         cache_capacity: state.config.cache_capacity,
+        weights_hash: state.weights_hash.clone(),
+        model_format: veribug::persist::format_version(),
+        evals: snapshot
+            .counters
+            .get("model.evals")
+            .copied()
+            .unwrap_or_default(),
+        score_margin: snapshot.histograms.get("model.score_margin").copied(),
     };
     let body = telemetry::statusz_json(&info, obs::rolling::WINDOW_SECONDS);
     respond(stream, rid, 200, &[], &body)

@@ -152,6 +152,14 @@ pub(crate) struct StatusInfo {
     pub(crate) running: usize,
     pub(crate) cache_entries: usize,
     pub(crate) cache_capacity: usize,
+    /// Content hash of the served model's weights.
+    pub(crate) weights_hash: String,
+    /// Persist-format version of those weights.
+    pub(crate) model_format: &'static str,
+    /// Total `model.evals` served (process lifetime).
+    pub(crate) evals: u64,
+    /// `model.score_margin` summary, once any evaluation recorded one.
+    pub(crate) score_margin: Option<obs::HistSummary>,
 }
 
 /// Renders the `/statusz` JSON page: uptime, build info, worker/queue
@@ -175,6 +183,27 @@ pub(crate) fn statusz_json(info: &StatusInfo, window_s: u64) -> String {
         ",\"cache\":{{\"entries\":{},\"capacity\":{}}}",
         info.cache_entries, info.cache_capacity
     );
+    out.push_str(",\"model\":{\"weights_hash\":");
+    json::write_str(&mut out, &info.weights_hash);
+    out.push_str(",\"format\":");
+    json::write_str(&mut out, info.model_format);
+    let _ = write!(out, ",\"evals\":{}", info.evals);
+    out.push_str(",\"score_margin\":");
+    match &info.score_margin {
+        Some(h) => {
+            let _ = write!(out, "{{\"count\":{},\"mean\":", h.count);
+            json::write_f64(&mut out, h.mean);
+            out.push_str(",\"p50\":");
+            json::write_f64(&mut out, h.p50);
+            out.push_str(",\"p99\":");
+            json::write_f64(&mut out, h.p99);
+            out.push_str(",\"max\":");
+            json::write_f64(&mut out, h.max);
+            out.push('}');
+        }
+        None => out.push_str("null"),
+    }
+    out.push('}');
     let _ = write!(
         out,
         ",\"ring\":{{\"retained\":{retained},\"sampled\":{sampled},\"active\":{active}}}"
@@ -277,6 +306,14 @@ mod tests {
             running: 2,
             cache_entries: 3,
             cache_capacity: 64,
+            weights_hash: "00f1e2d3c4b5a697".to_owned(),
+            model_format: "veribug-model v1",
+            evals: 42,
+            score_margin: Some(obs::HistSummary {
+                count: 42,
+                mean: 0.5,
+                ..obs::HistSummary::default()
+            }),
         };
         let page = statusz_json(&info, 60);
         let doc = obs::json::parse(&page).expect("valid json");
@@ -293,5 +330,22 @@ mod tests {
         assert!(doc.get("endpoints").and_then(|v| v.as_arr()).is_some());
         let queue = doc.get("queue").expect("queue block");
         assert_eq!(queue.get("queued").and_then(|v| v.as_num()), Some(1.0));
+        let model = doc.get("model").expect("model block");
+        assert_eq!(
+            model.get("weights_hash").and_then(|v| v.as_str()),
+            Some("00f1e2d3c4b5a697")
+        );
+        assert_eq!(
+            model.get("format").and_then(|v| v.as_str()),
+            Some("veribug-model v1")
+        );
+        assert_eq!(model.get("evals").and_then(|v| v.as_num()), Some(42.0));
+        assert_eq!(
+            model
+                .get("score_margin")
+                .and_then(|m| m.get("count"))
+                .and_then(|v| v.as_num()),
+            Some(42.0)
+        );
     }
 }

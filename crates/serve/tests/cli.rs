@@ -40,7 +40,9 @@ fn unknown_subcommand_lists_valid_commands_and_fails() {
     assert!(!out.status.success(), "unknown command exits nonzero");
     let stderr = String::from_utf8_lossy(&out.stderr);
     assert!(stderr.contains("unknown command `frobnicate`"), "{stderr}");
-    for cmd in ["train", "localize", "inject", "analyze", "vcd", "serve"] {
+    for cmd in [
+        "train", "localize", "explain", "inject", "analyze", "vcd", "serve",
+    ] {
         assert!(stderr.contains(cmd), "stderr lists `{cmd}`: {stderr}");
     }
 }
@@ -187,6 +189,105 @@ fn cli_and_server_rank_suspects_identically() {
     assert_eq!(
         cli_ranking, server_ranking,
         "CLI and server rankings are byte-identical"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The attention-introspection acceptance check: `veribug explain
+/// --attention` output (text and JSON) is byte-identical at 1/2/8 threads,
+/// and the JSON is byte-identical to the `POST /v1/explain` body for the
+/// same inputs.
+#[test]
+fn explain_attention_is_thread_invariant_and_matches_server() {
+    let dir = scratch_dir("explain");
+    let golden_path = dir.join("golden.v");
+    let buggy_path = dir.join("buggy.v");
+    let model_path = dir.join("model.vbm");
+    std::fs::write(&golden_path, GOLDEN).unwrap();
+    std::fs::write(&buggy_path, BUGGY).unwrap();
+    let model = veribug::model::VeriBugModel::new(veribug::model::ModelConfig::default());
+    veribug::persist::save(&model, model_path.to_str().unwrap()).unwrap();
+
+    let run = |threads: &str, json: bool| -> String {
+        let mut args = vec![
+            "explain",
+            "--golden",
+            golden_path.to_str().unwrap(),
+            "--buggy",
+            buggy_path.to_str().unwrap(),
+            "--target",
+            "y",
+            "--model",
+            model_path.to_str().unwrap(),
+            "--runs",
+            "24",
+            "--cycles",
+            "8",
+            "--threshold",
+            "0.01",
+            "--attention",
+            "--quiet",
+        ];
+        if json {
+            args.push("--json");
+        }
+        let out = Command::new(BIN)
+            .args(&args)
+            .env("VERIBUG_THREADS", threads)
+            .output()
+            .expect("run explain");
+        assert!(
+            out.status.success(),
+            "stderr: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        String::from_utf8(out.stdout).expect("utf-8 stdout")
+    };
+    let text1 = run("1", false);
+    let json1 = run("1", true);
+    assert!(text1.contains("F_t:"), "heat-map rendered: {text1}");
+    assert!(
+        json1.contains("\"attributions\":["),
+        "json rendered: {json1}"
+    );
+    for threads in ["2", "8"] {
+        assert_eq!(text1, run(threads, false), "{threads}-thread text output");
+        assert_eq!(json1, run(threads, true), "{threads}-thread json output");
+    }
+
+    // The same request through `POST /v1/explain`.
+    let server = veribug_serve::Server::bind(veribug_serve::ServerConfig {
+        model_path: Some(model_path.to_str().unwrap().to_owned()),
+        ..Default::default()
+    })
+    .expect("bind");
+    let addr = server.local_addr().unwrap();
+    let handle = server.handle();
+    let join = std::thread::spawn(move || server.run());
+    let mut body = String::from("{\"golden\":");
+    obs::json::write_str(&mut body, GOLDEN);
+    body.push_str(",\"buggy\":");
+    obs::json::write_str(&mut body, BUGGY);
+    body.push_str(",\"target\":\"y\",\"options\":{\"runs\":24,\"cycles\":8,\"threshold\":0.01}}");
+    let mut stream = TcpStream::connect(addr).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(60)))
+        .unwrap();
+    write!(
+        stream,
+        "POST /v1/explain HTTP/1.1\r\nHost: x\r\nContent-Length: {}\r\n\r\n{body}",
+        body.len()
+    )
+    .unwrap();
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw).unwrap();
+    handle.shutdown();
+    join.join().unwrap().unwrap();
+    assert!(raw.starts_with("HTTP/1.1 200"), "response: {raw}");
+    let payload = raw.split("\r\n\r\n").nth(1).expect("body");
+    assert_eq!(
+        json1, payload,
+        "CLI --json and /v1/explain bodies are byte-identical"
     );
     let _ = std::fs::remove_dir_all(&dir);
 }

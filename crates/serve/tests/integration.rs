@@ -329,6 +329,18 @@ fn healthz_and_metricsz_respond() {
     let doc = health.json();
     assert_eq!(doc.get("status").unwrap().as_str(), Some("ok"));
     assert!(doc.get("workers").unwrap().as_num().unwrap() >= 1.0);
+    let hash = doc
+        .get("weights_hash")
+        .unwrap()
+        .as_str()
+        .unwrap()
+        .to_string();
+    assert_eq!(hash.len(), 16, "weights hash is 16 hex chars: {hash}");
+    assert!(hash.chars().all(|c| c.is_ascii_hexdigit()));
+    assert_eq!(
+        doc.get("model_format").unwrap().as_str(),
+        Some(veribug::persist::format_version())
+    );
 
     let metrics = request(handle.addr(), "GET", "/metricsz", "");
     assert_eq!(metrics.status, 200);
