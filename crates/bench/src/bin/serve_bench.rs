@@ -18,15 +18,20 @@
 //! - the 429-retry count, total backoff seconds, and the determinism and
 //!   drain verdicts,
 //! - a telemetry-overhead A/B (fresh servers with live tracing off vs on,
-//!   alternating reps, best-of-reps throughput and p99).
+//!   alternating reps, best-of-reps throughput and p99),
+//! - a `store_restart` block: first-request latency of a freshly booted
+//!   server over an empty artifact store (cold restart) vs over a
+//!   populated one (warm restart, designs precompiled at bind),
+//!   min-of-3 boots each.
 //!
 //! Run with: `cargo run --release -p veribug-bench --bin serve_bench`
 //!
 //! Options: `--connections N` (default 8), `--requests N` total (default
 //! 240), `--designs D` distinct pairs (default 6), `--smoke` (shrinks the
 //! workload and exits non-zero on any 5xx response, on identical requests
-//! producing different bodies, on a failed drain, or on live telemetry
-//! costing more than 5% throughput or p99 — without rewriting the JSON).
+//! producing different bodies, on a failed drain, on live telemetry
+//! costing more than 5% throughput or p99, or on a restart over a
+//! populated store that is not warm — without rewriting the JSON).
 
 use std::fmt::Write as _;
 use std::io::{Read, Write};
@@ -250,7 +255,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             let next = Arc::clone(&next);
             let bodies = Arc::clone(&bodies);
             std::thread::spawn(move || -> Vec<Sample> {
-                let mut rng = 0x9E37_79B9_7F4A_7C15u64.wrapping_mul(w as u64 + 1);
+                // Per-worker jitter seed derived through the repo's shared
+                // FNV-1a (`store::hash`) — distinct and never zero, which
+                // xorshift requires.
+                let mut rng = store::hash::fnv1a(format!("serve-bench worker {w}").as_bytes());
                 let mut out = Vec::new();
                 loop {
                     let i = next.fetch_add(1, Ordering::Relaxed);
@@ -315,6 +323,40 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Drain: stop accepting, finish in-flight, and require a clean exit.
     let (shutdown_status, _, _) = request(addr, "POST", "/v1/shutdown", "")?;
     let drained = shutdown_status == 200 && server_thread.join().is_ok_and(|r| r.is_ok());
+
+    // Store-restart phase: what the persistent artifact store buys a
+    // restarted process. Cold restart = fresh server over an *empty*
+    // store (first request parses and compiles both designs); warm
+    // restart = fresh server over the store the cold boot populated via
+    // write-through (designs precompiled at bind, first request is an L1
+    // hit). Min-of-reps on both sides — the workload is deterministic, so
+    // the minimum is the honest estimate.
+    let store_dir =
+        std::env::temp_dir().join(format!("veribug-serve-bench-store-{}", std::process::id()));
+    let restart_reps = 3usize;
+    let restart_body = {
+        let (golden, buggy) = design_pair(3000, stmts);
+        localize_body(&golden, &buggy, runs, cycles)
+    };
+    let mut restart_cold_s = f64::INFINITY;
+    let mut restart_warm_s = f64::INFINITY;
+    let mut warm_hit = true;
+    let mut warm_preloaded = 0u64;
+    for _ in 0..restart_reps {
+        std::fs::remove_dir_all(&store_dir).ok();
+        let (secs, hit, _) = restart_probe(&store_dir, &restart_body)?;
+        assert!(!hit, "cold restart over an empty store must miss");
+        restart_cold_s = restart_cold_s.min(secs);
+    }
+    // The last cold boot left both designs in the store; every boot from
+    // here on is warm.
+    for _ in 0..restart_reps {
+        let (secs, hit, preloaded) = restart_probe(&store_dir, &restart_body)?;
+        warm_hit &= hit;
+        warm_preloaded = preloaded;
+        restart_warm_s = restart_warm_s.min(secs);
+    }
+    std::fs::remove_dir_all(&store_dir).ok();
 
     // Telemetry-overhead A/B: fresh servers with live tracing off vs on.
     // Symmetric min-of-reps, the same estimator bench_pipeline's
@@ -427,6 +469,22 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "    \"hits\": {hits}, \"misses\": {misses}, \"hit_rate\": {hit_rate:.4}"
     );
     let _ = writeln!(json, "  }},");
+    let _ = writeln!(json, "  \"store_restart\": {{");
+    let _ = writeln!(json, "    \"reps\": {restart_reps},");
+    let _ = writeln!(
+        json,
+        "    \"cold_first_request_s\": {restart_cold_s:.6}, \"warm_first_request_s\": {restart_warm_s:.6},"
+    );
+    let _ = writeln!(
+        json,
+        "    \"cold_over_warm\": {:.3}, \"warm_hit\": {warm_hit}, \"preloaded\": {warm_preloaded}",
+        if restart_warm_s > 0.0 {
+            restart_cold_s / restart_warm_s
+        } else {
+            0.0
+        }
+    );
+    let _ = writeln!(json, "  }},");
     let _ = writeln!(json, "  \"telemetry_overhead\": {{");
     let _ = writeln!(
         json,
@@ -470,6 +528,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             )
             .into());
         }
+        if !warm_hit {
+            return Err(
+                "smoke FAILED: restart over a populated store did not answer its first request from cache"
+                    .into(),
+            );
+        }
+        if restart_warm_s >= restart_cold_s {
+            return Err(format!(
+                "smoke FAILED: warm restart not faster (first request {restart_warm_s:.4}s >= cold {restart_cold_s:.4}s)"
+            )
+            .into());
+        }
         // Live telemetry must stay within 5% on both throughput and p99
         // (same budget the obs overhead gate in bench_pipeline enforces; a
         // tighter bound sits inside min-of-reps jitter on this host). p99
@@ -494,7 +564,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             .into());
         }
         println!(
-            "smoke OK: {ok} responses, cache hit rate {:.0}%, warm p50 {seq_warm_p50:.4}s vs cold p50 {seq_cold_p50:.4}s, telemetry overhead {:.1}% rps / {:.1}% p99",
+            "smoke OK: {ok} responses, cache hit rate {:.0}%, warm p50 {seq_warm_p50:.4}s vs cold p50 {seq_cold_p50:.4}s, warm restart {restart_warm_s:.4}s vs cold {restart_cold_s:.4}s, telemetry overhead {:.1}% rps / {:.1}% p99",
             hit_rate * 100.0,
             rps_overhead * 100.0,
             p99_overhead * 100.0
@@ -539,6 +609,34 @@ fn telemetry_probe(
     let _ = server_thread.join();
     lat.sort_by(|a, b| a.total_cmp(b));
     Ok((percentile(&lat, 0.50), percentile(&lat, 0.99)))
+}
+
+/// One restart probe: boots a fresh server over `store_dir`, times the
+/// very first localize request, scrapes `store.preloaded` from `/statusz`,
+/// and drains. Returns `(first_request_s, cache_hit, preloaded)`.
+fn restart_probe(
+    store_dir: &std::path::Path,
+    body: &str,
+) -> Result<(f64, bool, u64), Box<dyn std::error::Error>> {
+    let server = Server::bind(ServerConfig {
+        store_path: Some(store_dir.display().to_string()),
+        ..ServerConfig::default()
+    })?;
+    let addr = server.local_addr()?;
+    let server_thread = std::thread::spawn(move || server.run());
+    let t0 = Instant::now();
+    let (status, warm, _) = request(addr, "POST", "/v1/localize", body)?;
+    let secs = t0.elapsed().as_secs_f64();
+    assert_eq!(status, 200, "restart probe request failed");
+    let (_, _, statusz) = request(addr, "GET", "/statusz", "")?;
+    let preloaded = obs::json::parse(&statusz)
+        .ok()
+        .and_then(|doc| doc.get("store")?.get("preloaded")?.as_num())
+        .map_or(0, |v| v as u64);
+    let (shutdown_status, _, _) = request(addr, "POST", "/v1/shutdown", "")?;
+    assert_eq!(shutdown_status, 200, "restart probe drain failed");
+    let _ = server_thread.join();
+    Ok((secs, warm, preloaded))
 }
 
 /// Pulls `serve.cache.hits` / `serve.cache.misses` out of the `/metricsz`

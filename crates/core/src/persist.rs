@@ -33,20 +33,16 @@ pub fn format_version() -> &'static str {
 /// content hash of the loaded weights. Two models hash equal iff
 /// [`to_string`] renders them byte-identically, so the hash identifies
 /// *which* weights a process is serving independent of file path or mtime.
+/// The hash function itself lives in [`store::hash`] — the same one that
+/// keys the design cache and the persistent artifact store.
 pub fn content_hash(model: &VeriBugModel) -> u64 {
-    let text = to_string(model);
-    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-    for &b in text.as_bytes() {
-        h ^= u64::from(b);
-        h = h.wrapping_mul(0x100_0000_01b3);
-    }
-    h
+    store::hash::fnv1a(to_string(model).as_bytes())
 }
 
 /// [`content_hash`] rendered as the fixed-width 16-hex-digit string used
 /// everywhere the hash is shown (status pages, logs, `train_log.jsonl`).
 pub fn content_hash_hex(model: &VeriBugModel) -> String {
-    format!("{:016x}", content_hash(model))
+    store::hash::key_hex(content_hash(model))
 }
 
 /// Serializes a model to the text format.

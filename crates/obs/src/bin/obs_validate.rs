@@ -22,6 +22,15 @@
 //! obs_validate --accuracy accuracy_smoke.json --require-counter-nonzero observable
 //! ```
 //!
+//! `--metricsz` switches to the `/metricsz` body schema served by
+//! `veribug serve` and the shard front; gauges are folded into the
+//! counter namespace so `--require-counter-nonzero` works against either
+//! (the CI store job requires the `store.*` counters):
+//!
+//! ```text
+//! obs_validate --metricsz metricsz.json --require-counter-nonzero store.hits
+//! ```
+//!
 //! Exit status is nonzero on a schema violation or an unmet requirement.
 
 use std::process::ExitCode;
@@ -33,12 +42,14 @@ fn main() -> ExitCode {
     let mut path = None;
     let mut tracez = false;
     let mut accuracy = false;
+    let mut metricsz = false;
     let mut require_spans = Vec::new();
     let mut require_counters = Vec::new();
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--tracez" => tracez = true,
             "--accuracy" => accuracy = true,
+            "--metricsz" => metricsz = true,
             "--require-span" => match args.next() {
                 Some(name) => require_spans.push(name),
                 None => return usage("--require-span needs a value"),
@@ -64,6 +75,8 @@ fn main() -> ExitCode {
     };
     let result = if accuracy {
         validate::accuracy(&src)
+    } else if metricsz {
+        validate::metricsz(&src)
     } else if tracez {
         validate::tracez(&src)
     } else if path.ends_with(".jsonl") {
@@ -115,7 +128,7 @@ fn usage(err: &str) -> ExitCode {
         eprintln!("obs_validate: {err}");
     }
     eprintln!(
-        "usage: obs_validate [--tracez | --accuracy] <trace.json|trace.jsonl> \
+        "usage: obs_validate [--tracez | --accuracy | --metricsz] <trace.json|trace.jsonl> \
          [--require-span NAME]... [--require-counter-nonzero NAME]..."
     );
     if err.is_empty() {

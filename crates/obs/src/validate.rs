@@ -396,6 +396,52 @@ pub fn accuracy(src: &str) -> Result<Validated, String> {
     Ok(v)
 }
 
+/// Validates a `/metricsz` JSON body as served by `veribug serve` (and
+/// the shard front): the `counters`/`gauges`/`histograms` envelope,
+/// numeric values throughout, the full percentile field set on every
+/// histogram, and a numeric `dropped_events`.
+///
+/// The returned [`Validated`] merges counters *and* gauges into
+/// `counters`, so `--require-counter-nonzero` works against either (e.g.
+/// `store.hits`, a counter, or `store.bytes`, a gauge).
+///
+/// # Errors
+///
+/// Returns a description of the first schema violation.
+pub fn metricsz(src: &str) -> Result<Validated, String> {
+    let doc = json::parse(src)?;
+    let mut v = Validated {
+        counters: metrics_counters(&doc)?,
+        ..Validated::default()
+    };
+    let gauges = doc
+        .get("gauges")
+        .and_then(Json::as_obj)
+        .ok_or("`gauges` missing or not an object")?;
+    for (name, value) in gauges {
+        let n = value
+            .as_num()
+            .ok_or_else(|| format!("gauge `{name}` is not a number"))?;
+        v.counters.entry(name.clone()).or_insert(n);
+    }
+    let histograms = doc
+        .get("histograms")
+        .and_then(Json::as_obj)
+        .ok_or("`histograms` missing or not an object")?;
+    for (name, h) in histograms {
+        for field in ["count", "sum", "mean", "min", "max", "p50", "p90", "p99"] {
+            h.get(field)
+                .and_then(Json::as_num)
+                .ok_or_else(|| format!("histogram `{name}`: bad or missing `{field}`"))?;
+        }
+    }
+    doc.get("dropped_events")
+        .and_then(Json::as_num)
+        .ok_or("missing `dropped_events`")?;
+    v.events = v.counters.len();
+    Ok(v)
+}
+
 fn metrics_counters(metrics: &Json) -> Result<BTreeMap<String, f64>, String> {
     let counters = metrics
         .get("counters")
@@ -542,6 +588,36 @@ mod tests {
         assert!(accuracy(&out_of_range).is_err());
         let no_designs = accuracy_fixture().replace("\"corpus\": \"catalog\"", "\"corpus\": \"x\"");
         assert!(accuracy(&no_designs).is_err());
+    }
+
+    #[test]
+    fn metricsz_body_validates() {
+        let r = live_report();
+        let v = metricsz(&export::metricsz(&r)).expect("valid metricsz body");
+        // Counters are process-global and other tests bump the same one,
+        // so assert presence and positivity rather than an exact total.
+        assert!(v.counters.get("validate.test_counter").copied() > Some(0.0));
+    }
+
+    #[test]
+    fn corrupt_metricsz_is_rejected() {
+        assert!(metricsz("{}").is_err(), "missing envelope");
+        assert!(
+            metricsz(r#"{"counters":{"a":"x"},"gauges":{},"histograms":{},"dropped_events":0}"#)
+                .is_err(),
+            "non-numeric counter"
+        );
+        assert!(
+            metricsz(
+                r#"{"counters":{},"gauges":{},"histograms":{"h":{"count":1}},"dropped_events":0}"#
+            )
+            .is_err(),
+            "histogram missing percentile fields"
+        );
+        assert!(
+            metricsz(r#"{"counters":{},"gauges":{},"histograms":{}}"#).is_err(),
+            "missing dropped_events"
+        );
     }
 
     #[test]

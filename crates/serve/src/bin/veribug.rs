@@ -1,5 +1,5 @@
 //! The `veribug` command-line tool: train, localize, explain, inject,
-//! analyze, dump, serve.
+//! analyze, dump, serve, store, shard-front.
 //!
 //! ```text
 //! veribug train    --out model.vbm [--designs N] [--epochs N] [--seed S]
@@ -15,7 +15,10 @@
 //! veribug vcd      --design f.v [--cycles N] [--seed S] --out trace.vcd
 //! veribug serve    [--addr HOST:PORT] [--workers N] [--queue N] [--cache N]
 //!                  [--deadline-ms N] [--max-body N] [--model model.vbm]
-//!                  [--access-log] [--debug-endpoints]
+//!                  [--access-log] [--debug-endpoints] [--store DIR]
+//! veribug store    ls|gc|rm KEY [--store DIR]
+//! veribug shard-front [--addr HOST:PORT] [--backends H:P,...] [--spawn N]
+//!                  [--replicas N] [--model model.vbm] [--store DIR]
 //! veribug --version
 //! ```
 //!
@@ -37,7 +40,7 @@ use veribug::model::{ModelConfig, VeriBugModel};
 use veribug::render::render_comparison;
 use veribug::train::{self, Dataset, TrainConfig};
 use veribug::{persist, AttributionReport, DEFAULT_THRESHOLD};
-use veribug_serve::{Server, ServerConfig};
+use veribug_serve::{Server, ServerConfig, ShardConfig, ShardFront};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -64,8 +67,44 @@ fn main() -> ExitCode {
         );
         return ExitCode::FAILURE;
     };
-    let opts = match parse_opts(&args[1..], spec) {
-        Ok(o) => o,
+    // `veribug store` takes a positional action (`ls`, `gc`, `rm <key>`)
+    // ahead of its flags; everything else is flags-only.
+    let mut positionals: Vec<(&'static str, String)> = Vec::new();
+    let mut flag_args: &[String] = &args[1..];
+    if command == "store" {
+        match args.get(1).map(String::as_str) {
+            Some(action @ ("ls" | "gc")) => {
+                positionals.push(("action", action.to_owned()));
+                flag_args = &args[2..];
+            }
+            Some("rm") => {
+                let Some(key) = args.get(2).filter(|v| !v.starts_with("--")) else {
+                    eprintln!("error: `veribug store rm` needs a key (16 hex digits, as printed by `veribug store ls`)");
+                    return ExitCode::FAILURE;
+                };
+                positionals.push(("action", "rm".to_owned()));
+                positionals.push(("key", key.clone()));
+                flag_args = &args[3..];
+            }
+            Some(other) if !other.starts_with("--") => {
+                eprintln!("error: unknown store action `{other}`; valid actions: gc, ls, rm <key>");
+                return ExitCode::FAILURE;
+            }
+            _ => {
+                eprintln!(
+                    "error: `veribug store` needs an action; valid actions: gc, ls, rm <key>"
+                );
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let opts = match parse_opts(flag_args, spec) {
+        Ok(mut o) => {
+            for (k, v) in positionals {
+                o.insert(k.to_owned(), v);
+            }
+            o
+        }
         Err(e) => {
             eprintln!("error: {e}");
             return ExitCode::FAILURE;
@@ -101,8 +140,17 @@ USAGE:
   veribug vcd      --design f.v [--cycles N] [--seed S] --out trace.vcd
   veribug serve    [--addr HOST:PORT] [--workers N] [--queue N] [--cache N]
                    [--deadline-ms N] [--max-body N] [--model model.vbm]
-                   [--access-log] [--debug-endpoints]
+                   [--access-log] [--debug-endpoints] [--store DIR]
+  veribug store    ls|gc|rm KEY [--store DIR]
+  veribug shard-front [--addr HOST:PORT] [--backends H:P,H:P,...]
+                   [--spawn N] [--replicas N] [--model model.vbm]
+                   [--store DIR]
   veribug --version
+
+Persistent artifact store: --store DIR (or the VERIBUG_STORE environment
+variable) names an on-disk store; VERIBUG_STORE_BUDGET caps its size in
+bytes. `veribug serve` preloads stored designs at startup so restarts
+answer warm.
 
 Every subcommand also accepts:
   --obs PATH   write a Chrome trace (or .jsonl event log) of the run
@@ -120,7 +168,7 @@ struct Command {
 const COMMANDS: &[Command] = &[
     Command {
         name: "train",
-        flags: &["out", "designs", "epochs", "seed", "log"],
+        flags: &["out", "designs", "epochs", "seed", "log", "store"],
         run: cmd_train,
     },
     Command {
@@ -188,10 +236,31 @@ const COMMANDS: &[Command] = &[
             "model",
             "access-log",
             "debug-endpoints",
+            "store",
         ],
         run: cmd_serve,
     },
+    Command {
+        name: "store",
+        flags: &["store"],
+        run: cmd_store,
+    },
+    Command {
+        name: "shard-front",
+        flags: &["addr", "backends", "spawn", "replicas", "model", "store"],
+        run: cmd_shard_front,
+    },
 ];
+
+/// Resolves the persistent-store root: `--store PATH` wins, then the
+/// `VERIBUG_STORE` environment variable; `None` disables the store.
+fn store_root(opts: &HashMap<String, String>) -> Option<String> {
+    opts.get("store").cloned().or_else(|| {
+        std::env::var(store::ENV_ROOT)
+            .ok()
+            .filter(|v| !v.is_empty())
+    })
+}
 
 /// Flags every subcommand accepts.
 const COMMON_FLAGS: &[&str] = &["obs", "quiet"];
@@ -265,11 +334,57 @@ fn load_module(path: &str) -> Result<verilog::Module, Box<dyn std::error::Error>
         .clone())
 }
 
+/// The store key for a training run: a manifest of everything that
+/// determines the resulting weights (corpus size, epochs, seed, and the
+/// persist format version so a format bump never resurrects stale bytes).
+fn train_manifest_key(designs: usize, epochs: usize, seed: u64) -> u64 {
+    store::hash::fnv1a(
+        format!(
+            "veribug-train v1\ndesigns {designs}\nepochs {epochs}\nseed {seed}\nformat {}\n",
+            persist::format_version()
+        )
+        .as_bytes(),
+    )
+}
+
 fn cmd_train(opts: &HashMap<String, String>) -> CmdResult {
     let out = required(opts, "out")?;
     let designs: usize = numeric(opts, "designs", 32)?;
     let epochs: usize = numeric(opts, "epochs", 80)?;
     let seed: u64 = numeric(opts, "seed", 1234)?;
+
+    // With a store configured, a training run is content-addressed by its
+    // seed manifest: identical (designs, epochs, seed) reuses the stored
+    // weights instead of retraining. Training is deterministic, so the
+    // reused bytes are exactly what a fresh run would produce.
+    let artifact_store = match store_root(opts) {
+        Some(root) => Some(store::Store::open(root, store::env_budget()?)?),
+        None => None,
+    };
+    let key = train_manifest_key(designs, epochs, seed);
+    if let Some(s) = &artifact_store {
+        if let Some(bytes) = s.get(store::ArtifactKind::Weights, key) {
+            match std::str::from_utf8(&bytes)
+                .ok()
+                .and_then(|text| persist::from_str(text).ok())
+            {
+                Some(model) => {
+                    obs::progress!(
+                        "reusing stored weights {} (designs {designs}, epochs {epochs}, seed {seed})",
+                        store::hash::key_hex(key)
+                    );
+                    persist::save(&model, out)?;
+                    obs::progress!("model written to {out} (trained weights from the store)");
+                    return Ok(());
+                }
+                None => {
+                    // A stored artifact that no longer parses is treated
+                    // exactly like a store miss: retrain and overwrite it.
+                    let _ = s.remove(key);
+                }
+            }
+        }
+    }
 
     obs::progress!("generating {designs} RVDG designs (seed {seed})...");
     let corpus: Vec<_> = {
@@ -297,6 +412,14 @@ fn cmd_train(opts: &HashMap<String, String>) -> CmdResult {
         report.epoch_losses.last().unwrap_or(&0.0)
     );
     persist::save(&model, out)?;
+    if let Some(s) = &artifact_store {
+        s.put(
+            store::ArtifactKind::Weights,
+            key,
+            persist::to_string(&model).as_bytes(),
+        )?;
+        obs::progress!("weights stored as {}", store::hash::key_hex(key));
+    }
     let log = opts.get("log").map_or("train_log.jsonl", String::as_str);
     train::append_train_log(std::path::Path::new(log), &report, &cfg, &model)?;
     obs::progress!("model written to {out}, epoch telemetry appended to {log}");
@@ -490,6 +613,7 @@ fn cmd_serve(opts: &HashMap<String, String>) -> CmdResult {
         telemetry: true,
         access_log: opts.contains_key("access-log"),
         debug_endpoints: opts.contains_key("debug-endpoints"),
+        store_path: store_root(opts),
     };
     let workers = config.workers;
     let server = Server::bind(config)?;
@@ -502,4 +626,164 @@ fn cmd_serve(opts: &HashMap<String, String>) -> CmdResult {
     server.run()?;
     println!("veribug-serve drained and stopped");
     Ok(())
+}
+
+fn open_store(opts: &HashMap<String, String>) -> Result<store::Store, Box<dyn std::error::Error>> {
+    let root = store_root(opts).ok_or(
+        "no store configured: pass --store PATH or set the VERIBUG_STORE environment variable",
+    )?;
+    Ok(store::Store::open(root, store::env_budget()?)?)
+}
+
+fn cmd_store(opts: &HashMap<String, String>) -> CmdResult {
+    let s = open_store(opts)?;
+    match opts.get("action").map(String::as_str) {
+        Some("ls") => {
+            let rows = s.list()?;
+            println!("{:<9} {:<16} {:>10} {:>8}", "kind", "key", "bytes", "age_s");
+            for row in &rows {
+                println!(
+                    "{:<9} {:<16} {:>10} {:>8}",
+                    row.kind,
+                    store::hash::key_hex(row.key),
+                    row.bytes,
+                    row.age.as_secs()
+                );
+            }
+            let total: u64 = rows.iter().map(|r| r.bytes).sum();
+            println!(
+                "{} entries, {total} bytes (budget {} bytes) in {}",
+                rows.len(),
+                s.budget(),
+                s.root().display()
+            );
+        }
+        Some("gc") => {
+            let report = s.gc()?;
+            println!(
+                "evicted {} entries ({} bytes); {} bytes resident under a {}-byte budget",
+                report.removed,
+                report.freed,
+                report.remaining_bytes,
+                s.budget()
+            );
+        }
+        Some("rm") => {
+            let raw = required(opts, "key")?;
+            let key = store::hash::parse_key(raw)
+                .ok_or_else(|| format!("bad key `{raw}`: expected 16 lowercase hex digits"))?;
+            let removed = s.remove(key)?;
+            if removed == 0 {
+                return Err(format!("no entry with key {raw} in any kind").into());
+            }
+            println!(
+                "removed {removed} entr{} for {raw}",
+                if removed == 1 { "y" } else { "ies" }
+            );
+        }
+        _ => unreachable!("main validates the store action"),
+    }
+    Ok(())
+}
+
+fn cmd_shard_front(opts: &HashMap<String, String>) -> CmdResult {
+    let mut backends: Vec<String> = opts
+        .get("backends")
+        .map(|v| {
+            v.split(',')
+                .map(str::trim)
+                .filter(|s| !s.is_empty())
+                .map(ToOwned::to_owned)
+                .collect()
+        })
+        .unwrap_or_default();
+    let spawn: usize = numeric(opts, "spawn", 0)?;
+    let mut children = Vec::new();
+    for i in 0..spawn {
+        let (child, addr) = spawn_backend(i, opts)?;
+        children.push(child);
+        backends.push(addr);
+    }
+    if backends.is_empty() {
+        return Err(
+            "no backends: pass --backends HOST:PORT[,HOST:PORT...] and/or --spawn N".into(),
+        );
+    }
+    let server_defaults = ServerConfig::default();
+    let config = ShardConfig {
+        addr: opts
+            .get("addr")
+            .cloned()
+            .unwrap_or_else(|| "127.0.0.1:8081".to_owned()),
+        backends,
+        replicas: numeric(opts, "replicas", 64)?,
+        local: ServerConfig {
+            model_path: opts.get("model").cloned(),
+            store_path: store_root(opts),
+            ..server_defaults
+        },
+        ..ShardConfig::default()
+    };
+    let n_backends = config.backends.len();
+    let front = ShardFront::bind(config)?;
+    let addr = front.local_addr()?;
+    println!("veribug-shard-front listening on {addr} ({n_backends} backends)");
+    use std::io::Write as _;
+    let _ = std::io::stdout().flush();
+    let result = front.run();
+    for mut child in children {
+        let _ = child.kill();
+        let _ = child.wait();
+    }
+    result?;
+    println!("veribug-shard-front stopped");
+    Ok(())
+}
+
+/// Spawns one `veribug serve` child on an ephemeral port and returns it
+/// with its bound address (scraped from the "listening on" line).
+fn spawn_backend(
+    index: usize,
+    opts: &HashMap<String, String>,
+) -> Result<(std::process::Child, String), Box<dyn std::error::Error>> {
+    use std::io::BufRead as _;
+    let mut cmd = std::process::Command::new(std::env::current_exe()?);
+    cmd.args(["serve", "--addr", "127.0.0.1:0"]);
+    if let Some(model) = opts.get("model") {
+        cmd.args(["--model", model]);
+    }
+    if let Some(root) = store_root(opts) {
+        // Each backend gets its own store subtree: consistent hashing
+        // partitions designs across the fleet, so their stores partition
+        // too.
+        cmd.args(["--store", &format!("{root}/backend-{index}")]);
+    }
+    cmd.stdout(std::process::Stdio::piped());
+    cmd.stderr(std::process::Stdio::null());
+    let mut child = cmd.spawn()?;
+    let stdout = child.stdout.take().expect("piped child stdout");
+    let mut reader = std::io::BufReader::new(stdout);
+    let mut line = String::new();
+    let addr = loop {
+        line.clear();
+        if reader.read_line(&mut line)? == 0 {
+            let _ = child.kill();
+            return Err(format!("backend {index} exited before reporting its address").into());
+        }
+        if let Some(rest) = line.split("listening on ").nth(1) {
+            break rest
+                .split_whitespace()
+                .next()
+                .unwrap_or_default()
+                .to_owned();
+        }
+    };
+    // Keep draining the child's stdout so it never blocks on a full pipe.
+    std::thread::spawn(move || {
+        let mut sink = String::new();
+        while matches!(reader.read_line(&mut sink), Ok(n) if n > 0) {
+            sink.clear();
+        }
+    });
+    Ok((child, addr))
 }

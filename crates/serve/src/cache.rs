@@ -14,21 +14,16 @@ use std::collections::HashMap;
 use std::sync::{Arc, Mutex};
 
 use sim::Simulator;
+use store::{ArtifactKind, Store};
 use verilog::Module;
+
+/// The cache key function, re-exported from the workspace's single
+/// FNV-1a implementation ([`store::hash`]).
+pub use store::hash::fnv1a;
 
 static CACHE_HITS: obs::LazyCounter = obs::LazyCounter::new("serve.cache.hits");
 static CACHE_MISSES: obs::LazyCounter = obs::LazyCounter::new("serve.cache.misses");
 static CACHE_EVICTIONS: obs::LazyCounter = obs::LazyCounter::new("serve.cache.evictions");
-
-/// FNV-1a over `bytes` (the 64-bit variant).
-pub fn fnv1a(bytes: &[u8]) -> u64 {
-    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-    for &b in bytes {
-        h ^= u64::from(b);
-        h = h.wrapping_mul(0x100_0000_01b3);
-    }
-    h
-}
 
 /// Why a design could not enter the cache.
 #[derive(Debug)]
@@ -76,6 +71,11 @@ struct CacheInner {
 pub struct DesignCache {
     capacity: usize,
     inner: Mutex<CacheInner>,
+    /// Optional persistent backing: successful builds write their source
+    /// through ([`ArtifactKind::Design`], keyed by the same FNV hash), and
+    /// [`preload`](DesignCache::preload) compiles stored sources back into
+    /// the LRU so a restarted server answers its first request warm.
+    store: Option<Arc<Store>>,
 }
 
 impl DesignCache {
@@ -87,7 +87,72 @@ impl DesignCache {
                 entries: HashMap::new(),
                 tick: 0,
             }),
+            store: None,
         }
+    }
+
+    /// A cache that writes successful builds through to `store` and can
+    /// [`preload`](DesignCache::preload) from it.
+    pub fn with_store(capacity: usize, store: Arc<Store>) -> DesignCache {
+        let mut cache = DesignCache::new(capacity);
+        cache.store = Some(store);
+        cache
+    }
+
+    /// Compiles sources persisted in the backing store into the in-memory
+    /// LRU, most recently used first, up to capacity. Returns how many
+    /// designs were loaded. Entries that fail verification or no longer
+    /// parse are skipped — a stale store degrades to a cold cache, never
+    /// an error. A no-op without a store.
+    pub fn preload(&self) -> usize {
+        let Some(store) = &self.store else {
+            return 0;
+        };
+        let mut designs: Vec<store::EntryInfo> = match store.list() {
+            Ok(all) => all
+                .into_iter()
+                .filter(|e| e.kind == ArtifactKind::Design)
+                .collect(),
+            Err(_) => return 0,
+        };
+        // Newest first, so when the store holds more designs than the LRU
+        // fits, the ones evicted here are the ones least recently served.
+        designs.sort_by(|a, b| b.modified.cmp(&a.modified).then(a.key.cmp(&b.key)));
+        designs.truncate(self.capacity);
+        // Insert oldest-first so the in-memory recency order mirrors the
+        // store's: the newest stored design gets the highest tick.
+        designs.reverse();
+        let mut loaded = 0;
+        for entry in designs {
+            let Some(bytes) = store.get(ArtifactKind::Design, entry.key) else {
+                continue;
+            };
+            let Ok(source) = String::from_utf8(bytes) else {
+                continue;
+            };
+            // Stored under the content hash, so the key recomputes from
+            // the payload; anything inconsistent was already rejected by
+            // the store's checksum.
+            let Ok(parsed) = verilog::parse(&source) else {
+                continue;
+            };
+            let module = Arc::new(parsed.top().clone());
+            let Ok(template) = Simulator::new(&module) else {
+                continue;
+            };
+            let mut c = self.inner.lock().expect("design cache lock");
+            c.tick += 1;
+            let tick = c.tick;
+            if c.entries.len() < self.capacity {
+                c.entries.entry(entry.key).or_insert(Entry {
+                    module,
+                    template,
+                    last_used: tick,
+                });
+                loaded += 1;
+            }
+        }
+        loaded
     }
 
     /// Looks up `source`, building (and caching) on a miss.
@@ -121,6 +186,11 @@ impl DesignCache {
         );
         let template = Simulator::new(&module).map_err(BuildError::Elab)?;
         let sim = template.fork();
+        // Write the source through to the persistent store (outside the
+        // lock; a full disk must not take down the serving path).
+        if let Some(store) = &self.store {
+            let _ = store.put(ArtifactKind::Design, key, source.as_bytes());
+        }
         let mut c = self.inner.lock().expect("design cache lock");
         c.tick += 1;
         let tick = c.tick;
@@ -158,6 +228,11 @@ impl DesignCache {
     /// True when nothing is cached.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
+    }
+
+    /// The persistent store backing this cache, if any.
+    pub fn store(&self) -> Option<&Arc<Store>> {
+        self.store.as_ref()
     }
 }
 
@@ -211,6 +286,40 @@ mod tests {
         assert_eq!(cache.len(), 0);
         let again = cache.get("module broken(").unwrap_err();
         assert!(matches!(again, BuildError::Parse(_)));
+    }
+
+    #[test]
+    fn write_through_and_preload_warm_a_fresh_cache() {
+        let root =
+            std::env::temp_dir().join(format!("veribug-serve-cache-store-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&root);
+        let store = Arc::new(Store::open(&root, store::DEFAULT_BUDGET).unwrap());
+
+        let first = DesignCache::with_store(4, Arc::clone(&store));
+        assert!(!first.get(SRC_A).unwrap().hit);
+        assert!(!first.get(SRC_B).unwrap().hit);
+        assert_eq!(store.stats().writes, 2, "misses write sources through");
+
+        // A fresh cache over the same store — a restarted process — is
+        // warm after preload: the first lookup is already a hit.
+        let second = DesignCache::with_store(4, Arc::clone(&store));
+        assert_eq!(second.preload(), 2);
+        assert!(second.get(SRC_A).unwrap().hit);
+        assert!(second.get(SRC_B).unwrap().hit);
+
+        // Preload respects capacity.
+        let tiny = DesignCache::with_store(1, Arc::clone(&store));
+        assert_eq!(tiny.preload(), 1);
+        assert_eq!(tiny.len(), 1);
+
+        // A corrupted stored source degrades to a cold entry, not an
+        // error.
+        let key = fnv1a(SRC_A.as_bytes());
+        std::fs::write(store.entry_path(ArtifactKind::Design, key), b"garbage").unwrap();
+        let third = DesignCache::with_store(4, Arc::clone(&store));
+        assert_eq!(third.preload(), 1, "only the intact design loads");
+        assert!(!third.get(SRC_A).unwrap().hit);
+        std::fs::remove_dir_all(&root).unwrap();
     }
 
     #[test]

@@ -25,7 +25,15 @@
 //!   attached to error bodies; completed requests are tail-sampled into an
 //!   in-memory ring of span trees and folded into rolling per-endpoint
 //!   windows, served by the `/tracez` and `/statusz` debug pages
-//!   ([`telemetry`]).
+//!   ([`telemetry`]);
+//! - **warm restarts** — with a persistent `veribug-store` root
+//!   configured, the design cache writes sources through to disk and a
+//!   restarted server precompiles them before accepting traffic, so the
+//!   first request after a restart is already a cache hit;
+//! - **horizontal scale** — [`shard`] is a thin front that
+//!   consistent-hashes design bytes across N backends with health-checked
+//!   failover, so each backend's cache (and store) holds a clean
+//!   partition of the corpus.
 //!
 //! ## Endpoints
 //!
@@ -52,8 +60,10 @@ pub mod cache;
 pub mod http;
 pub mod pool;
 pub mod server;
+pub mod shard;
 pub mod telemetry;
 
 pub use cache::DesignCache;
 pub use pool::{Pool, SubmitError};
 pub use server::{Server, ServerConfig, ServerHandle};
+pub use shard::{ShardConfig, ShardFront, ShardHandle};

@@ -30,6 +30,7 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use sim::CancelToken;
+use store::Store;
 use veribug::model::{ModelConfig, VeriBugModel};
 use veribug::VeriBugError;
 
@@ -83,6 +84,13 @@ pub struct ServerConfig {
     /// Enable `GET /debugz/panic` (a handler that panics on purpose), so
     /// tests and operators can verify 500-path behavior end to end.
     pub debug_endpoints: bool,
+    /// Optional root of a persistent [`store::Store`]. When set, the
+    /// design cache writes successful builds through to it and preloads
+    /// from it at bind, so a restarted server answers its first request
+    /// warm. The byte budget comes from `VERIBUG_STORE_BUDGET` (default
+    /// [`store::DEFAULT_BUDGET`]). `veribug serve` resolves `--store`,
+    /// then the `VERIBUG_STORE` environment variable, into this field.
+    pub store_path: Option<String>,
 }
 
 impl Default for ServerConfig {
@@ -99,6 +107,7 @@ impl Default for ServerConfig {
             telemetry: true,
             access_log: false,
             debug_endpoints: false,
+            store_path: None,
         }
     }
 }
@@ -110,6 +119,10 @@ pub(crate) struct ServerState {
     /// `/healthz` and `/statusz` can say which model this box serves.
     weights_hash: String,
     cache: DesignCache,
+    /// The persistent artifact store behind the cache, when configured.
+    store: Option<Arc<Store>>,
+    /// Designs compiled into the cache from the store at bind.
+    preloaded: usize,
     pool: Arc<Pool>,
     shutdown: AtomicBool,
     started: Instant,
@@ -163,8 +176,25 @@ impl Server {
         let listener = TcpListener::bind(&config.addr)?;
         let pool = Arc::new(Pool::new(config.workers, config.queue_capacity));
         let weights_hash = veribug::persist::content_hash_hex(&model);
+        let store = match &config.store_path {
+            Some(path) => Some(Arc::new(Store::open(path, store::env_budget()?)?)),
+            None => None,
+        };
+        let cache = match &store {
+            Some(s) => DesignCache::with_store(config.cache_capacity, Arc::clone(s)),
+            None => DesignCache::new(config.cache_capacity),
+        };
+        // Compile persisted designs back into the LRU before accepting
+        // traffic: the restart is warm — parse → levelize → compile for
+        // returning designs happens here, off the request path. The flush
+        // merges the preload's `store.*` counter shard out of this thread's
+        // TLS so `/metricsz` sees the hits even before any request lands.
+        let preloaded = cache.preload();
+        obs::flush_thread();
         let state = Arc::new(ServerState {
-            cache: DesignCache::new(config.cache_capacity),
+            cache,
+            store,
+            preloaded,
             model,
             weights_hash,
             pool,
@@ -763,6 +793,14 @@ fn handle_statusz(state: &ServerState, rid: &str, stream: &mut TcpStream) -> u16
         running,
         cache_entries: state.cache.len(),
         cache_capacity: state.config.cache_capacity,
+        store: state.store.as_ref().map(|s| telemetry::StoreStatus {
+            path: s.root().display().to_string(),
+            budget: s.budget(),
+            entries: s.list().map(|l| l.len()).unwrap_or(0),
+            bytes: s.total_bytes().unwrap_or(0),
+            preloaded: state.preloaded,
+            stats: s.stats(),
+        }),
         weights_hash: state.weights_hash.clone(),
         model_format: veribug::persist::format_version(),
         evals: snapshot

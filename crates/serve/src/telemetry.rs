@@ -152,6 +152,8 @@ pub(crate) struct StatusInfo {
     pub(crate) running: usize,
     pub(crate) cache_entries: usize,
     pub(crate) cache_capacity: usize,
+    /// Persistent artifact store occupancy, when one is configured.
+    pub(crate) store: Option<StoreStatus>,
     /// Content hash of the served model's weights.
     pub(crate) weights_hash: String,
     /// Persist-format version of those weights.
@@ -160,6 +162,22 @@ pub(crate) struct StatusInfo {
     pub(crate) evals: u64,
     /// `model.score_margin` summary, once any evaluation recorded one.
     pub(crate) score_margin: Option<obs::HistSummary>,
+}
+
+/// Occupancy of the persistent artifact store, for the `/statusz` page.
+pub(crate) struct StoreStatus {
+    /// The store root directory.
+    pub(crate) path: String,
+    /// Configured byte budget.
+    pub(crate) budget: u64,
+    /// Entries currently resident (all kinds).
+    pub(crate) entries: usize,
+    /// Bytes currently resident (all kinds).
+    pub(crate) bytes: u64,
+    /// Designs compiled into the LRU from the store at bind.
+    pub(crate) preloaded: usize,
+    /// This process's store operation counts.
+    pub(crate) stats: store::StoreStats,
 }
 
 /// Renders the `/statusz` JSON page: uptime, build info, worker/queue
@@ -183,6 +201,27 @@ pub(crate) fn statusz_json(info: &StatusInfo, window_s: u64) -> String {
         ",\"cache\":{{\"entries\":{},\"capacity\":{}}}",
         info.cache_entries, info.cache_capacity
     );
+    out.push_str(",\"store\":");
+    match &info.store {
+        Some(s) => {
+            out.push_str("{\"path\":");
+            json::write_str(&mut out, &s.path);
+            let _ = write!(
+                out,
+                ",\"budget_bytes\":{},\"entries\":{},\"bytes\":{},\"preloaded\":{},\"hits\":{},\"misses\":{},\"writes\":{},\"evictions\":{},\"corrupt\":{}}}",
+                s.budget,
+                s.entries,
+                s.bytes,
+                s.preloaded,
+                s.stats.hits,
+                s.stats.misses,
+                s.stats.writes,
+                s.stats.evictions,
+                s.stats.corrupt
+            );
+        }
+        None => out.push_str("null"),
+    }
     out.push_str(",\"model\":{\"weights_hash\":");
     json::write_str(&mut out, &info.weights_hash);
     out.push_str(",\"format\":");
@@ -306,6 +345,20 @@ mod tests {
             running: 2,
             cache_entries: 3,
             cache_capacity: 64,
+            store: Some(StoreStatus {
+                path: "/tmp/veribug-store".to_owned(),
+                budget: 1 << 30,
+                entries: 5,
+                bytes: 4096,
+                preloaded: 3,
+                stats: store::StoreStats {
+                    hits: 7,
+                    misses: 2,
+                    writes: 5,
+                    evictions: 1,
+                    corrupt: 0,
+                },
+            }),
             weights_hash: "00f1e2d3c4b5a697".to_owned(),
             model_format: "veribug-model v1",
             evals: 42,
@@ -330,6 +383,32 @@ mod tests {
         assert!(doc.get("endpoints").and_then(|v| v.as_arr()).is_some());
         let queue = doc.get("queue").expect("queue block");
         assert_eq!(queue.get("queued").and_then(|v| v.as_num()), Some(1.0));
+        let store_block = doc.get("store").expect("store block");
+        assert_eq!(
+            store_block.get("path").and_then(|v| v.as_str()),
+            Some("/tmp/veribug-store")
+        );
+        assert_eq!(
+            store_block.get("entries").and_then(|v| v.as_num()),
+            Some(5.0)
+        );
+        assert_eq!(
+            store_block.get("bytes").and_then(|v| v.as_num()),
+            Some(4096.0)
+        );
+        assert_eq!(
+            store_block.get("preloaded").and_then(|v| v.as_num()),
+            Some(3.0)
+        );
+        assert_eq!(store_block.get("hits").and_then(|v| v.as_num()), Some(7.0));
+        assert_eq!(
+            store_block.get("misses").and_then(|v| v.as_num()),
+            Some(2.0)
+        );
+        assert_eq!(
+            store_block.get("evictions").and_then(|v| v.as_num()),
+            Some(1.0)
+        );
         let model = doc.get("model").expect("model block");
         assert_eq!(
             model.get("weights_hash").and_then(|v| v.as_str()),

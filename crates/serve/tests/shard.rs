@@ -1,0 +1,235 @@
+//! Shard-front integration: 3 live backends, requests for the same
+//! design always land on the same shard, and killing a backend degrades
+//! gracefully (requests re-route or fall back locally — no 5xx storm).
+
+use std::collections::HashMap;
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+use obs::json;
+use veribug_serve::{Server, ServerConfig, ServerHandle, ShardConfig, ShardFront, ShardHandle};
+
+struct Response {
+    status: u16,
+    headers: Vec<(String, String)>,
+    body: String,
+}
+
+impl Response {
+    fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(n, _)| n.eq_ignore_ascii_case(name))
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+fn request(addr: std::net::SocketAddr, method: &str, path: &str, body: &str) -> Response {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(60)))
+        .unwrap();
+    let head = format!(
+        "{method} {path} HTTP/1.1\r\nHost: localhost\r\nContent-Length: {}\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(head.as_bytes()).unwrap();
+    stream.write_all(body.as_bytes()).unwrap();
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw).expect("read response");
+    let (head, body) = raw.split_once("\r\n\r\n").expect("response has headers");
+    let mut lines = head.split("\r\n");
+    let status: u16 = lines
+        .next()
+        .and_then(|l| l.split(' ').nth(1))
+        .and_then(|s| s.parse().ok())
+        .expect("numeric status");
+    Response {
+        status,
+        headers: lines
+            .filter_map(|l| l.split_once(':'))
+            .map(|(n, v)| (n.trim().to_owned(), v.trim().to_owned()))
+            .collect(),
+        body: body.to_owned(),
+    }
+}
+
+/// A unique golden/buggy pair per tag, same shape as `serve_bench`.
+fn localize_body(tag: usize) -> String {
+    let golden = format!(
+        "// design {tag}\nmodule m(input a, input b, input c, output y);\n\
+         wire t;\nassign t = a & b;\nassign y = t | c;\nendmodule"
+    );
+    let buggy = golden.replace("a & b", "a | b");
+    let mut g = String::new();
+    json::write_str(&mut g, &golden);
+    let mut b = String::new();
+    json::write_str(&mut b, &buggy);
+    format!("{{\"golden\":{g},\"buggy\":{b},\"target\":\"y\",\"options\":{{\"runs\":12,\"cycles\":8}}}}")
+}
+
+fn start_backend() -> (ServerHandle, std::thread::JoinHandle<std::io::Result<()>>) {
+    let server = Server::bind(ServerConfig {
+        workers: 2,
+        ..ServerConfig::default()
+    })
+    .expect("bind backend");
+    let handle = server.handle();
+    let join = std::thread::spawn(move || server.run());
+    (handle, join)
+}
+
+fn start_front(
+    backends: Vec<String>,
+) -> (ShardHandle, std::thread::JoinHandle<std::io::Result<()>>) {
+    let front = ShardFront::bind(ShardConfig {
+        backends,
+        health_interval: Duration::from_millis(100),
+        local: ServerConfig {
+            workers: 2,
+            ..ServerConfig::default()
+        },
+        ..ShardConfig::default()
+    })
+    .expect("bind front");
+    let handle = front.handle();
+    let join = std::thread::spawn(move || front.run());
+    (handle, join)
+}
+
+#[test]
+fn three_backends_route_stably_and_survive_losing_one() {
+    let mut backends = Vec::new();
+    for _ in 0..3 {
+        backends.push(start_backend());
+    }
+    let addrs: Vec<String> = backends.iter().map(|(h, _)| h.addr().to_string()).collect();
+    let (front, front_join) = start_front(addrs.clone());
+
+    // Same design → same shard, every time; different designs spread out.
+    let designs = 6usize;
+    let mut owner: HashMap<usize, String> = HashMap::new();
+    for round in 0..3 {
+        for tag in 0..designs {
+            let resp = request(front.addr(), "POST", "/v1/localize", &localize_body(tag));
+            assert_eq!(resp.status, 200, "round {round} tag {tag}: {}", resp.body);
+            let shard = resp
+                .header("x-veribug-shard")
+                .expect("front names the shard")
+                .to_owned();
+            assert!(
+                addrs.contains(&shard),
+                "routed to a real backend, got {shard}"
+            );
+            match owner.get(&tag) {
+                Some(prev) => assert_eq!(prev, &shard, "design {tag} moved shards"),
+                None => {
+                    owner.insert(tag, shard);
+                }
+            }
+        }
+    }
+    let distinct: std::collections::HashSet<&String> = owner.values().collect();
+    assert!(
+        distinct.len() >= 2,
+        "6 designs land on at least 2 of 3 backends, got {owner:?}"
+    );
+
+    // The front's status page sees all three as healthy.
+    let status = request(front.addr(), "GET", "/statusz", "");
+    let doc = json::parse(&status.body).expect("front status is JSON");
+    let healthy = doc
+        .get("backends")
+        .and_then(|b| b.as_arr())
+        .expect("backends array")
+        .iter()
+        .filter(|b| b.get("healthy").and_then(|h| h.as_bool()) == Some(true))
+        .count();
+    assert_eq!(healthy, 3);
+
+    // Kill one backend that owns at least one design. Every design must
+    // still answer 200 — rerouted to a surviving backend or the local
+    // fallback — with zero 5xx.
+    let dead_addr = owner.values().next().unwrap().clone();
+    let dead_idx = addrs.iter().position(|a| *a == dead_addr).unwrap();
+    let (dead_handle, dead_join) = backends.remove(dead_idx);
+    dead_handle.shutdown();
+    dead_join
+        .join()
+        .expect("backend thread")
+        .expect("clean exit");
+
+    for round in 0..2 {
+        for tag in 0..designs {
+            let resp = request(front.addr(), "POST", "/v1/localize", &localize_body(tag));
+            assert_eq!(
+                resp.status, 200,
+                "round {round} tag {tag} after kill: {}",
+                resp.body
+            );
+            let shard = resp.header("x-veribug-shard").expect("shard header");
+            assert_ne!(shard, dead_addr, "nothing routes to the dead backend");
+        }
+    }
+
+    // Health checks converge on 2/3 healthy.
+    let deadline = std::time::Instant::now() + Duration::from_secs(5);
+    loop {
+        let status = request(front.addr(), "GET", "/statusz", "");
+        let doc = json::parse(&status.body).expect("front status is JSON");
+        let healthy = doc
+            .get("backends")
+            .and_then(|b| b.as_arr())
+            .expect("backends array")
+            .iter()
+            .filter(|b| b.get("healthy").and_then(|h| h.as_bool()) == Some(true))
+            .count();
+        if healthy == 2 {
+            break;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "health thread never marked the dead backend down"
+        );
+        std::thread::sleep(Duration::from_millis(50));
+    }
+
+    front.shutdown();
+    front_join
+        .join()
+        .expect("front thread")
+        .expect("clean exit");
+    for (handle, join) in backends {
+        handle.shutdown();
+        join.join().expect("backend thread").expect("clean exit");
+    }
+}
+
+#[test]
+fn front_with_no_live_backends_falls_back_to_local() {
+    // One backend that is already gone by the time the first request
+    // arrives: the ring routes to it, the forward fails, and the local
+    // fallback answers.
+    let (doomed, doomed_join) = start_backend();
+    let doomed_addr = doomed.addr().to_string();
+    doomed.shutdown();
+    doomed_join
+        .join()
+        .expect("backend thread")
+        .expect("clean exit");
+
+    let (front, front_join) = start_front(vec![doomed_addr]);
+    let resp = request(front.addr(), "POST", "/v1/localize", &localize_body(99));
+    assert_eq!(resp.status, 200, "body: {}", resp.body);
+    assert_eq!(
+        resp.header("x-veribug-shard"),
+        Some("local"),
+        "dead fleet degrades to local execution"
+    );
+    front.shutdown();
+    front_join
+        .join()
+        .expect("front thread")
+        .expect("clean exit");
+}

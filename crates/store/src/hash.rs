@@ -1,0 +1,126 @@
+//! The workspace's one FNV-1a implementation.
+//!
+//! Every content-addressed key in the project — the serve design cache,
+//! `persist::content_hash`, store artifact keys, bench seed derivation —
+//! routes through this module, so a key computed in one process matches
+//! the same bytes hashed anywhere else.
+
+/// The FNV-1a 64-bit offset basis.
+pub const OFFSET_BASIS: u64 = 0xcbf2_9ce4_8422_2325;
+
+/// The FNV-1a 64-bit prime.
+pub const PRIME: u64 = 0x100_0000_01b3;
+
+/// FNV-1a over `bytes` (the 64-bit variant).
+#[must_use]
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = Fnv1a::new();
+    h.update(bytes);
+    h.finish()
+}
+
+/// [`fnv1a`] rendered as the canonical 16-digit lowercase hex key.
+#[must_use]
+pub fn fnv1a_hex(bytes: &[u8]) -> String {
+    key_hex(fnv1a(bytes))
+}
+
+/// Renders a key in the canonical form used for file names and manifests:
+/// exactly 16 lowercase hex digits, zero-padded.
+#[must_use]
+pub fn key_hex(key: u64) -> String {
+    format!("{key:016x}")
+}
+
+/// Parses a key rendered by [`key_hex`]. Strict: exactly 16 lowercase hex
+/// digits, so directory listings cannot alias two spellings of one key.
+#[must_use]
+pub fn parse_key(s: &str) -> Option<u64> {
+    if s.len() != 16
+        || !s
+            .bytes()
+            .all(|b| b.is_ascii_digit() || (b'a'..=b'f').contains(&b))
+    {
+        return None;
+    }
+    u64::from_str_radix(s, 16).ok()
+}
+
+/// An incremental FNV-1a hasher for callers that produce bytes in pieces
+/// (manifest builders, streamed payloads).
+#[derive(Debug, Clone)]
+pub struct Fnv1a(u64);
+
+impl Fnv1a {
+    /// A fresh hasher at the offset basis.
+    #[must_use]
+    pub const fn new() -> Fnv1a {
+        Fnv1a(OFFSET_BASIS)
+    }
+
+    /// Folds `bytes` into the running hash.
+    pub fn update(&mut self, bytes: &[u8]) {
+        let mut h = self.0;
+        for &b in bytes {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(PRIME);
+        }
+        self.0 = h;
+    }
+
+    /// The hash of everything folded in so far.
+    #[must_use]
+    pub const fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+impl Default for Fnv1a {
+    fn default() -> Self {
+        Fnv1a::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_input_is_the_offset_basis() {
+        assert_eq!(fnv1a(b""), OFFSET_BASIS);
+    }
+
+    #[test]
+    fn known_vectors() {
+        // Published FNV-1a 64-bit test vectors.
+        assert_eq!(fnv1a(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a(b"foobar"), 0x8594_4171_f739_67e8);
+    }
+
+    #[test]
+    fn incremental_matches_one_shot() {
+        let mut h = Fnv1a::new();
+        h.update(b"module top");
+        h.update(b"(input a);");
+        h.update(b"");
+        assert_eq!(h.finish(), fnv1a(b"module top(input a);"));
+    }
+
+    #[test]
+    fn discriminates_nearby_inputs() {
+        assert_ne!(fnv1a(b"assign z = a & b;"), fnv1a(b"assign z = a | b;"));
+        assert_ne!(fnv1a(b"ab"), fnv1a(b"ba"));
+    }
+
+    #[test]
+    fn hex_key_roundtrips_and_is_strict() {
+        let k = fnv1a(b"roundtrip");
+        assert_eq!(parse_key(&key_hex(k)), Some(k));
+        assert_eq!(key_hex(0).len(), 16);
+        assert_eq!(parse_key(&key_hex(0)), Some(0));
+        assert_eq!(parse_key("short"), None);
+        assert_eq!(parse_key("00000000000000001"), None, "too long");
+        assert_eq!(parse_key("000000000000000G"), None, "bad digit");
+        assert_eq!(parse_key("000000000000000A"), None, "uppercase rejected");
+    }
+}
